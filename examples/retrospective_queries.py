@@ -1,0 +1,90 @@
+"""Retrospective graph queries from one GPS reference sample (paper Sec. 1, 3).
+
+Scenario: an operations team keeps a single compact "reference sample" of
+a massive edge stream.  Weeks later, analysts ask questions that were not
+anticipated when the sample was collected: triangle counts, wedge counts,
+clustering, 4-clique counts, 3-star counts.  Because GPS separates
+sampling from estimation, all of these are answered *post hoc* from the
+same reservoir with unbiased Horvitz-Thompson estimators.
+
+Run:  python examples/retrospective_queries.py [--capacity 3000]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro import (
+    CliqueEstimator,
+    EdgeStream,
+    GraphPrioritySampler,
+    PostStreamEstimator,
+    StarEstimator,
+    compute_statistics,
+)
+from repro.core.subgraphs import SampledClique
+from repro.graph.generators import powerlaw_cluster
+
+
+def count_cliques_exact(graph, size: int) -> int:
+    """Exact clique count for the comparison column (small graphs only)."""
+    from repro.core.priority_sampler import GraphPrioritySampler as _Sampler
+
+    sampler = _Sampler(capacity=graph.num_edges + 1, seed=0)
+    sampler.process_stream(graph.edges())
+    return round(CliqueEstimator(sampler, size=size).estimate().value)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=2500)
+    parser.add_argument("--capacity", type=int, default=3000)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    print("Collecting the reference sample ...")
+    graph = powerlaw_cluster(args.nodes, 5, 0.6, seed=args.seed)
+    exact = compute_statistics(graph)
+    sampler = GraphPrioritySampler(capacity=args.capacity, seed=args.seed + 1)
+    sampler.process_stream(EdgeStream.from_graph(graph, seed=args.seed))
+    print(
+        f"  stream length {exact.num_edges}, reservoir {sampler.sample_size} edges, "
+        f"threshold z*={sampler.threshold:.3f}"
+    )
+
+    print("\nAnswering retrospective queries from the sample:\n")
+    alg2 = PostStreamEstimator(sampler).estimate()
+    four_cliques = CliqueEstimator(sampler, size=4).estimate()
+    three_stars = StarEstimator(sampler, leaves=3).estimate()
+
+    queries = [
+        ("triangles", alg2.triangles.value, float(exact.triangles)),
+        ("wedges", alg2.wedges.value, float(exact.wedges)),
+        ("global clustering", alg2.clustering.value, exact.clustering),
+        ("4-cliques", four_cliques.value, float(count_cliques_exact(graph, 4))),
+        (
+            "3-stars",
+            three_stars.value,
+            float(
+                sum(
+                    d * (d - 1) * (d - 2) // 6
+                    for d in (graph.degree(v) for v in graph.nodes())
+                )
+            ),
+        ),
+    ]
+    print(f"{'query':>18}  {'estimate':>14}  {'actual':>14}  {'ARE':>8}")
+    for name, estimate, actual in queries:
+        err = abs(estimate - actual) / actual if actual else 0.0
+        print(f"{name:>18}  {estimate:>14.1f}  {actual:>14.1f}  {err:>8.2%}")
+
+    print(
+        "\nAll five answers come from one reservoir collected in a single "
+        "pass —\nno re-streaming, no per-query sampling schemes."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

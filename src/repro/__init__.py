@@ -1,0 +1,97 @@
+"""repro — Graph Priority Sampling for massive graph streams.
+
+A faithful, production-quality reproduction of
+
+    Nesreen K. Ahmed, Nick Duffield, Theodore L. Willke, Ryan A. Rossi.
+    "On Sampling from Massive Graph Streams." VLDB 2017.
+
+Quick start
+-----------
+>>> from repro import (AdjacencyGraph, EdgeStream, GraphPrioritySampler,
+...                    PostStreamEstimator, triangle_count)
+>>> graph = AdjacencyGraph([(0, 1), (1, 2), (0, 2), (2, 3), (3, 0)])
+>>> stream = EdgeStream.from_graph(graph, seed=42)
+>>> sampler = GraphPrioritySampler(capacity=10, seed=7)
+>>> sampler.process_stream(stream)
+>>> estimates = PostStreamEstimator(sampler).estimate()
+>>> estimates.triangles.value == triangle_count(graph)  # no overflow: exact
+True
+
+Package map
+-----------
+``repro.core``        GPS sampler, weight functions, post-/in-stream
+                      estimation, generalised subgraph estimators.
+``repro.graph``       Graph substrate: adjacency structure, exact counting,
+                      generators, edge-list I/O.
+``repro.streams``     Edge-stream model and transforms.
+``repro.stats``       HT estimation, confidence intervals, error metrics.
+``repro.baselines``   TRIEST, MASCOT, NSAMP, JSP, Buriol, gSH, uniform
+                      reservoir — the paper's comparison methods.
+``repro.experiments`` Dataset registry and the harnesses regenerating every
+                      table and figure in the paper.
+"""
+
+from repro.core.adaptive import AdaptiveTriangleWeight
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.estimates import GraphEstimates, SubgraphEstimate
+from repro.core.in_stream import InStreamEstimator
+from repro.core.local import LocalTriangleEstimator
+from repro.core.motifs import MotifCensusEstimator
+from repro.core.post_stream import PostStreamEstimator
+from repro.core.priority_sampler import GraphPrioritySampler, UpdateResult
+from repro.core.records import EdgeRecord
+from repro.core.reservoir import SampledGraph
+from repro.core.snapshot_counters import InStreamCliqueCounter
+from repro.core.subgraphs import CliqueEstimator, StarEstimator
+from repro.core.weights import (
+    AttributeWeight,
+    LinearCombinationWeight,
+    TriangleWeight,
+    UniformWeight,
+    WedgeWeight,
+)
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.exact import (
+    ExactStreamCounter,
+    GraphStatistics,
+    compute_statistics,
+    global_clustering,
+    triangle_count,
+    wedge_count,
+)
+from repro.streams.stream import EdgeStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveTriangleWeight",
+    "load_checkpoint",
+    "save_checkpoint",
+    "LocalTriangleEstimator",
+    "MotifCensusEstimator",
+    "InStreamCliqueCounter",
+    "GraphEstimates",
+    "SubgraphEstimate",
+    "InStreamEstimator",
+    "PostStreamEstimator",
+    "GraphPrioritySampler",
+    "UpdateResult",
+    "EdgeRecord",
+    "SampledGraph",
+    "CliqueEstimator",
+    "StarEstimator",
+    "AttributeWeight",
+    "LinearCombinationWeight",
+    "TriangleWeight",
+    "UniformWeight",
+    "WedgeWeight",
+    "AdjacencyGraph",
+    "ExactStreamCounter",
+    "GraphStatistics",
+    "compute_statistics",
+    "global_clustering",
+    "triangle_count",
+    "wedge_count",
+    "EdgeStream",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Baseline streaming triangle-count estimators compared in the paper.
+
+Every baseline implements the small :class:`~repro.baselines.base.StreamingTriangleCounter`
+protocol — ``process(u, v)`` per arrival plus a ``triangle_estimate`` — so
+the experiment harness can drive GPS and the baselines identically:
+
+* :class:`~repro.baselines.triest.TriestBase` /
+  :class:`~repro.baselines.triest.TriestImpr` — reservoir sampling with
+  eager counting (De Stefani et al., KDD 2016); Tables 2 and 3.
+* :class:`~repro.baselines.mascot.Mascot` /
+  :class:`~repro.baselines.mascot.MascotBasic` — independent edge sampling
+  (Lim & Kang, KDD 2015); Table 2.
+* :class:`~repro.baselines.neighborhood.NeighborhoodSampling` — NSAMP
+  (Pavan et al., VLDB 2013), vectorised r-estimator array; Table 2.
+* :class:`~repro.baselines.jha.JhaSeshadhriPinar` — wedge-sampling
+  Streaming-Triangles (KDD 2013); discussed in Sec. 6.
+* :class:`~repro.baselines.buriol.BuriolSampler` — Buriol et al. (PODS
+  2006) adapted to the adjacency model; reproduces the paper's remark that
+  it rarely finds triangles.
+* :class:`~repro.baselines.sample_hold.GraphSampleHold` — gSH(p, q)
+  (Ahmed et al., KDD 2014).
+* :class:`~repro.baselines.reservoir.ReservoirEdgeSampler` — classic
+  uniform reservoir (Vitter 1985), the shared substrate.
+"""
+
+from repro.baselines.base import StreamingTriangleCounter
+from repro.baselines.buriol import BuriolSampler
+from repro.baselines.jha import JhaSeshadhriPinar
+from repro.baselines.mascot import Mascot, MascotBasic
+from repro.baselines.neighborhood import NeighborhoodSampling
+from repro.baselines.reservoir import ReservoirEdgeSampler
+from repro.baselines.sample_hold import GraphSampleHold
+from repro.baselines.triest import TriestBase, TriestImpr
+
+__all__ = [
+    "StreamingTriangleCounter",
+    "BuriolSampler",
+    "JhaSeshadhriPinar",
+    "Mascot",
+    "MascotBasic",
+    "NeighborhoodSampling",
+    "ReservoirEdgeSampler",
+    "GraphSampleHold",
+    "TriestBase",
+    "TriestImpr",
+]

@@ -1,0 +1,32 @@
+"""Common protocol for streaming triangle counters.
+
+The experiment harness (Tables 2–3) drives every method through this
+interface so that workloads, memory budgets and timing are measured
+identically for GPS and all baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Tuple, runtime_checkable
+
+from repro.graph.edge import Node
+
+
+@runtime_checkable
+class StreamingTriangleCounter(Protocol):
+    """One-pass triangle-count estimator over an adjacency edge stream."""
+
+    def process(self, u: Node, v: Node) -> None:
+        """Consume one arriving edge."""
+        ...
+
+    @property
+    def triangle_estimate(self) -> float:
+        """Current estimate of the number of triangles seen so far."""
+        ...
+
+
+def drive(counter: StreamingTriangleCounter, edges: Iterable[Tuple[Node, Node]]) -> None:
+    """Feed a whole stream through ``counter``."""
+    for u, v in edges:
+        counter.process(u, v)

@@ -1,0 +1,189 @@
+"""Streaming-Triangles: wedge sampling in the adjacency stream model.
+
+Jha, Seshadhri, Pinar.  "A Space Efficient Streaming Algorithm for
+Triangle Counting using the Birthday Paradox", KDD 2013 — reference [23]
+of the GPS paper (discussed in Sec. 6's baseline study).
+
+Two reservoirs:
+
+* an **edge reservoir** of ``edge_slots`` cells, each an independent
+  size-1 uniform reservoir over the stream (so cells may coincide);
+* a **wedge reservoir** of ``wedge_slots`` cells holding wedges formed by
+  edge-reservoir cells, each with an ``is_closed`` bit.
+
+Per arrival ``e_t``:
+
+1. wedges in the wedge reservoir closed by ``e_t`` get their bit set
+   (O(1) via a closing-pair index);
+2. each edge cell is replaced by ``e_t`` with probability 1/t; when any
+   cell changes, ``tot_wedges`` (wedges among the reservoir edges) is
+   recomputed from the cell-degree table;
+3. each wedge cell is replaced, with probability ``N_t / tot_wedges``, by
+   a uniform wedge formed by ``e_t`` with the edge reservoir (``N_t`` is
+   the number of such wedges).
+
+Estimates at time ``t`` (paper's eqs.):
+``κ̂ = 3·ρ`` (transitivity) and
+``T̂ = ρ·t²/(s_e(s_e−1))·tot_wedges`` (triangles), with ``ρ`` the closed
+fraction of the wedge reservoir.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.edge import EdgeKey, Node, canonical_edge, is_self_loop
+
+Wedge = Tuple[EdgeKey, EdgeKey, Node]  # (edge1, edge2, centre)
+
+
+class JhaSeshadhriPinar:
+    """Streaming-Triangles (JSP) transitivity / triangle estimator."""
+
+    __slots__ = (
+        "_edge_slots",
+        "_wedge_slots",
+        "_rng",
+        "_arrivals",
+        "_edges",
+        "_degrees",
+        "_tot_wedges",
+        "_wedges",
+        "_is_closed",
+        "_closing_index",
+    )
+
+    def __init__(
+        self,
+        edge_slots: int,
+        wedge_slots: int,
+        seed: Optional[int] = None,
+    ) -> None:
+        if edge_slots < 2 or wedge_slots < 1:
+            raise ValueError("need edge_slots >= 2 and wedge_slots >= 1")
+        self._edge_slots = edge_slots
+        self._wedge_slots = wedge_slots
+        self._rng = random.Random(seed)
+        self._arrivals = 0
+        self._edges: List[Optional[EdgeKey]] = [None] * edge_slots
+        self._degrees: Dict[Node, int] = defaultdict(int)
+        self._tot_wedges = 0
+        self._wedges: List[Optional[Wedge]] = [None] * wedge_slots
+        self._is_closed: List[bool] = [False] * wedge_slots
+        # closing pair -> wedge slots waiting for that edge
+        self._closing_index: Dict[EdgeKey, Set[int]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    def process(self, u: Node, v: Node) -> None:
+        if is_self_loop(u, v):
+            return
+        self._arrivals += 1
+        t = self._arrivals
+        key = canonical_edge(u, v)
+
+        # 1. Close wedges whose missing edge just arrived.
+        slots = self._closing_index.get(key)
+        if slots:
+            for slot in slots:
+                self._is_closed[slot] = True
+            del self._closing_index[key]
+
+        # 2. Per-cell edge reservoir update.
+        changed = False
+        for cell in range(self._edge_slots):
+            if self._rng.random() * t < 1.0:
+                old = self._edges[cell]
+                if old is not None:
+                    self._degrees[old[0]] -= 1
+                    self._degrees[old[1]] -= 1
+                self._edges[cell] = key
+                self._degrees[key[0]] += 1
+                self._degrees[key[1]] += 1
+                changed = True
+        if changed:
+            self._tot_wedges = sum(
+                d * (d - 1) // 2 for d in self._degrees.values() if d > 1
+            )
+
+        # 3. Wedge reservoir update.  New wedges exist only when e_t
+        # actually entered the edge reservoir; otherwise the wedge
+        # population is unchanged and the reservoir must not churn.
+        if not changed:
+            return
+        new_wedges = self._wedges_with(key)
+        n_t = len(new_wedges)
+        if n_t == 0 or self._tot_wedges == 0:
+            return
+        accept_prob = min(1.0, n_t / self._tot_wedges)
+        for slot in range(self._wedge_slots):
+            if self._rng.random() < accept_prob:
+                self._replace_wedge(slot, new_wedges[self._rng.randrange(n_t)])
+
+    def _wedges_with(self, key: EdgeKey) -> List[Wedge]:
+        """All wedges formed by ``key`` with the current edge reservoir."""
+        out: List[Wedge] = []
+        u, v = key
+        for cell_key in self._edges:
+            if cell_key is None or cell_key == key:
+                continue
+            shared = set(cell_key) & {u, v}
+            if len(shared) == 1:
+                out.append((key, cell_key, shared.pop()))
+        return out
+
+    def _replace_wedge(self, slot: int, wedge: Wedge) -> None:
+        old = self._wedges[slot]
+        if old is not None and not self._is_closed[slot]:
+            old_closing = self._closing_pair(old)
+            waiting = self._closing_index.get(old_closing)
+            if waiting is not None:
+                waiting.discard(slot)
+                if not waiting:
+                    del self._closing_index[old_closing]
+        self._wedges[slot] = wedge
+        self._is_closed[slot] = False
+        self._closing_index[self._closing_pair(wedge)].add(slot)
+
+    @staticmethod
+    def _closing_pair(wedge: Wedge) -> EdgeKey:
+        edge1, edge2, centre = wedge
+        open1 = edge1[0] if edge1[1] == centre else edge1[1]
+        open2 = edge2[0] if edge2[1] == centre else edge2[1]
+        return canonical_edge(open1, open2)
+
+    # ------------------------------------------------------------------
+    @property
+    def closed_fraction(self) -> float:
+        """ρ: closed fraction of occupied wedge cells."""
+        occupied = [i for i, w in enumerate(self._wedges) if w is not None]
+        if not occupied:
+            return 0.0
+        return sum(1 for i in occupied if self._is_closed[i]) / len(occupied)
+
+    @property
+    def transitivity_estimate(self) -> float:
+        """κ̂ = 3·ρ."""
+        return 3.0 * self.closed_fraction
+
+    @property
+    def triangle_estimate(self) -> float:
+        """T̂ = ρ · t²/(s_e(s_e−1)) · tot_wedges."""
+        t = self._arrivals
+        if t < 2 or self._tot_wedges == 0:
+            return 0.0
+        s_e = self._edge_slots
+        return (
+            self.closed_fraction
+            * (t * t / (s_e * (s_e - 1)))
+            * self._tot_wedges
+        )
+
+    @property
+    def arrivals(self) -> int:
+        return self._arrivals
+
+    @property
+    def total_reservoir_wedges(self) -> int:
+        return self._tot_wedges

@@ -1,0 +1,83 @@
+"""Classic uniform reservoir sampling over edges (Vitter 1985).
+
+The substrate under TRIEST and the JSP edge reservoir, and the degenerate
+GPS case ``W ≡ 1`` (paper remark after Algorithm 1).  Maintains a uniform
+without-replacement sample of fixed capacity over a stream, with an
+adjacency view so triangle queries against the sample stay O(min degree).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.edge import EdgeKey, Node, canonical_edge, is_self_loop
+
+
+class ReservoirEdgeSampler:
+    """Uniform fixed-size edge sample with an adjacency view.
+
+    After ``t`` arrivals each seen edge is in the sample with probability
+    ``min(1, capacity/t)``; every ``capacity``-subset is equally likely.
+    """
+
+    __slots__ = ("_capacity", "_rng", "_edges", "_graph", "_arrivals")
+
+    def __init__(self, capacity: int, seed: Optional[int] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._rng = random.Random(seed)
+        self._edges: List[EdgeKey] = []
+        self._graph = AdjacencyGraph()
+        self._arrivals = 0
+
+    def process(self, u: Node, v: Node) -> Optional[Tuple[bool, Optional[EdgeKey]]]:
+        """Offer an edge; returns (kept, replaced_edge) or None if skipped."""
+        if is_self_loop(u, v) or self._graph.has_edge(u, v):
+            return None
+        self._arrivals += 1
+        key = canonical_edge(u, v)
+        if len(self._edges) < self._capacity:
+            self._edges.append(key)
+            self._graph.add_edge(*key)
+            return True, None
+        slot = self._rng.randrange(self._arrivals)
+        if slot >= self._capacity:
+            return False, None
+        replaced = self._edges[slot]
+        self._graph.remove_edge(*replaced)
+        self._edges[slot] = key
+        self._graph.add_edge(*key)
+        return True, replaced
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def arrivals(self) -> int:
+        return self._arrivals
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._edges)
+
+    @property
+    def graph(self) -> AdjacencyGraph:
+        """Adjacency view over the current sample (live; do not mutate)."""
+        return self._graph
+
+    @property
+    def inclusion_probability(self) -> float:
+        """Per-edge marginal inclusion probability min(1, m/t)."""
+        if self._arrivals <= self._capacity:
+            return 1.0
+        return self._capacity / self._arrivals
+
+    def edges(self) -> Iterator[EdgeKey]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Production entry points for the common workflows:
+
+* ``stats``      exact triangle/wedge/clustering (and optional 4-node
+                 motif census) of an edge-list file — the ground-truth
+                 side;
+* ``sample``     one-pass GPS sampling of an edge-list stream with
+                 in-stream estimates, optionally checkpointing the full
+                 sampler state to JSON;
+* ``estimate``   retrospective (post-stream) estimation from a saved
+                 checkpoint: triangles/wedges/clustering and, on request,
+                 k-cliques, k-stars and the motif census;
+* ``track``      checkpointed real-time tracking of a stream (estimate vs
+                 exact at evenly spaced points);
+* ``reproduce``  regenerate the paper's tables and figures.
+
+Edge-list format: two whitespace-separated node ids per line, ``#``/``%``
+comments, optional ``.gz``; extra columns ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.estimates import GraphEstimates
+from repro.core.in_stream import InStreamEstimator
+from repro.core.local import LocalTriangleEstimator
+from repro.core.motifs import MotifCensusEstimator
+from repro.core.post_stream import PostStreamEstimator
+from repro.core.subgraphs import CliqueEstimator, StarEstimator
+from repro.core.weights import TriangleWeight, UniformWeight, WedgeWeight
+from repro.experiments import figure1, figure2, figure3, table1, table2, table3
+from repro.graph.exact import ExactStreamCounter, compute_statistics
+from repro.graph.io import iter_edge_list, read_edge_list
+from repro.graph.motifs import count_motifs
+from repro.streams.transforms import simplify_edges
+
+WEIGHTS = {
+    "triangle": TriangleWeight,
+    "uniform": UniformWeight,
+    "wedge": WedgeWeight,
+}
+
+ARTEFACTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph Priority Sampling for massive graph streams.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="exact statistics of an edge list")
+    stats.add_argument("path")
+    stats.add_argument("--motifs", action="store_true",
+                       help="also count the six connected 4-node motifs")
+
+    sample = commands.add_parser("sample", help="GPS-sample an edge-list stream")
+    sample.add_argument("path")
+    sample.add_argument("-m", "--capacity", type=int, required=True)
+    sample.add_argument("--weight", choices=sorted(WEIGHTS), default="triangle")
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("-o", "--output", help="write a resumable checkpoint here")
+
+    estimate = commands.add_parser(
+        "estimate", help="post-stream estimation from a checkpoint"
+    )
+    estimate.add_argument("checkpoint")
+    estimate.add_argument("--weight", choices=sorted(WEIGHTS), default="triangle")
+    estimate.add_argument("--motifs", action="store_true")
+    estimate.add_argument("--cliques", type=int, metavar="K",
+                          help="also estimate K-clique counts")
+    estimate.add_argument("--stars", type=int, metavar="K",
+                          help="also estimate K-star counts")
+    estimate.add_argument("--top-nodes", type=int, metavar="N",
+                          help="show the N nodes with largest local "
+                               "triangle estimates")
+
+    track = commands.add_parser("track", help="track estimates over a stream")
+    track.add_argument("path")
+    track.add_argument("-m", "--capacity", type=int, required=True)
+    track.add_argument("--checkpoints", type=int, default=10)
+    track.add_argument("--weight", choices=sorted(WEIGHTS), default="triangle")
+    track.add_argument("--seed", type=int, default=0)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="regenerate the paper's tables and figures"
+    )
+    reproduce.add_argument(
+        "artefacts", nargs="*", default=sorted(ARTEFACTS),
+        choices=sorted(ARTEFACTS) + [[]],
+        help="subset of artefacts (default: all)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "stats": _cmd_stats,
+        "sample": _cmd_sample,
+        "estimate": _cmd_estimate,
+        "track": _cmd_track,
+        "reproduce": _cmd_reproduce,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+# Command handlers
+# ----------------------------------------------------------------------
+def _cmd_stats(args) -> int:
+    graph = read_edge_list(args.path)
+    stats = compute_statistics(graph)
+    print(f"nodes      {stats.num_nodes}")
+    print(f"edges      {stats.num_edges}")
+    print(f"triangles  {stats.triangles}")
+    print(f"wedges     {stats.wedges}")
+    print(f"clustering {stats.clustering:.6f}")
+    if args.motifs:
+        for name, count in count_motifs(graph).as_dict().items():
+            print(f"{name:<16} {count}")
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    estimator = InStreamEstimator(
+        args.capacity, weight_fn=WEIGHTS[args.weight](), seed=args.seed
+    )
+    edges = simplify_edges(iter_edge_list(args.path))
+    estimator.process_stream(edges)
+    _print_estimates("in-stream estimates", estimator.estimates())
+    if args.output:
+        path = save_checkpoint(estimator, args.output)
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    loaded = load_checkpoint(args.checkpoint, weight_fn=WEIGHTS[args.weight]())
+    sampler = loaded.sampler if isinstance(loaded, InStreamEstimator) else loaded
+    estimates = PostStreamEstimator(sampler).estimate()
+    _print_estimates("post-stream estimates", estimates)
+    if args.cliques:
+        clique = CliqueEstimator(sampler, size=args.cliques).estimate()
+        lb, ub = clique.confidence_bounds()
+        print(f"{args.cliques}-cliques  {clique.value:.1f}  95% CI [{lb:.1f}, {ub:.1f}]")
+    if args.stars:
+        star = StarEstimator(sampler, leaves=args.stars).estimate()
+        print(f"{args.stars}-stars    {star.value:.1f}")
+    if args.motifs:
+        for name, estimate in MotifCensusEstimator(sampler).estimate().items():
+            print(f"{name:<16} {estimate.value:.1f}")
+    if args.top_nodes:
+        print(f"top {args.top_nodes} nodes by local triangle estimate:")
+        for node, count in LocalTriangleEstimator(sampler).top_nodes(args.top_nodes):
+            print(f"  {node!r}: {count:.1f}")
+    return 0
+
+
+def _cmd_track(args) -> int:
+    edges = list(simplify_edges(iter_edge_list(args.path)))
+    estimator = InStreamEstimator(
+        args.capacity, weight_fn=WEIGHTS[args.weight](), seed=args.seed
+    )
+    exact = ExactStreamCounter()
+    marks = _even_marks(len(edges), args.checkpoints)
+    print(f"{'t':>10}  {'triangles':>12}  {'estimate':>12}  {'ARE':>8}")
+    t = 0
+    for u, v in edges:
+        estimator.process(u, v)
+        exact.process(u, v)
+        t += 1
+        if t in marks:
+            estimate = estimator.triangle_estimate
+            actual = exact.triangles
+            err = abs(estimate - actual) / actual if actual else 0.0
+            print(f"{t:>10}  {actual:>12}  {estimate:>12.0f}  {err:>8.2%}")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    names = args.artefacts or sorted(ARTEFACTS)
+    for name in names:
+        print(f"\n=== {name} {'=' * (60 - len(name))}")
+        ARTEFACTS[name].main([])
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _print_estimates(title: str, estimates: GraphEstimates) -> None:
+    print(title)
+    print(
+        f"  processed {estimates.stream_position} edges, sampled "
+        f"{estimates.sample_size}, threshold z*={estimates.threshold:.4g}"
+    )
+    for label, estimate in (
+        ("triangles", estimates.triangles),
+        ("wedges", estimates.wedges),
+        ("clustering", estimates.clustering),
+    ):
+        lb, ub = estimate.confidence_bounds()
+        print(f"  {label:<11}{estimate.value:14.2f}   95% CI [{lb:.2f}, {ub:.2f}]")
+
+
+def _even_marks(length: int, count: int) -> set:
+    if count <= 0 or length == 0:
+        return set()
+    if count >= length:
+        return set(range(1, length + 1))
+    step = length / count
+    return {max(1, min(length, round(step * (i + 1)))) for i in range(count)}

@@ -1,0 +1,60 @@
+"""Graph Priority Sampling core: the paper's primary contribution.
+
+Public API:
+
+* :class:`~repro.core.priority_sampler.GraphPrioritySampler` — Algorithm 1,
+  the GPS(m) reservoir.
+* Weight functions in :mod:`repro.core.weights` — the ``W(k, K̂)`` family
+  (uniform, triangle-minimising, wedge, attribute, linear combinations).
+* :class:`~repro.core.post_stream.PostStreamEstimator` — Algorithm 2,
+  retrospective unbiased triangle/wedge/clustering estimation with
+  unbiased variances and confidence bounds.
+* :class:`~repro.core.in_stream.InStreamEstimator` — Algorithm 3, snapshot
+  (stopped-martingale) estimation updated during stream processing.
+* :mod:`repro.core.subgraphs` — generalised post-stream estimation of
+  k-cliques and k-stars from the same sample.
+"""
+
+from repro.core.adaptive import AdaptiveTriangleWeight
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.estimates import GraphEstimates, SubgraphEstimate
+from repro.core.in_stream import InStreamEstimator
+from repro.core.local import LocalTriangleEstimator
+from repro.core.motifs import MotifCensusEstimator
+from repro.core.post_stream import PostStreamEstimator
+from repro.core.priority_sampler import GraphPrioritySampler, UpdateResult
+from repro.core.records import EdgeRecord
+from repro.core.reservoir import SampledGraph
+from repro.core.snapshot_counters import InStreamCliqueCounter
+from repro.core.subgraphs import CliqueEstimator, StarEstimator
+from repro.core.weights import (
+    AttributeWeight,
+    LinearCombinationWeight,
+    TriangleWeight,
+    UniformWeight,
+    WedgeWeight,
+)
+
+__all__ = [
+    "AdaptiveTriangleWeight",
+    "load_checkpoint",
+    "save_checkpoint",
+    "LocalTriangleEstimator",
+    "MotifCensusEstimator",
+    "InStreamCliqueCounter",
+    "GraphEstimates",
+    "SubgraphEstimate",
+    "InStreamEstimator",
+    "PostStreamEstimator",
+    "GraphPrioritySampler",
+    "UpdateResult",
+    "EdgeRecord",
+    "SampledGraph",
+    "CliqueEstimator",
+    "StarEstimator",
+    "AttributeWeight",
+    "LinearCombinationWeight",
+    "TriangleWeight",
+    "UniformWeight",
+    "WedgeWeight",
+]

@@ -1,0 +1,102 @@
+"""Adaptive-weight sampling schemes (the paper's stated future work).
+
+The conclusion of the paper: "In future work, we aim to extend the
+proposed approach to adaptive-weight sampling schemes."  Theorem 1 already
+licenses this: the only condition on the weight ``w_i`` is that it is
+measurable with respect to the history before arrival ``i`` — so weights
+may depend on *anything observed so far* (not just the reservoir
+topology), and every HT estimate stays unbiased.
+
+:class:`AdaptiveTriangleWeight` implements a concrete scheme on top of the
+paper's fixed ``9·|△̂(k)| + 1``: it tracks the recent fraction φ of
+arrivals that closed at least one sampled triangle (an exponential moving
+average) and scales the boost coefficient as ``boost_target / max(φ, φ_min)``.
+
+* When triangle-closing arrivals are *rare* (sparse graphs, early stream),
+  each one receives a larger boost, devoting reservoir capacity to the
+  scarce signal.
+* When they are *common* (dense clustered graphs, late stream, large m),
+  the boost shrinks towards ``boost_target``, preventing the reservoir
+  from starving on novel edges it will need as triangle anchors later.
+
+The scheme keeps the IPPS intuition of Sec. 3.5 (weights proportional to
+the number of target subgraphs completed) while making the
+exploration/exploitation ratio self-tuning instead of hard-coded.
+"""
+
+from __future__ import annotations
+
+from repro.core.reservoir import SampledGraph
+from repro.graph.edge import Node
+
+
+class AdaptiveTriangleWeight:
+    """Triangle-targeted weight with a self-tuning boost coefficient.
+
+    Parameters
+    ----------
+    boost_target:
+        The desired boost when triangle closures are ubiquitous (φ → 1);
+        the paper's fixed scheme corresponds to a constant boost of 9.
+    smoothing:
+        EMA factor for the closure-rate tracker (0 < smoothing ≤ 1);
+        smaller = slower adaptation.
+    min_rate:
+        Floor for the tracked rate, capping the boost at
+        ``boost_target / min_rate`` so early noise cannot produce
+        unbounded weights.
+    default:
+        Weight of arrivals that close no sampled triangle (> 0 so every
+        edge remains sampleable — the paper's "default weight").
+    """
+
+    __slots__ = ("boost_target", "smoothing", "min_rate", "default", "_rate")
+
+    def __init__(
+        self,
+        boost_target: float = 9.0,
+        smoothing: float = 0.05,
+        min_rate: float = 0.01,
+        default: float = 1.0,
+    ) -> None:
+        if boost_target <= 0 or default <= 0:
+            raise ValueError("boost_target and default must be positive")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if not 0.0 < min_rate <= 1.0:
+            raise ValueError("min_rate must be in (0, 1]")
+        self.boost_target = boost_target
+        self.smoothing = smoothing
+        self.min_rate = min_rate
+        self.default = default
+        self._rate = min_rate  # optimistic start: strong early boosts
+
+    def __call__(self, u: Node, v: Node, sample: SampledGraph) -> float:
+        closed = sample.common_neighbor_count(u, v)
+        # Update the closure-rate EMA *before* computing the weight: the
+        # weight then depends only on arrivals up to and including the
+        # current one's observable topology, satisfying Theorem 1's
+        # measurability condition.
+        observation = 1.0 if closed else 0.0
+        self._rate += self.smoothing * (observation - self._rate)
+        if not closed:
+            return self.default
+        boost = self.boost_target / max(self._rate, self.min_rate)
+        return boost * closed + self.default
+
+    @property
+    def closure_rate(self) -> float:
+        """Current EMA of the fraction of triangle-closing arrivals."""
+        return self._rate
+
+    @property
+    def current_boost(self) -> float:
+        """The boost a triangle-closing arrival would receive right now."""
+        return self.boost_target / max(self._rate, self.min_rate)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveTriangleWeight(boost_target={self.boost_target!r}, "
+            f"smoothing={self.smoothing!r}, min_rate={self.min_rate!r}, "
+            f"default={self.default!r})"
+        )

@@ -1,0 +1,178 @@
+"""Checkpointing: persist and resume GPS sampler / estimator state.
+
+Production streams do not pause for process restarts.  This module
+serialises the complete state of a :class:`GraphPrioritySampler` (and the
+running totals of an :class:`InStreamEstimator`) to a JSON document so a
+sampling job can be stopped, stored, shipped and resumed *bit-for-bit*:
+resuming a checkpoint and continuing the stream yields exactly the state a
+single uninterrupted run would have reached, because the RNG state is
+captured alongside the reservoir.
+
+Limits: node labels must be JSON-representable scalars (int/str/float);
+weight functions are not serialised (they are code) — the caller supplies
+the same weight function on restore, and a fingerprint of its repr guards
+against accidental mismatches.  Stateful weight functions (e.g.
+:class:`~repro.core.adaptive.AdaptiveTriangleWeight`) restart their
+internal adaptation on restore; estimates remain unbiased (the
+measurability condition still holds), only the adaptation warm-up repeats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.in_stream import InStreamEstimator
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.records import EdgeRecord
+from repro.core.weights import WeightFunction
+
+FORMAT_VERSION = 1
+PathLike = Union[str, Path]
+
+
+def sampler_state(sampler: GraphPrioritySampler) -> dict:
+    """Snapshot a sampler's full state as a JSON-compatible dict."""
+    records = sorted(sampler.records(), key=lambda r: r.arrival)
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "sampler",
+        "capacity": sampler.capacity,
+        "threshold": sampler.threshold,
+        "arrivals": sampler.stream_position,
+        "duplicates": sampler.duplicates_skipped,
+        "self_loops": sampler.self_loops_skipped,
+        "weight_fingerprint": repr(sampler._weight_fn),
+        "rng_state": _encode_rng_state(sampler._rng.getstate()),
+        "records": [
+            {
+                "u": record.u,
+                "v": record.v,
+                "weight": record.weight,
+                "priority": record.priority,
+                "arrival": record.arrival,
+                "cov_triangle": record.cov_triangle,
+                "cov_wedge": record.cov_wedge,
+            }
+            for record in records
+        ],
+    }
+
+
+def restore_sampler(
+    state: dict, weight_fn: Optional[WeightFunction] = None
+) -> GraphPrioritySampler:
+    """Rebuild a sampler from :func:`sampler_state` output.
+
+    ``weight_fn`` must be (behaviourally) the function used originally;
+    a differing repr fingerprint raises to catch silent mismatches.
+    """
+    if state.get("kind") != "sampler":
+        raise ValueError(f"not a sampler checkpoint: kind={state.get('kind')!r}")
+    if state.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {state.get('version')!r}")
+    sampler = GraphPrioritySampler(state["capacity"], weight_fn=weight_fn)
+    fingerprint = repr(sampler._weight_fn)
+    if fingerprint != state["weight_fingerprint"]:
+        raise ValueError(
+            "weight function mismatch: checkpoint was created with "
+            f"{state['weight_fingerprint']}, restore got {fingerprint}"
+        )
+    sampler._rng.setstate(_decode_rng_state(state["rng_state"]))
+    sampler._threshold = state["threshold"]
+    sampler._arrivals = state["arrivals"]
+    sampler._duplicates = state["duplicates"]
+    sampler._self_loops = state["self_loops"]
+    for entry in state["records"]:
+        record = EdgeRecord(
+            _node(entry["u"]),
+            _node(entry["v"]),
+            weight=entry["weight"],
+            priority=entry["priority"],
+            arrival=entry["arrival"],
+        )
+        record.cov_triangle = entry["cov_triangle"]
+        record.cov_wedge = entry["cov_wedge"]
+        sampler._sample.add(record)
+        sampler._heap.push(record)
+    return sampler
+
+
+def estimator_state(estimator: InStreamEstimator) -> dict:
+    """Snapshot an in-stream estimator (sampler + running totals)."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "in_stream",
+        "totals": {
+            "triangles": estimator._triangles,
+            "triangle_var": estimator._triangle_var,
+            "wedges": estimator._wedges,
+            "wedge_var": estimator._wedge_var,
+            "cross_cov": estimator._cross_cov,
+        },
+        "sampler": sampler_state(estimator.sampler),
+    }
+
+
+def restore_estimator(
+    state: dict, weight_fn: Optional[WeightFunction] = None
+) -> InStreamEstimator:
+    """Rebuild an in-stream estimator from :func:`estimator_state` output."""
+    if state.get("kind") != "in_stream":
+        raise ValueError(f"not an in-stream checkpoint: kind={state.get('kind')!r}")
+    sampler = restore_sampler(state["sampler"], weight_fn=weight_fn)
+    estimator = InStreamEstimator(sampler.capacity, sampler=sampler)
+    totals = state["totals"]
+    estimator._triangles = totals["triangles"]
+    estimator._triangle_var = totals["triangle_var"]
+    estimator._wedges = totals["wedges"]
+    estimator._wedge_var = totals["wedge_var"]
+    estimator._cross_cov = totals["cross_cov"]
+    return estimator
+
+
+# ----------------------------------------------------------------------
+# File round-trip
+# ----------------------------------------------------------------------
+def save_checkpoint(obj, path: PathLike) -> Path:
+    """Write a sampler or in-stream estimator checkpoint to ``path``."""
+    if isinstance(obj, InStreamEstimator):
+        state = estimator_state(obj)
+    elif isinstance(obj, GraphPrioritySampler):
+        state = sampler_state(obj)
+    else:
+        raise TypeError(f"cannot checkpoint object of type {type(obj).__name__}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(state), encoding="utf-8")
+    return path
+
+
+def load_checkpoint(
+    path: PathLike, weight_fn: Optional[WeightFunction] = None
+):
+    """Load a checkpoint file; returns a sampler or in-stream estimator."""
+    state = json.loads(Path(path).read_text(encoding="utf-8"))
+    if state.get("kind") == "in_stream":
+        return restore_estimator(state, weight_fn=weight_fn)
+    return restore_sampler(state, weight_fn=weight_fn)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _encode_rng_state(state) -> list:
+    """random.Random state → JSON-compatible nested lists."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def _decode_rng_state(encoded) -> tuple:
+    version, internal, gauss_next = encoded
+    return (version, tuple(internal), gauss_next)
+
+
+def _node(value):
+    """JSON round-trips int/str/float node labels unchanged."""
+    return value

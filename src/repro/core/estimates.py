@@ -1,0 +1,99 @@
+"""Estimate containers returned by the GPS estimators.
+
+A :class:`SubgraphEstimate` pairs a Horvitz–Thompson point estimate with
+its *unbiased variance estimate* and derives normal confidence bounds the
+way the paper reports them (``X̂ ± 1.96·sqrt(Var̂)``, Sec. 6 step 4).
+:class:`GraphEstimates` bundles the triangle/wedge/clustering triple that
+Tables 1 and 3 and Figures 1–3 are built from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.stats.confidence import confidence_interval
+from repro.stats.variance import clustering_variance
+
+
+@dataclass(frozen=True)
+class SubgraphEstimate:
+    """Point estimate + unbiased variance estimate for one subgraph count."""
+
+    value: float
+    variance: float
+
+    @property
+    def std_error(self) -> float:
+        return math.sqrt(max(0.0, self.variance))
+
+    def confidence_bounds(self, level: float = 0.95) -> Tuple[float, float]:
+        """Normal bounds ``value ± z(level)·std_error``."""
+        return confidence_interval(self.value, self.variance, level)
+
+    @property
+    def lower_bound(self) -> float:
+        return self.confidence_bounds()[0]
+
+    @property
+    def upper_bound(self) -> float:
+        return self.confidence_bounds()[1]
+
+    def relative_error(self, actual: float) -> float:
+        """ARE against a known truth (inf when actual is 0 but value isn't)."""
+        if actual == 0:
+            return 0.0 if self.value == 0 else float("inf")
+        return abs(self.value - actual) / abs(actual)
+
+
+@dataclass(frozen=True)
+class GraphEstimates:
+    """Triangle / wedge / clustering estimates from one sample state.
+
+    ``tri_wedge_covariance`` is the unbiased estimate of
+    ``Cov(N̂(△), N̂(Λ))`` (paper Eq. 12), already folded into the
+    clustering variance via the delta method (Eq. 11).
+    """
+
+    triangles: SubgraphEstimate
+    wedges: SubgraphEstimate
+    clustering: SubgraphEstimate
+    tri_wedge_covariance: float
+    stream_position: int
+    sample_size: int
+    threshold: float
+
+    @staticmethod
+    def from_raw(
+        triangle_count: float,
+        triangle_variance: float,
+        wedge_count: float,
+        wedge_variance: float,
+        tri_wedge_covariance: float,
+        stream_position: int,
+        sample_size: int,
+        threshold: float,
+    ) -> "GraphEstimates":
+        """Assemble the bundle, deriving α̂ = 3·N̂(△)/N̂(Λ) and its variance."""
+        if wedge_count > 0:
+            alpha = 3.0 * triangle_count / wedge_count
+            alpha_var = clustering_variance(
+                triangle_count,
+                wedge_count,
+                triangle_variance,
+                wedge_variance,
+                tri_wedge_covariance,
+            )
+        else:
+            alpha = 0.0
+            alpha_var = 0.0
+        return GraphEstimates(
+            triangles=SubgraphEstimate(triangle_count, triangle_variance),
+            wedges=SubgraphEstimate(wedge_count, wedge_variance),
+            clustering=SubgraphEstimate(alpha, alpha_var),
+            tri_wedge_covariance=tri_wedge_covariance,
+            stream_position=stream_position,
+            sample_size=sample_size,
+            threshold=threshold,
+        )

@@ -1,0 +1,186 @@
+"""Algorithm 3 — in-stream (snapshot) estimation.
+
+Post-stream estimation re-derives every subgraph's probability from the
+*final* threshold; in-stream estimation instead freezes ("snapshots") each
+subgraph estimator at a stopping time — the instant just before its closing
+edge arrives — and accumulates the frozen values.  Snapshots are stopped
+martingales, hence still unbiased (Theorem 4), and empirically have lower
+variance because early subgraphs are frozen while inclusion probabilities
+are still high (paper Sec. 6).
+
+Mechanics on the arrival of edge ``k`` (before the sampler update):
+
+* every sampled triangle ``(k1, k2, k)`` completed by ``k`` contributes
+  ``1/(q1·q2)`` with ``qi = min{1, w(ki)/z*}`` at the *current* threshold
+  (``k`` itself participates with probability 1 at its own arrival);
+* every sampled edge ``j`` adjacent to ``k`` forms a wedge, contributing
+  ``1/q_j``;
+* variance and triangle–wedge covariance are maintained with per-edge
+  accumulators ``C̃_k(△), C̃_k(Λ)`` (Theorem 7): the covariance between two
+  snapshots that share edge ``e`` is a product of each snapshot's other
+  factors with ``(1/p_{e,T} − 1)`` at the earlier stopping time — exactly
+  what the accumulators carry forward.  Evicting an edge drops its
+  accumulators (it can close no further sampled subgraphs).
+
+The estimator never revises a frozen contribution, so tracked estimates are
+monotone non-decreasing and can be read at any time in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.core.estimates import GraphEstimates
+from repro.core.priority_sampler import GraphPrioritySampler, UpdateResult
+from repro.core.weights import WeightFunction
+from repro.graph.edge import Node, is_self_loop
+
+
+class InStreamEstimator:
+    """GPS with in-stream triangle/wedge/clustering estimation (Algorithm 3).
+
+    Owns a :class:`GraphPrioritySampler`; create it with the same
+    ``capacity``/``weight_fn``/``seed`` as a post-stream run to obtain the
+    paper's shared-sample comparison (the underlying sampler is exposed via
+    :attr:`sampler`, so post-stream estimates can be computed from the very
+    same reservoir).
+
+    Examples
+    --------
+    >>> est = InStreamEstimator(capacity=100, seed=1)
+    >>> for edge in [(0, 1), (1, 2), (0, 2)]:
+    ...     _ = est.process(*edge)
+    >>> est.triangle_estimate
+    1.0
+    """
+
+    __slots__ = (
+        "_sampler",
+        "_triangles",
+        "_triangle_var",
+        "_wedges",
+        "_wedge_var",
+        "_cross_cov",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        weight_fn: Optional[WeightFunction] = None,
+        seed: Optional[int] = None,
+        sampler: Optional[GraphPrioritySampler] = None,
+    ) -> None:
+        if sampler is not None:
+            self._sampler = sampler
+        else:
+            self._sampler = GraphPrioritySampler(
+                capacity, weight_fn=weight_fn, seed=seed
+            )
+        self._triangles = 0.0
+        self._triangle_var = 0.0
+        self._wedges = 0.0
+        self._wedge_var = 0.0
+        self._cross_cov = 0.0
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+    def process(self, u: Node, v: Node) -> UpdateResult:
+        """Snapshot the subgraphs ``(u, v)`` closes, then update the sample."""
+        sampler = self._sampler
+        if is_self_loop(u, v) or sampler.contains_edge(u, v):
+            # Keep estimation and sampling in lockstep: arrivals the
+            # sampler drops must not leave snapshot contributions behind.
+            return sampler.process(u, v)
+
+        sample = sampler.sample
+        threshold = sampler.threshold
+
+        # --- triangles completed by k (lines 9–19) ---------------------
+        for _w, rec1, rec2 in sample.triangles_with(u, v):
+            q1 = rec1.inclusion_probability(threshold)
+            q2 = rec2.inclusion_probability(threshold)
+            inv_prod = 1.0 / (q1 * q2)
+            self._triangles += inv_prod
+            self._triangle_var += (inv_prod - 1.0) * inv_prod
+            self._triangle_var += 2.0 * (rec1.cov_triangle + rec2.cov_triangle) * inv_prod
+            self._cross_cov += (rec1.cov_wedge + rec2.cov_wedge) * inv_prod
+            rec1.cov_triangle += (1.0 / q1 - 1.0) / q2
+            rec2.cov_triangle += (1.0 / q2 - 1.0) / q1
+
+        # --- wedges completed by k (lines 20–27) ------------------------
+        for endpoint, other in ((u, v), (v, u)):
+            for rec in sample.incident_records(endpoint, exclude=other):
+                q = rec.inclusion_probability(threshold)
+                inv = 1.0 / q
+                self._wedges += inv
+                self._wedge_var += inv * (inv - 1.0)
+                self._wedge_var += 2.0 * rec.cov_wedge * inv
+                self._cross_cov += rec.cov_triangle * inv
+                rec.cov_wedge += inv - 1.0
+
+        # --- sampler update (lines 29–40) --------------------------------
+        # Fresh records start with zeroed accumulators; eviction removes
+        # the evicted record (and thus its accumulators) from play.
+        return sampler.process(u, v)
+
+    def process_stream(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        for u, v in edges:
+            self.process(u, v)
+
+    def track(
+        self,
+        edges: Iterable[Tuple[Node, Node]],
+        checkpoints: Sequence[int],
+    ) -> Iterator[Tuple[int, GraphEstimates]]:
+        """Process ``edges``, yielding ``(t, estimates)`` at each checkpoint.
+
+        ``checkpoints`` are 1-based arrival indices (as produced by
+        :meth:`repro.streams.EdgeStream.checkpoints`); they must be sorted.
+        This powers the real-time tracking experiments (Figure 3, Table 3).
+        """
+        marks = list(checkpoints)
+        next_idx = 0
+        t = 0
+        for u, v in edges:
+            self.process(u, v)
+            t += 1
+            while next_idx < len(marks) and marks[next_idx] == t:
+                yield t, self.estimates()
+                next_idx += 1
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def sampler(self) -> GraphPrioritySampler:
+        """The underlying GPS reservoir (shared-sample protocol)."""
+        return self._sampler
+
+    @property
+    def triangle_estimate(self) -> float:
+        return self._triangles
+
+    @property
+    def wedge_estimate(self) -> float:
+        return self._wedges
+
+    @property
+    def clustering_estimate(self) -> float:
+        if self._wedges == 0:
+            return 0.0
+        return 3.0 * self._triangles / self._wedges
+
+    def estimates(self) -> GraphEstimates:
+        """Current snapshot estimates with variances and bounds; O(1)."""
+        sampler = self._sampler
+        return GraphEstimates.from_raw(
+            triangle_count=self._triangles,
+            triangle_variance=self._triangle_var,
+            wedge_count=self._wedges,
+            wedge_variance=self._wedge_var,
+            tri_wedge_covariance=self._cross_cov,
+            stream_position=sampler.stream_position,
+            sample_size=sampler.sample_size,
+            threshold=sampler.threshold,
+        )

@@ -1,0 +1,97 @@
+"""Local (per-node) subgraph estimation from a GPS sample.
+
+The global counts of Algorithm 2 decompose into per-node contributions,
+and the same HT algebra yields unbiased *local* estimates — the quantity
+MASCOT [27] targets and a natural GPS query: for each node ``v``,
+
+* local triangle count  ``N̂_v(△) = Σ_{△ ∋ v, △ ⊂ K̂} Ŝ_△``;
+* local wedge count     ``N̂_v(Λ) = e₂(inverse probabilities at v)``
+  (wedges centred at ``v``);
+* local clustering      ``ĉ_v = N̂_v(△) / N̂_v(Λ)`` (plug-in ratio).
+
+Each sampled triangle is credited to its three corners, enumerated once
+per sampled edge and divided by 3 exactly as in the global estimator.
+With no reservoir overflow the estimates equal the exact per-node counts
+(:func:`repro.graph.exact.per_node_triangles`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.subgraphs import _elementary_symmetric
+from repro.graph.edge import Node
+
+
+class LocalTriangleEstimator:
+    """Per-node triangle/wedge/clustering estimation (post-stream)."""
+
+    __slots__ = ("_sampler",)
+
+    def __init__(self, sampler: GraphPrioritySampler) -> None:
+        self._sampler = sampler
+
+    def node_triangles(self) -> Dict[Node, float]:
+        """Unbiased per-node triangle counts for all sampled nodes.
+
+        Nodes appearing in the reservoir but in no sampled triangle get an
+        explicit 0.0 entry (their estimate, not a missing value).
+        """
+        sample = self._sampler.sample
+        threshold = self._sampler.threshold
+        counts: Dict[Node, float] = defaultdict(float)
+        for record in sample.records():
+            counts.setdefault(record.u, 0.0)
+            counts.setdefault(record.v, 0.0)
+            inv_uv = 1.0 / record.inclusion_probability(threshold)
+            for w, rec_uw, rec_vw in sample.triangles_with(record.u, record.v):
+                estimate = (
+                    inv_uv
+                    / rec_uw.inclusion_probability(threshold)
+                    / rec_vw.inclusion_probability(threshold)
+                )
+                # Found once per triangle edge: credit each corner 1/3 of
+                # the three findings => each corner nets one full Ŝ_△.
+                counts[record.u] += estimate / 3.0
+                counts[record.v] += estimate / 3.0
+                counts[w] += estimate / 3.0
+        return dict(counts)
+
+    def node_wedges(self) -> Dict[Node, float]:
+        """Unbiased per-node (centred) wedge counts."""
+        sample = self._sampler.sample
+        threshold = self._sampler.threshold
+        wedges: Dict[Node, float] = {}
+        seen = set()
+        for record in sample.records():
+            for node in (record.u, record.v):
+                if node in seen:
+                    continue
+                seen.add(node)
+                inv = [
+                    1.0 / rec.inclusion_probability(threshold)
+                    for rec in sample.incident_records(node)
+                ]
+                wedges[node] = _elementary_symmetric(inv, 2)
+        return wedges
+
+    def local_clustering(self) -> Dict[Node, float]:
+        """Plug-in per-node clustering ``triangles / wedges`` (0 when no
+        wedge mass is sampled at the node).  Ratio estimates are biased
+        but consistent, mirroring the paper's global α̂ treatment."""
+        triangles = self.node_triangles()
+        wedges = self.node_wedges()
+        out: Dict[Node, float] = {}
+        for node, wedge_mass in wedges.items():
+            if wedge_mass > 0.0:
+                out[node] = triangles.get(node, 0.0) / wedge_mass
+            else:
+                out[node] = 0.0
+        return out
+
+    def top_nodes(self, count: int = 10) -> list:
+        """Nodes with the largest estimated triangle counts (heavy hitters)."""
+        counts = self.node_triangles()
+        return sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))[:count]

@@ -1,0 +1,143 @@
+"""Explicit martingale / snapshot toolkit (paper Secs. 3.3–3.4, 5.1–5.2).
+
+Algorithms 2 and 3 are hand-optimised specialisations of a small algebra:
+
+* an **edge estimator** ``Ŝ_i = I(i ∈ K̂) / min{1, w_i/z*}`` (Theorem 1);
+* a **subgraph product estimator** ``Ŝ_J = Π_{i∈J} Ŝ_i`` (Theorem 2);
+* a **snapshot** freezes a subgraph estimator at a stopping time —
+  retaining each constituent edge's inclusion probability at that instant
+  (Theorem 4);
+* the **covariance estimator** between two (snapshot) products,
+  ``Ĉ = Ŝ_{J1∪J2}·(Ŝ_{J1∩J2} − 1)`` with the *later* stopping time used
+  for shared edges (Theorem 5 / Eq. 17).
+
+This module implements that algebra directly.  It is the reference
+implementation used by the theory-level test-suite (which checks the
+optimised algorithms against it) and by the generalised subgraph
+estimators in :mod:`repro.core.subgraphs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.core.records import EdgeRecord
+from repro.graph.edge import EdgeKey
+
+
+def edge_inverse_probability(record: EdgeRecord, threshold: float) -> float:
+    """``1/p`` of a sampled edge at ``threshold``: the HT edge estimator."""
+    return 1.0 / record.inclusion_probability(threshold)
+
+
+def subgraph_estimate(records: Iterable[EdgeRecord], threshold: float) -> float:
+    """Product estimator ``Ŝ_J = Π 1/p_i`` for fully sampled ``J``."""
+    value = 1.0
+    for record in records:
+        value *= edge_inverse_probability(record, threshold)
+    return value
+
+
+def variance_estimate(records: Iterable[EdgeRecord], threshold: float) -> float:
+    """Unbiased variance estimator ``Ŝ_J (Ŝ_J − 1)`` (Theorem 3(iii))."""
+    s = subgraph_estimate(records, threshold)
+    return s * (s - 1.0)
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A subgraph estimator frozen at a stopping time (paper Eq. 16).
+
+    ``probabilities`` maps each constituent edge key to ``(p, time)``: the
+    edge's inclusion probability at the snapshot's stopping time, and that
+    stopping time itself (needed to resolve shared edges between two
+    snapshots at the *later* of their times, Eq. 17).
+    """
+
+    probabilities: Mapping[EdgeKey, Tuple[float, int]]
+
+    @staticmethod
+    def capture(
+        records: Iterable[EdgeRecord], threshold: float, time: int
+    ) -> "Snapshot":
+        """Freeze the current estimator values of ``records`` at ``time``."""
+        probs: Dict[EdgeKey, Tuple[float, int]] = {}
+        for record in records:
+            probs[record.key] = (record.inclusion_probability(threshold), time)
+        return Snapshot(probabilities=probs)
+
+    @property
+    def value(self) -> float:
+        """The frozen product estimate ``Π 1/p``."""
+        out = 1.0
+        for p, _time in self.probabilities.values():
+            out *= 1.0 / p
+        return out
+
+    @property
+    def edges(self) -> frozenset:
+        return frozenset(self.probabilities)
+
+    def variance(self) -> float:
+        """``Ŝ(Ŝ − 1)``: unbiased variance of the snapshot (Thm 5(iii))."""
+        s = self.value
+        return s * (s - 1.0)
+
+
+def snapshot_covariance(first: Snapshot, second: Snapshot) -> float:
+    """Unbiased covariance estimate between two snapshots (Eq. 17).
+
+    ``Ĉ = Ŝ^{T1}_{J1} Ŝ^{T2}_{J2} − Ŝ^{T1}_{J1\\J2} Ŝ^{T2}_{J2\\J1}
+    Ŝ^{T1∨T2}_{J1∩J2}``, where shared edges use their probability at the
+    *later* stopping time.  Zero whenever the snapshots share no edges
+    (Theorem 5(iv)).
+    """
+    shared = first.edges & second.edges
+    if not shared:
+        return 0.0
+    product_all = first.value * second.value
+    disjoint = 1.0
+    for key, (p, _t) in first.probabilities.items():
+        if key not in shared:
+            disjoint *= 1.0 / p
+    for key, (p, _t) in second.probabilities.items():
+        if key not in shared:
+            disjoint *= 1.0 / p
+    later_shared = 1.0
+    for key in shared:
+        p1, t1 = first.probabilities[key]
+        p2, t2 = second.probabilities[key]
+        later_shared *= 1.0 / (p1 if t1 >= t2 else p2)
+    return product_all - disjoint * later_shared
+
+
+def post_stream_covariance(
+    first: Iterable[EdgeRecord],
+    second: Iterable[EdgeRecord],
+    threshold: float,
+) -> float:
+    """Theorem 3 covariance for two post-stream products at one threshold.
+
+    Special case of :func:`snapshot_covariance` with all stopping times
+    equal: ``Ĉ = Ŝ_{J1∪J2}(Ŝ_{J1∩J2} − 1)``.
+    """
+    first_probs = {
+        r.key: r.inclusion_probability(threshold) for r in first
+    }
+    second_probs = {
+        r.key: r.inclusion_probability(threshold) for r in second
+    }
+    shared = first_probs.keys() & second_probs.keys()
+    if not shared:
+        return 0.0
+    union = 1.0
+    for key, p in first_probs.items():
+        union *= 1.0 / p
+    for key, p in second_probs.items():
+        if key not in first_probs:
+            union *= 1.0 / p
+    intersection = 1.0
+    for key in shared:
+        intersection *= 1.0 / first_probs[key]
+    return union * (intersection - 1.0)

@@ -1,0 +1,130 @@
+"""Algorithm 2 — post-stream (retrospective) estimation.
+
+At any point in the stream, the reservoir plus the threshold ``z*`` suffice
+to compute unbiased estimates of triangle count, wedge count, their
+variances (Eqs. 9–10 in the localised forms of Eqs. 13–14), the
+triangle–wedge covariance (Eq. 12) and the global clustering coefficient
+with its delta-method variance (Eq. 11).
+
+The computation is localised per sampled edge: for edge ``k = (v1, v2)``
+(``v1`` the endpoint of smaller sampled degree) we enumerate sampled
+triangles through ``k`` and sampled wedges centred at each endpoint, and
+maintain the cumulative sums the paper uses to fold pairwise covariance
+terms into a single pass (Algorithm 2 lines 14–15, 19–20, 27–28).  Total
+cost is O(Σ_k min-degree) = O(a(K̂)·m) ≤ O(m^{3/2}).
+
+Every subgraph estimator below is an *edge product* ``Ŝ_J = Π 1/p(e)``
+over the subgraph's sampled edges (Theorem 2), with
+``p(e) = min{1, w(e)/z*}``; pairs of subgraphs sharing an edge contribute
+the covariance ``Ŝ_{J1∪J2}(Ŝ_{J1∩J2} − 1)`` (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.estimates import GraphEstimates
+from repro.core.priority_sampler import GraphPrioritySampler
+
+
+class PostStreamEstimator:
+    """Retrospective triangle/wedge/clustering estimation (Algorithm 2)."""
+
+    __slots__ = ("_sampler",)
+
+    def __init__(self, sampler: GraphPrioritySampler) -> None:
+        self._sampler = sampler
+
+    @property
+    def sampler(self) -> GraphPrioritySampler:
+        return self._sampler
+
+    def estimate(self) -> GraphEstimates:
+        """Run Algorithm 2 against the sampler's current state."""
+        sampler = self._sampler
+        sample = sampler.sample
+        threshold = sampler.threshold
+
+        triangle_sum = 0.0      # Σ_k N̂_k(△)   (each triangle counted 3×)
+        triangle_var = 0.0      # Σ_k V̂_k(△)   (diagonal terms, 3× each)
+        triangle_cov = 0.0      # Σ_k Ĉ_k(△)   (pairs sharing edge k, 1× each)
+        wedge_sum = 0.0         # Σ_k N̂_k(Λ)   (each wedge counted 2×)
+        wedge_var = 0.0         # Σ_k V̂_k(Λ)
+        wedge_cov = 0.0         # Σ_k Ĉ_k(Λ)
+        cross_cov = 0.0         # V̂(△, Λ), Eq. 12, each (τ, λ) pair once
+
+        for record in sample.records():
+            inv_q = 1.0 / record.inclusion_probability(threshold)
+            v1, v2 = record.u, record.v
+            if sample.degree(v1) > sample.degree(v2):
+                v1, v2 = v2, v1
+
+            tri_cum = 0.0        # c△: Σ (q1·q2)^{-1} of triangles seen at k
+            wedge_cum = 0.0      # cΛ: Σ q_other^{-1} of wedges seen at k
+            tri_pair = 0.0       # Σ ordered-pair products for triangles at k
+            wedge_pair = 0.0     # Σ ordered-pair products for wedges at k
+            tri_local = 0.0
+            tri_var_local = 0.0
+            wedge_local = 0.0
+            wedge_var_local = 0.0
+            contained_sub = 0.0  # Σ_τ (q1q2)^{-1}(q1^{-1}+q2^{-1})
+            contained_cov = 0.0  # wedge-inside-triangle covariance (opposite wedge)
+
+            neighbors_v2 = sample.neighbors(v2)
+            for v3, rec1 in sample.neighbors(v1).items():
+                if v3 == v2:
+                    continue
+                inv1 = 1.0 / rec1.inclusion_probability(threshold)
+                rec2 = neighbors_v2.get(v3)
+                if rec2 is not None:
+                    # Triangle (k1, k2, k) through edge k.
+                    inv2 = 1.0 / rec2.inclusion_probability(threshold)
+                    pair_prod = inv1 * inv2
+                    estimate = inv_q * pair_prod
+                    tri_local += estimate
+                    tri_var_local += estimate * (estimate - 1.0)
+                    tri_pair += tri_cum * pair_prod
+                    tri_cum += pair_prod
+                    contained_sub += pair_prod * (inv1 + inv2)
+                    # Wedge (k1, k2) ⊂ τ opposite to k:  Ŝ_τ (Ŝ_λ − 1).
+                    contained_cov += estimate * (pair_prod - 1.0)
+                # Wedge (v3, v1, v2): edges (k1, k), centred at v1.
+                wedge_estimate = inv_q * inv1
+                wedge_local += wedge_estimate
+                wedge_var_local += wedge_estimate * (wedge_estimate - 1.0)
+                wedge_pair += wedge_cum * inv1
+                wedge_cum += inv1
+
+            for v3, rec2 in neighbors_v2.items():
+                if v3 == v1:
+                    continue
+                # Wedge (v1, v2, v3): edges (k2, k), centred at v2.
+                inv2 = 1.0 / rec2.inclusion_probability(threshold)
+                wedge_estimate = inv_q * inv2
+                wedge_local += wedge_estimate
+                wedge_var_local += wedge_estimate * (wedge_estimate - 1.0)
+                wedge_pair += wedge_cum * inv2
+                wedge_cum += inv2
+
+            shared_factor = inv_q * (inv_q - 1.0)
+            triangle_sum += tri_local
+            triangle_var += tri_var_local
+            triangle_cov += 2.0 * shared_factor * tri_pair
+            wedge_sum += wedge_local
+            wedge_var += wedge_var_local
+            wedge_cov += 2.0 * shared_factor * wedge_pair
+            # Triangle–wedge pairs sharing exactly edge k (excluding wedges
+            # contained in the triangle, which share two edges) ...
+            cross_cov += shared_factor * (tri_cum * wedge_cum - contained_sub)
+            # ... plus wedge-inside-triangle pairs, one (opposite) wedge per
+            # enumeration so each contained pair is counted exactly once.
+            cross_cov += contained_cov
+
+        return GraphEstimates.from_raw(
+            triangle_count=triangle_sum / 3.0,
+            triangle_variance=triangle_var / 3.0 + triangle_cov,
+            wedge_count=wedge_sum / 2.0,
+            wedge_variance=wedge_var / 2.0 + wedge_cov,
+            tri_wedge_covariance=cross_cov,
+            stream_position=sampler.stream_position,
+            sample_size=sampler.sample_size,
+            threshold=threshold,
+        )

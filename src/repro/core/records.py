@@ -1,0 +1,78 @@
+"""Sampled-edge records.
+
+Each edge retained in the GPS reservoir carries its endpoints, the weight
+``w(k) = W(k, K̂)`` computed at arrival, the priority ``r(k) = w(k)/u(k)``,
+its position in the priority min-heap, and the in-stream covariance
+accumulators ``C̃_k(△)`` / ``C̃_k(Λ)`` of Algorithm 3 (zero and unused for
+post-stream-only sampling).
+
+``__slots__`` keeps the per-edge footprint small: the reservoir stores
+exactly one record per sampled edge (paper property S4, O(|V̂| + m) space).
+"""
+
+from __future__ import annotations
+
+from repro.graph.edge import EdgeKey, Node, canonical_edge
+
+
+class EdgeRecord:
+    """One edge in the GPS reservoir (heap item + HT metadata)."""
+
+    __slots__ = (
+        "u",
+        "v",
+        "weight",
+        "priority",
+        "heap_pos",
+        "arrival",
+        "cov_triangle",
+        "cov_wedge",
+    )
+
+    def __init__(
+        self,
+        u: Node,
+        v: Node,
+        weight: float,
+        priority: float,
+        arrival: int = 0,
+    ) -> None:
+        self.u = u
+        self.v = v
+        self.weight = weight
+        self.priority = priority
+        self.heap_pos = -1
+        self.arrival = arrival
+        self.cov_triangle = 0.0
+        self.cov_wedge = 0.0
+
+    @property
+    def key(self) -> EdgeKey:
+        """Canonical undirected-edge key."""
+        return canonical_edge(self.u, self.v)
+
+    def other_endpoint(self, node: Node) -> Node:
+        """The endpoint that is not ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def inclusion_probability(self, threshold: float) -> float:
+        """Conditional HT probability ``min(1, w/z*)`` given ``threshold``.
+
+        While the reservoir has never overflowed the threshold is 0 and
+        every retained edge has probability 1 (the sample is the whole
+        prefix graph).
+        """
+        if threshold <= 0.0:
+            return 1.0
+        ratio = self.weight / threshold
+        return ratio if ratio < 1.0 else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EdgeRecord(({self.u!r}, {self.v!r}), w={self.weight:.4g}, "
+            f"r={self.priority:.4g})"
+        )

@@ -1,0 +1,107 @@
+"""Figure 2 — convergence of x̂/x with confidence bounds vs sample size.
+
+Paper: 12 panels (one per graph); x-axis sample size 10K–1M, y-axis the
+ratio x̂/x for triangle counts with 95% LB/UB, GPS in-stream.  Ratios
+converge to 1 and bounds tighten as m grows.
+
+We sweep a geometric grid of capacities per dataset and emit one
+(m, ratio, lb/x, ub/x) row per point — the numeric content of each panel.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.datasets import FIGURE2_DATASETS, get_statistics, make_graph
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_gps
+
+DEFAULT_CAPACITIES = (500, 1000, 2000, 4000, 8000, 16000)
+
+
+@dataclass(frozen=True)
+class Figure2Point:
+    dataset: str
+    capacity: int
+    fraction: float
+    ratio: float
+    lower_ratio: float
+    upper_ratio: float
+
+    @property
+    def interval_width(self) -> float:
+        return self.upper_ratio - self.lower_ratio
+
+
+def build_figure2(
+    datasets: Sequence[str] = FIGURE2_DATASETS,
+    capacities: Sequence[int] = DEFAULT_CAPACITIES,
+    stream_seed: int = 0,
+    sampler_seed: int = 1,
+) -> List[Figure2Point]:
+    points: List[Figure2Point] = []
+    for dataset in datasets:
+        graph = make_graph(dataset)
+        exact = get_statistics(dataset)
+        for capacity in capacities:
+            if capacity > exact.num_edges:
+                continue
+            result = run_gps(
+                graph,
+                exact,
+                capacity=capacity,
+                stream_seed=stream_seed,
+                sampler_seed=sampler_seed,
+                dataset=dataset,
+            )
+            estimate = result.in_stream.triangles
+            lb, ub = estimate.confidence_bounds()
+            points.append(
+                Figure2Point(
+                    dataset=dataset,
+                    capacity=capacity,
+                    fraction=result.sample_fraction,
+                    ratio=estimate.value / exact.triangles,
+                    lower_ratio=lb / exact.triangles,
+                    upper_ratio=ub / exact.triangles,
+                )
+            )
+    return points
+
+
+def format_figure2(points: Sequence[Figure2Point]) -> str:
+    body = [
+        [
+            p.dataset,
+            p.capacity,
+            f"{p.fraction:.4f}",
+            f"{p.lower_ratio:.3f}",
+            f"{p.ratio:.3f}",
+            f"{p.upper_ratio:.3f}",
+            f"{p.interval_width:.3f}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        headers=["graph", "m", "|K̂|/|K|", "LB/x", "x̂/x", "UB/x", "width"],
+        rows=body,
+        title="Figure 2 — triangle-count convergence with 95% bounds (in-stream)",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--capacities", nargs="*", type=int, default=list(DEFAULT_CAPACITIES)
+    )
+    parser.add_argument("--datasets", nargs="*", default=FIGURE2_DATASETS)
+    args = parser.parse_args(argv)
+    points = build_figure2(datasets=args.datasets, capacities=args.capacities)
+    print(format_figure2(points))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

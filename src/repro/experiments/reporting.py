@@ -1,0 +1,90 @@
+"""ASCII reporting: fixed-width tables and human-readable numbers.
+
+The harness prints paper-style tables to stdout and writes them next to
+the benchmark logs; no plotting dependency is required (figures are
+rendered as aligned numeric series, which is what the assertions and
+EXPERIMENTS.md consume anyway).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def human_count(value: Optional[float]) -> str:
+    """Format a count the way the paper's tables do: 4.9B, 667.1K, 83M.
+
+    >>> human_count(4.9e9)
+    '4.9B'
+    >>> human_count(667100)
+    '667.1K'
+    """
+    if value is None:
+        return "-"
+    magnitude = abs(value)
+    for threshold, suffix in ((1e12, "T"), (1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if magnitude >= threshold:
+            scaled = value / threshold
+            text = f"{scaled:.1f}".rstrip("0").rstrip(".")
+            return f"{text}{suffix}"
+    if magnitude >= 100 or value == int(value):
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def format_fraction(value: Optional[float], digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    align_left: Sequence[int] = (0,),
+) -> str:
+    """Render a fixed-width table; column 0 left-aligned by default."""
+    rendered: List[List[str]] = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    left = set(align_left)
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for idx, cell in enumerate(cells):
+            if idx in left:
+                parts.append(cell.ljust(widths[idx]))
+            else:
+                parts.append(cell.rjust(widths[idx]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def save_report(text: str, path: Union[str, Path]) -> Path:
+    """Write a report next to the benchmark logs; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def _render(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

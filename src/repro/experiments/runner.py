@@ -1,0 +1,283 @@
+"""Experiment orchestration: single-configuration runs and tracking.
+
+Implements the paper's experimental protocol (Sec. 6):
+
+* streams are seeded random permutations of a graph's edge set;
+* GPS post-stream and in-stream estimation run on *the same sample* —
+  one :class:`~repro.core.in_stream.InStreamEstimator` pass supplies both
+  (post-stream estimates are computed from its reservoir), exactly the
+  "same set of edges with the same random seeds" setup;
+* baselines are driven through the shared
+  :class:`~repro.baselines.base.StreamingTriangleCounter` protocol with
+  matched memory budgets;
+* tracking runs record estimates at fixed checkpoints alongside exact
+  prefix counts from the incremental counter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.baselines.jha import JhaSeshadhriPinar
+from repro.baselines.mascot import Mascot, MascotBasic
+from repro.baselines.neighborhood import NeighborhoodSampling
+from repro.baselines.sample_hold import GraphSampleHold
+from repro.baselines.triest import TriestBase, TriestImpr
+from repro.core.estimates import GraphEstimates
+from repro.core.in_stream import InStreamEstimator
+from repro.core.post_stream import PostStreamEstimator
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.weights import WeightFunction
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.exact import ExactStreamCounter, GraphStatistics
+from repro.stats.metrics import absolute_relative_error
+from repro.streams.stream import EdgeStream
+
+
+@dataclass(frozen=True)
+class GpsRunResult:
+    """One shared-sample GPS run: in-stream + post-stream estimates."""
+
+    capacity: int
+    exact: GraphStatistics
+    in_stream: GraphEstimates
+    post_stream: GraphEstimates
+    update_time_us: float
+    dataset: Optional[str] = None
+
+    @property
+    def sample_fraction(self) -> float:
+        return self.in_stream.sample_size / max(1, self.exact.num_edges)
+
+
+def run_gps(
+    graph: AdjacencyGraph,
+    exact: GraphStatistics,
+    capacity: int,
+    stream_seed: int = 0,
+    sampler_seed: int = 1,
+    weight_fn: Optional[WeightFunction] = None,
+    dataset: Optional[str] = None,
+) -> GpsRunResult:
+    """One full GPS pass; returns both estimation flavours on one sample."""
+    stream = EdgeStream.from_graph(graph, seed=stream_seed)
+    estimator = InStreamEstimator(capacity, weight_fn=weight_fn, seed=sampler_seed)
+    started = time.perf_counter()
+    estimator.process_stream(stream)
+    elapsed = time.perf_counter() - started
+    in_stream = estimator.estimates()
+    post_stream = PostStreamEstimator(estimator.sampler).estimate()
+    per_edge_us = elapsed / max(1, len(stream)) * 1e6
+    return GpsRunResult(
+        capacity=capacity,
+        exact=exact,
+        in_stream=in_stream,
+        post_stream=post_stream,
+        update_time_us=per_edge_us,
+        dataset=dataset,
+    )
+
+
+# ----------------------------------------------------------------------
+# Baselines (Table 2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BaselineRunResult:
+    """A baseline's final triangle estimate against the exact count."""
+
+    method: str
+    estimate: float
+    actual: float
+    update_time_us: float
+    memory_edges: int
+
+    @property
+    def are(self) -> float:
+        return absolute_relative_error(self.estimate, self.actual)
+
+
+BASELINE_METHODS = (
+    "gps-post",
+    "gps-in-stream",
+    "triest",
+    "triest-impr",
+    "mascot",
+    "mascot-c",
+    "nsamp",
+    "jsp",
+    "gsh",
+)
+
+
+def run_baseline(
+    method: str,
+    graph: AdjacencyGraph,
+    exact: GraphStatistics,
+    budget: int,
+    stream_seed: int = 0,
+    seed: int = 1,
+) -> BaselineRunResult:
+    """Drive one method over one stream with a ``budget``-edge memory.
+
+    ``budget`` is interpreted per method the way the paper matches them:
+    reservoir capacity (GPS/TRIEST), estimator instances (NSAMP), expected
+    sample size (MASCOT/gSH: probability = budget/|K|), split reservoirs
+    (JSP: half edges, half wedges).
+    """
+    stream = EdgeStream.from_graph(graph, seed=stream_seed)
+    counter, memory = _make_counter(method, budget, len(stream), exact, seed)
+    started = time.perf_counter()
+    for u, v in stream:
+        counter.process(u, v)
+    elapsed = time.perf_counter() - started
+    if method == "gps-post":
+        estimate = PostStreamEstimator(counter.sampler).estimate().triangles.value
+    elif method == "gps-in-stream":
+        estimate = counter.triangle_estimate
+    else:
+        estimate = counter.triangle_estimate
+    return BaselineRunResult(
+        method=method,
+        estimate=estimate,
+        actual=exact.triangles,
+        update_time_us=elapsed / max(1, len(stream)) * 1e6,
+        memory_edges=memory,
+    )
+
+
+class _GpsCounterAdapter(InStreamEstimator):
+    """InStreamEstimator already satisfies the counter protocol."""
+
+
+def _make_counter(
+    method: str,
+    budget: int,
+    stream_length: int,
+    exact: GraphStatistics,
+    seed: int,
+):
+    probability = min(1.0, budget / max(1, stream_length))
+    if method == "gps-post":
+        sampler = GraphPrioritySampler(budget, seed=seed)
+        return _SamplerAdapter(sampler), budget
+    if method == "gps-in-stream":
+        return _GpsCounterAdapter(budget, seed=seed), budget
+    if method == "triest":
+        return TriestBase(budget, seed=seed), budget
+    if method == "triest-impr":
+        return TriestImpr(budget, seed=seed), budget
+    if method == "mascot":
+        return Mascot(probability, seed=seed), budget
+    if method == "mascot-c":
+        return MascotBasic(probability, seed=seed), budget
+    if method == "nsamp":
+        return NeighborhoodSampling(budget, seed=seed), budget
+    if method == "jsp":
+        half = max(2, budget // 2)
+        return JhaSeshadhriPinar(half, half, seed=seed), budget
+    if method == "gsh":
+        # Hold-everything-adjacent explodes memory; use q = 2p capped at 1.
+        return GraphSampleHold(probability, min(1.0, 2 * probability), seed=seed), budget
+    raise ValueError(f"unknown method {method!r}; known: {BASELINE_METHODS}")
+
+
+class _SamplerAdapter:
+    """Expose a bare GPS sampler through the counter protocol."""
+
+    __slots__ = ("sampler",)
+
+    def __init__(self, sampler: GraphPrioritySampler) -> None:
+        self.sampler = sampler
+
+    def process(self, u, v) -> None:
+        self.sampler.process(u, v)
+
+    @property
+    def triangle_estimate(self) -> float:
+        return PostStreamEstimator(self.sampler).estimate().triangles.value
+
+
+# ----------------------------------------------------------------------
+# Tracking (Table 3, Figure 3)
+# ----------------------------------------------------------------------
+@dataclass
+class TrackedSeries:
+    """Aligned time series from one tracking run."""
+
+    checkpoints: List[int] = field(default_factory=list)
+    exact_triangles: List[int] = field(default_factory=list)
+    exact_clustering: List[float] = field(default_factory=list)
+    in_stream: List[GraphEstimates] = field(default_factory=list)
+    post_stream: List[GraphEstimates] = field(default_factory=list)
+
+    @property
+    def in_stream_triangles(self) -> List[float]:
+        return [e.triangles.value for e in self.in_stream]
+
+    @property
+    def post_stream_triangles(self) -> List[float]:
+        return [e.triangles.value for e in self.post_stream]
+
+
+def track_gps(
+    graph: AdjacencyGraph,
+    capacity: int,
+    num_checkpoints: int = 20,
+    stream_seed: int = 0,
+    sampler_seed: int = 1,
+    weight_fn: Optional[WeightFunction] = None,
+    include_post: bool = True,
+) -> TrackedSeries:
+    """Track GPS in-stream (and optionally post-stream) estimates vs time.
+
+    Exact prefix counts come from the O(min-degree) incremental counter, so
+    ground truth is available at every checkpoint without recounting.
+    """
+    stream = EdgeStream.from_graph(graph, seed=stream_seed)
+    marks = stream.checkpoints(num_checkpoints)
+    mark_set = set(marks)
+    estimator = InStreamEstimator(capacity, weight_fn=weight_fn, seed=sampler_seed)
+    exact = ExactStreamCounter()
+    series = TrackedSeries()
+    post = PostStreamEstimator(estimator.sampler)
+    t = 0
+    for u, v in stream:
+        estimator.process(u, v)
+        exact.process(u, v)
+        t += 1
+        if t in mark_set:
+            series.checkpoints.append(t)
+            series.exact_triangles.append(exact.triangles)
+            series.exact_clustering.append(exact.clustering)
+            series.in_stream.append(estimator.estimates())
+            if include_post:
+                series.post_stream.append(post.estimate())
+    return series
+
+
+def track_counter(
+    counter,
+    graph: AdjacencyGraph,
+    num_checkpoints: int = 20,
+    stream_seed: int = 0,
+) -> tuple:
+    """Track any protocol counter; returns (checkpoints, exact, estimates)."""
+    stream = EdgeStream.from_graph(graph, seed=stream_seed)
+    marks = stream.checkpoints(num_checkpoints)
+    mark_set = set(marks)
+    exact = ExactStreamCounter()
+    checkpoints: List[int] = []
+    exact_series: List[int] = []
+    estimate_series: List[float] = []
+    t = 0
+    for u, v in stream:
+        counter.process(u, v)
+        exact.process(u, v)
+        t += 1
+        if t in mark_set:
+            checkpoints.append(t)
+            exact_series.append(exact.triangles)
+            estimate_series.append(counter.triangle_estimate)
+    return checkpoints, exact_series, estimate_series

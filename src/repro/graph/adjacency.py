@@ -1,0 +1,138 @@
+"""Hash-based undirected simple graph.
+
+:class:`AdjacencyGraph` is the static-graph substrate used throughout the
+library: ground-truth computation, synthetic dataset generation and the
+sources of edge streams.  It stores a dict-of-sets adjacency structure, the
+same shape the paper assumes for O(min-degree) common-neighbour queries
+(Sec. 3.2, property S4).
+
+Self loops are rejected and parallel edges collapse, matching the paper's
+"undirected, unweighted, simplified graph without self loops".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.graph.edge import EdgeKey, Node, canonical_edge, is_self_loop
+
+
+class AdjacencyGraph:
+    """Undirected simple graph backed by a dict-of-sets adjacency map."""
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, edges: Iterable[Tuple[Node, Node]] = ()) -> None:
+        self._adj: Dict[Node, Set[Node]] = {}
+        self._num_edges = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+    def add_node(self, v: Node) -> None:
+        """Ensure ``v`` exists (possibly with no incident edges)."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: Node, v: Node) -> bool:
+        """Add edge ``{u, v}``; returns True if the edge was new.
+
+        Self loops are ignored (returns False), duplicates collapse.
+        """
+        if is_self_loop(u, v):
+            return False
+        nbrs_u = self._adj.setdefault(u, set())
+        if v in nbrs_u:
+            return False
+        nbrs_u.add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove edge ``{u, v}``; raises KeyError when absent."""
+        try:
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+        except KeyError:
+            raise KeyError(f"edge ({u!r}, {v!r}) not in graph") from None
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def degree(self, v: Node) -> int:
+        return len(self._adj.get(v, ()))
+
+    def neighbors(self, v: Node) -> Set[Node]:
+        """The neighbour set of ``v`` (a live view; do not mutate)."""
+        return self._adj.get(v, _EMPTY_SET)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Iterate each undirected edge exactly once, in canonical form."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                edge = canonical_edge(u, v)
+                if edge[0] == u:
+                    yield edge
+
+    def edge_list(self) -> List[EdgeKey]:
+        """All edges as a list (canonical, deterministic per dict order)."""
+        return list(self.edges())
+
+    def common_neighbors(self, u: Node, v: Node) -> Set[Node]:
+        """Nodes adjacent to both ``u`` and ``v``; O(min degree)."""
+        nbrs_u = self._adj.get(u, _EMPTY_SET)
+        nbrs_v = self._adj.get(v, _EMPTY_SET)
+        if len(nbrs_u) > len(nbrs_v):
+            nbrs_u, nbrs_v = nbrs_v, nbrs_u
+        return {w for w in nbrs_u if w in nbrs_v}
+
+    def triangles_through(self, u: Node, v: Node) -> int:
+        """Number of triangles the edge ``{u, v}`` would close/participate in."""
+        return len(self.common_neighbors(u, v))
+
+    def subgraph(self, nodes: Iterable[Node]) -> "AdjacencyGraph":
+        """Induced subgraph on ``nodes`` (copies edges)."""
+        keep = set(nodes)
+        sub = AdjacencyGraph()
+        for v in keep:
+            sub.add_node(v)
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v)
+        return sub
+
+    def copy(self) -> "AdjacencyGraph":
+        out = AdjacencyGraph()
+        out._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        out._num_edges = self._num_edges
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdjacencyGraph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+_EMPTY_SET: Set[Node] = frozenset()  # type: ignore[assignment]

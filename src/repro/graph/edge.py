@@ -1,0 +1,35 @@
+"""Canonical undirected-edge helpers.
+
+The stream model identifies each undirected edge with an unordered node
+pair.  Everything downstream (reservoir membership, duplicate detection,
+exact counters) relies on a single canonical representation, defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+Node = Hashable
+EdgeKey = Tuple[Node, Node]
+
+
+def canonical_edge(u: Node, v: Node) -> EdgeKey:
+    """Return the canonical (ordered) key for the undirected edge ``{u, v}``.
+
+    Nodes of mixed non-comparable types fall back to ordering on ``repr``,
+    so any hashable node labels can be used.
+
+    >>> canonical_edge(3, 1)
+    (1, 3)
+    >>> canonical_edge("b", "a")
+    ('a', 'b')
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def is_self_loop(u: Node, v: Node) -> bool:
+    """True when both endpoints are the same node (edge must be dropped)."""
+    return u == v

@@ -1,0 +1,12 @@
+"""Indexed binary min-heap used as the GPS priority queue.
+
+The Graph Priority Sampling reservoir (paper Sec. 3.2) keeps the ``m``
+highest-priority edges and needs O(1) access to the *lowest* priority item
+plus O(log m) insertion and removal.  :class:`IndexedMinHeap` provides
+exactly that, with position tracking so that arbitrary items can also be
+removed or re-prioritised in O(log m).
+"""
+
+from repro.heap.binary_heap import HeapItem, IndexedMinHeap
+
+__all__ = ["HeapItem", "IndexedMinHeap"]

@@ -1,0 +1,199 @@
+"""Array-backed binary min-heap with position tracking.
+
+The heap stores arbitrary *items* that expose two attributes:
+
+``priority``
+    A comparable value (float).  The heap orders items so the smallest
+    priority sits at the root.
+
+``heap_pos``
+    Managed by the heap: the item's current index in the backing array, or
+    ``-1`` when the item is not in the heap.  Callers must not mutate it.
+
+This mirrors the data structure described in the paper (Sec. 3.2,
+"Implementation and data structure"): edges live in a standard array and
+parent/child relations are implied by array positions, giving O(1) access to
+the lowest-priority edge and O(log m) insertion/deletion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Protocol
+
+
+class HeapItem(Protocol):
+    """Structural type for items managed by :class:`IndexedMinHeap`."""
+
+    priority: float
+    heap_pos: int
+
+
+class IndexedMinHeap:
+    """Binary min-heap keyed on ``item.priority`` with O(log n) removal.
+
+    Examples
+    --------
+    >>> from repro.core.records import EdgeRecord
+    >>> heap = IndexedMinHeap()
+    >>> for pri in (5.0, 1.0, 3.0):
+    ...     heap.push(EdgeRecord(0, 1, weight=1.0, priority=pri))
+    >>> heap.peek().priority
+    1.0
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: List[HeapItem] = []
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[HeapItem]:
+        """Iterate items in arbitrary (array) order."""
+        return iter(self._items)
+
+    def __contains__(self, item: HeapItem) -> bool:
+        pos = item.heap_pos
+        return 0 <= pos < len(self._items) and self._items[pos] is item
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def push(self, item: HeapItem) -> None:
+        """Insert ``item``; O(log n)."""
+        if item in self:
+            raise ValueError("item is already in the heap")
+        self._items.append(item)
+        item.heap_pos = len(self._items) - 1
+        self._sift_up(item.heap_pos)
+
+    def peek(self) -> HeapItem:
+        """Return (without removing) the minimum-priority item; O(1)."""
+        if not self._items:
+            raise IndexError("peek from an empty heap")
+        return self._items[0]
+
+    def pop(self) -> HeapItem:
+        """Remove and return the minimum-priority item; O(log n)."""
+        if not self._items:
+            raise IndexError("pop from an empty heap")
+        return self._remove_at(0)
+
+    def remove(self, item: HeapItem) -> None:
+        """Remove an arbitrary ``item`` from the heap; O(log n)."""
+        if item not in self:
+            raise ValueError("item is not in the heap")
+        self._remove_at(item.heap_pos)
+
+    def update_priority(self, item: HeapItem, priority: float) -> None:
+        """Change ``item``'s priority and restore heap order; O(log n)."""
+        if item not in self:
+            raise ValueError("item is not in the heap")
+        old = item.priority
+        item.priority = priority
+        if priority < old:
+            self._sift_up(item.heap_pos)
+        elif priority > old:
+            self._sift_down(item.heap_pos)
+
+    def pushpop(self, item: HeapItem) -> HeapItem:
+        """Push ``item`` then pop the minimum, in one O(log n) operation.
+
+        Returns the popped item (possibly ``item`` itself when it carries
+        the smallest priority).  This is the GPS "provisional inclusion"
+        step: admit the arriving edge, then discard whichever of the m+1
+        edges now has the lowest priority.
+        """
+        if self._items and self._items[0].priority < item.priority:
+            lowest = self._items[0]
+            lowest.heap_pos = -1
+            self._items[0] = item
+            item.heap_pos = 0
+            self._sift_down(0)
+            return lowest
+        item.heap_pos = -1
+        return item
+
+    def clear(self) -> None:
+        for item in self._items:
+            item.heap_pos = -1
+        self._items.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _remove_at(self, pos: int) -> HeapItem:
+        items = self._items
+        removed = items[pos]
+        removed.heap_pos = -1
+        last = items.pop()
+        if pos < len(items):
+            items[pos] = last
+            last.heap_pos = pos
+            if last.priority < removed.priority:
+                self._sift_up(pos)
+            else:
+                self._sift_down(pos)
+        return removed
+
+    def _sift_up(self, pos: int) -> None:
+        items = self._items
+        item = items[pos]
+        while pos > 0:
+            parent_pos = (pos - 1) >> 1
+            parent = items[parent_pos]
+            if item.priority >= parent.priority:
+                break
+            items[pos] = parent
+            parent.heap_pos = pos
+            pos = parent_pos
+        items[pos] = item
+        item.heap_pos = pos
+
+    def _sift_down(self, pos: int) -> None:
+        items = self._items
+        size = len(items)
+        item = items[pos]
+        while True:
+            child_pos = 2 * pos + 1
+            if child_pos >= size:
+                break
+            right = child_pos + 1
+            if right < size and items[right].priority < items[child_pos].priority:
+                child_pos = right
+            child = items[child_pos]
+            if item.priority <= child.priority:
+                break
+            items[pos] = child
+            child.heap_pos = pos
+            pos = child_pos
+        items[pos] = item
+        item.heap_pos = pos
+
+    # ------------------------------------------------------------------
+    # Diagnostics (used by the test suite)
+    # ------------------------------------------------------------------
+    def is_valid(self) -> bool:
+        """Check the heap invariant and position map; O(n)."""
+        items = self._items
+        for pos, item in enumerate(items):
+            if item.heap_pos != pos:
+                return False
+            child = 2 * pos + 1
+            if child < len(items) and items[child].priority < item.priority:
+                return False
+            child += 1
+            if child < len(items) and items[child].priority < item.priority:
+                return False
+        return True
+
+    def min_priority(self) -> Optional[float]:
+        """Priority of the root, or ``None`` when empty."""
+        return self._items[0].priority if self._items else None

@@ -1,0 +1,46 @@
+"""Statistics substrate: HT estimation, confidence intervals, error metrics.
+
+Everything the estimation layer and the experiment harness need on the
+statistics side, implemented from scratch:
+
+* Horvitz–Thompson inverse-probability estimators (the algebra behind every
+  count estimate in the paper);
+* normal confidence intervals via a from-scratch inverse normal CDF
+  (paper Sec. 6: ``X̂ ± 1.96·sqrt(Var[X̂])``);
+* the delta-method variance for ratio estimators (paper Eq. 11, used for
+  the global clustering coefficient);
+* error metrics: ARE (Sec. 6), MARE and max-ARE (Table 3), NRMSE, CI
+  coverage;
+* Welford running moments for Monte-Carlo unbiasedness checks.
+"""
+
+from repro.stats.confidence import confidence_interval, inverse_normal_cdf
+from repro.stats.horvitz_thompson import (
+    ht_estimate,
+    ht_variance_with_replacement,
+    inverse_probability,
+)
+from repro.stats.metrics import (
+    absolute_relative_error,
+    ci_coverage,
+    max_absolute_relative_error,
+    mean_absolute_relative_error,
+    normalized_rmse,
+)
+from repro.stats.running import RunningMoments
+from repro.stats.variance import ratio_variance_delta
+
+__all__ = [
+    "confidence_interval",
+    "inverse_normal_cdf",
+    "ht_estimate",
+    "ht_variance_with_replacement",
+    "inverse_probability",
+    "absolute_relative_error",
+    "ci_coverage",
+    "max_absolute_relative_error",
+    "mean_absolute_relative_error",
+    "normalized_rmse",
+    "RunningMoments",
+    "ratio_variance_delta",
+]

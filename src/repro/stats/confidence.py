@@ -1,0 +1,93 @@
+"""Normal-approximation confidence intervals.
+
+The paper reports 95% bounds ``X̂ ± 1.96·sqrt(Var[X̂])`` (Sec. 6, step 4).
+We support arbitrary levels via a from-scratch inverse normal CDF (the
+Acklam rational approximation, |relative error| < 1.15e-9) so the core
+library has no scipy dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+# Coefficients of Peter Acklam's rational approximation to the inverse
+# normal CDF.
+_A = (
+    -3.969683028665376e01,
+    2.209460984245205e02,
+    -2.759285104469687e02,
+    1.383577518672690e02,
+    -3.066479806614716e01,
+    2.506628277459239e00,
+)
+_B = (
+    -5.447609879822406e01,
+    1.615858368580409e02,
+    -1.556989798598866e02,
+    6.680131188771972e01,
+    -1.328068155288572e01,
+)
+_C = (
+    -7.784894002430293e-03,
+    -3.223964580411365e-01,
+    -2.400758277161838e00,
+    -2.549732539343734e00,
+    4.374664141464968e00,
+    2.938163982698783e00,
+)
+_D = (
+    7.784695709041462e-03,
+    3.224671290700398e-01,
+    2.445134137142996e00,
+    3.754408661907416e00,
+)
+
+_LOW = 0.02425
+_HIGH = 1.0 - _LOW
+
+
+def inverse_normal_cdf(p: float) -> float:
+    """Quantile function of the standard normal distribution.
+
+    >>> round(inverse_normal_cdf(0.975), 2)
+    1.96
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be strictly between 0 and 1")
+    if p < _LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (
+            ((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4]) * q + _C[5]
+        ) / ((((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0)
+    if p > _HIGH:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(
+            ((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4]) * q + _C[5]
+        ) / ((((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (
+        (((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r + _A[4]) * r + _A[5]) * q
+    ) / (((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r + _B[4]) * r + 1.0)
+
+
+def z_score(level: float) -> float:
+    """Two-sided normal critical value for a confidence ``level`` in (0, 1)."""
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must be strictly between 0 and 1")
+    return inverse_normal_cdf(0.5 + level / 2.0)
+
+
+def confidence_interval(
+    estimate: float, variance: float, level: float = 0.95
+) -> Tuple[float, float]:
+    """Normal CI ``estimate ± z·sqrt(variance)``.
+
+    Negative variance estimates (possible for unbiased variance estimators
+    in small samples) are clamped to zero, collapsing the interval onto the
+    point estimate.
+    """
+    variance = max(0.0, variance)
+    half_width = z_score(level) * math.sqrt(variance)
+    return estimate - half_width, estimate + half_width

@@ -1,0 +1,53 @@
+"""Horvitz–Thompson estimation helpers.
+
+The HT (inverse-probability) estimator underlies every count estimate in
+the paper: a sampled item with inclusion probability ``p`` contributes
+``1/p`` to the estimated population total.  These helpers centralise the
+algebra (with guards for degenerate probabilities) for use by the GPS
+estimators and the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def inverse_probability(p: float) -> float:
+    """``1/p`` with validation; the weight of one sampled item."""
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"inclusion probability must be in (0, 1], got {p}")
+    return 1.0 / p
+
+
+def ht_estimate(probabilities: Iterable[float]) -> float:
+    """HT total: Σ 1/p_i over the *sampled* items."""
+    return sum(inverse_probability(p) for p in probabilities)
+
+
+def ht_single_variance_term(p: float) -> float:
+    """Unbiased per-item variance term ``(1/p)·(1/p − 1)``.
+
+    This is the paper's ``Ŝ(Ŝ−1)`` with ``Ŝ = 1/p`` for a single sampled
+    item (Theorem 3(iii) specialised to |J| = 1).
+    """
+    inv = inverse_probability(p)
+    return inv * (inv - 1.0)
+
+
+def ht_variance_with_replacement(
+    probabilities: Sequence[float],
+) -> float:
+    """Independent-sampling variance estimate: Σ (1/p_i)(1/p_i − 1).
+
+    Ignores covariance terms; exact for independent per-item sampling
+    (e.g. MASCOT), conservative-in-expectation otherwise.
+    """
+    return sum(ht_single_variance_term(p) for p in probabilities)
+
+
+def product_estimate(probabilities: Iterable[float]) -> float:
+    """Subgraph product estimator ``Π 1/p_i`` (paper Theorem 2)."""
+    value = 1.0
+    for p in probabilities:
+        value *= inverse_probability(p)
+    return value

@@ -1,0 +1,82 @@
+"""Error metrics used throughout the paper's evaluation.
+
+* ARE — absolute relative error ``|x̂ − x| / x`` (Sec. 6, step 3);
+* MARE — mean ARE over a tracked time series (Table 3);
+* max-ARE — worst-case ARE over a time series (Table 3);
+* NRMSE — normalised root-mean-square error (for Monte-Carlo summaries);
+* CI coverage — fraction of runs whose interval contains the truth.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import Sequence, Tuple
+
+
+def absolute_relative_error(estimate: float, actual: float) -> float:
+    """ARE = |estimate − actual| / actual (0 when both are zero)."""
+    if actual == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - actual) / abs(actual)
+
+
+def mean_absolute_relative_error(
+    estimates: Sequence[float], actuals: Sequence[float]
+) -> float:
+    """MARE over a paired series; zero-actual points are skipped.
+
+    Tracking experiments start from an empty graph where the true count is
+    zero for a while; the paper's MARE is only meaningful once the truth is
+    non-zero, so those leading points are excluded.
+    """
+    _check_paired(estimates, actuals)
+    errors = [
+        absolute_relative_error(e, a)
+        for e, a in zip(estimates, actuals)
+        if a != 0
+    ]
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)
+
+
+def max_absolute_relative_error(
+    estimates: Sequence[float], actuals: Sequence[float]
+) -> float:
+    """Maximum ARE over a paired series (zero-actual points skipped)."""
+    _check_paired(estimates, actuals)
+    errors = [
+        absolute_relative_error(e, a)
+        for e, a in zip(estimates, actuals)
+        if a != 0
+    ]
+    if not errors:
+        return 0.0
+    return max(errors)
+
+
+def normalized_rmse(estimates: Sequence[float], actual: float) -> float:
+    """sqrt(mean((x̂ − x)²)) / x for repeated estimates of one truth."""
+    if not estimates:
+        raise ValueError("need at least one estimate")
+    if actual == 0:
+        raise ValueError("actual must be non-zero for NRMSE")
+    mse = sum((e - actual) ** 2 for e in estimates) / len(estimates)
+    return sqrt(mse) / abs(actual)
+
+
+def ci_coverage(
+    intervals: Sequence[Tuple[float, float]], actual: float
+) -> float:
+    """Fraction of (lb, ub) intervals containing ``actual``."""
+    if not intervals:
+        raise ValueError("need at least one interval")
+    hits = sum(1 for lb, ub in intervals if lb <= actual <= ub)
+    return hits / len(intervals)
+
+
+def _check_paired(estimates: Sequence[float], actuals: Sequence[float]) -> None:
+    if len(estimates) != len(actuals):
+        raise ValueError(
+            f"series lengths differ: {len(estimates)} vs {len(actuals)}"
+        )

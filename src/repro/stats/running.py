@@ -1,0 +1,85 @@
+"""Welford running moments.
+
+Used by the Monte-Carlo unbiasedness tests (mean over many independent
+sampling runs must approach the exact count) and by benches that summarise
+repeated measurements without storing them all.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+
+
+class RunningMoments:
+    """Numerically stable running mean/variance (Welford's algorithm)."""
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n−1 denominator)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        return sqrt(self.variance)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean."""
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self.std / sqrt(self._count)
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._count == 0:
+            return "RunningMoments(empty)"
+        return (
+            f"RunningMoments(n={self._count}, mean={self._mean:.6g}, "
+            f"std={self.std:.6g})"
+        )

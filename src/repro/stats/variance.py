@@ -1,0 +1,52 @@
+"""Delta-method variance for ratio estimators (paper Eq. 11).
+
+The global clustering coefficient is estimated by the ratio
+``α̂ = 3·N̂(△)/N̂(Λ)``.  The paper approximates its variance with a
+first-order Taylor (delta-method) expansion:
+
+    Var(N̂(△)/N̂(Λ)) ≈ Var(N̂(△))/N̂(Λ)²
+                      + N̂(△)²·Var(N̂(Λ))/N̂(Λ)⁴
+                      − 2·N̂(△)·Cov(N̂(△), N̂(Λ))/N̂(Λ)³
+"""
+
+from __future__ import annotations
+
+
+def ratio_variance_delta(
+    numerator: float,
+    denominator: float,
+    variance_numerator: float,
+    variance_denominator: float,
+    covariance: float = 0.0,
+) -> float:
+    """Delta-method variance of ``numerator / denominator``.
+
+    Returns 0 when the denominator estimate is 0 (ratio undefined; callers
+    treat the point estimate as 0 with no spread).  Negative inputs for the
+    variances are clamped at 0; the result is clamped at 0 as well since a
+    variance approximation below zero carries no information.
+    """
+    if denominator == 0:
+        return 0.0
+    variance_numerator = max(0.0, variance_numerator)
+    variance_denominator = max(0.0, variance_denominator)
+    d2 = denominator * denominator
+    value = (
+        variance_numerator / d2
+        + (numerator * numerator) * variance_denominator / (d2 * d2)
+        - 2.0 * numerator * covariance / (d2 * denominator)
+    )
+    return max(0.0, value)
+
+
+def clustering_variance(
+    triangles: float,
+    wedges: float,
+    variance_triangles: float,
+    variance_wedges: float,
+    covariance: float = 0.0,
+) -> float:
+    """Variance of α̂ = 3·N̂(△)/N̂(Λ) via the delta method (Eq. 11)."""
+    return 9.0 * ratio_variance_delta(
+        triangles, wedges, variance_triangles, variance_wedges, covariance
+    )

@@ -1,0 +1,27 @@
+"""Graph-stream substrate.
+
+The paper's stream model presents the edges of a graph in arbitrary order,
+each processed exactly once (Sec. 1).  Experiments generate streams by
+randomly permuting a graph's edge set (Sec. 6).  :class:`EdgeStream`
+implements that model with explicit seeding so every run is reproducible,
+and :mod:`repro.streams.transforms` provides the usual stream hygiene
+(simplification, take/skip, relabelling, synthetic timestamps).
+"""
+
+from repro.streams.stream import EdgeStream
+from repro.streams.transforms import (
+    map_nodes,
+    simplify_edges,
+    skip,
+    take,
+    with_timestamps,
+)
+
+__all__ = [
+    "EdgeStream",
+    "map_nodes",
+    "simplify_edges",
+    "skip",
+    "take",
+    "with_timestamps",
+]

@@ -1,0 +1,77 @@
+"""Stream transforms: hygiene and reshaping for edge streams.
+
+The paper assumes simplified graphs (unique, loop-free edges).  Real edge
+lists rarely guarantee that, so :func:`simplify_edges` is the standard
+pre-processing step; the remaining helpers cover common experiment plumbing
+(prefix/suffix selection, relabelling, synthetic timestamps).
+
+All transforms are lazy generators over ``(u, v)`` pairs and compose.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Callable, Dict, Iterable, Iterator, Set, Tuple
+
+from repro.graph.edge import EdgeKey, Node, canonical_edge, is_self_loop
+
+
+def simplify_edges(
+    edges: Iterable[Tuple[Node, Node]],
+) -> Iterator[Tuple[Node, Node]]:
+    """Drop self loops and repeat occurrences of an undirected edge.
+
+    The first arrival of each undirected edge is kept with its original
+    endpoint order; later duplicates (in either orientation) are dropped.
+    """
+    seen: Set[EdgeKey] = set()
+    for u, v in edges:
+        if is_self_loop(u, v):
+            continue
+        key = canonical_edge(u, v)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield u, v
+
+
+def take(edges: Iterable[Tuple[Node, Node]], count: int) -> Iterator[Tuple[Node, Node]]:
+    """The first ``count`` arrivals."""
+    return islice(iter(edges), count)
+
+
+def skip(edges: Iterable[Tuple[Node, Node]], count: int) -> Iterator[Tuple[Node, Node]]:
+    """Everything after the first ``count`` arrivals."""
+    return islice(iter(edges), count, None)
+
+
+def map_nodes(
+    edges: Iterable[Tuple[Node, Node]],
+    mapping: Callable[[Node], Node],
+) -> Iterator[Tuple[Node, Node]]:
+    """Apply ``mapping`` to both endpoints of every edge."""
+    for u, v in edges:
+        yield mapping(u), mapping(v)
+
+
+def relabel_streaming(
+    edges: Iterable[Tuple[Node, Node]],
+) -> Iterator[Tuple[int, int]]:
+    """Relabel nodes to consecutive ints in first-appearance order."""
+    labels: Dict[Node, int] = {}
+    for u, v in edges:
+        iu = labels.setdefault(u, len(labels))
+        iv = labels.setdefault(v, len(labels))
+        yield iu, iv
+
+
+def with_timestamps(
+    edges: Iterable[Tuple[Node, Node]],
+    start: float = 0.0,
+    interval: float = 1.0,
+) -> Iterator[Tuple[float, Node, Node]]:
+    """Attach synthetic arrival timestamps ``start + t·interval``."""
+    timestamp = start
+    for u, v in edges:
+        yield timestamp, u, v
+        timestamp += interval

@@ -1,0 +1,129 @@
+"""Tests for the AdjacencyGraph substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.adjacency import AdjacencyGraph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=120
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = AdjacencyGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_from_edges(self):
+        graph = AdjacencyGraph([(0, 1), (1, 2)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_self_loops_ignored(self):
+        graph = AdjacencyGraph([(1, 1), (0, 1)])
+        assert graph.num_edges == 1
+        assert not graph.has_edge(1, 1)
+
+    def test_duplicates_collapse(self):
+        graph = AdjacencyGraph([(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_add_edge_returns_newness(self):
+        graph = AdjacencyGraph()
+        assert graph.add_edge(0, 1) is True
+        assert graph.add_edge(1, 0) is False
+        assert graph.add_edge(2, 2) is False
+
+    def test_add_node_isolated(self):
+        graph = AdjacencyGraph()
+        graph.add_node(7)
+        assert 7 in graph
+        assert graph.degree(7) == 0
+        assert graph.num_nodes == 1
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = AdjacencyGraph([(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert graph.num_edges == 1
+        assert not graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+
+    def test_remove_missing_raises(self):
+        graph = AdjacencyGraph([(0, 1)])
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 2)
+
+    def test_copy_is_independent(self):
+        graph = AdjacencyGraph([(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self, diamond_graph):
+        assert diamond_graph.degree(1) == 3
+        assert diamond_graph.neighbors(1) == {0, 2, 3}
+        assert diamond_graph.degree(99) == 0
+        assert diamond_graph.neighbors(99) == frozenset()
+
+    def test_edges_iterates_each_once(self, k4_graph):
+        edges = list(k4_graph.edges())
+        assert len(edges) == 6
+        assert len(set(edges)) == 6
+        assert all(u < v for u, v in edges)
+
+    def test_common_neighbors(self, diamond_graph):
+        assert diamond_graph.common_neighbors(1, 2) == {0, 3}
+        assert diamond_graph.common_neighbors(0, 3) == {1, 2}
+        assert diamond_graph.common_neighbors(0, 99) == set()
+
+    def test_triangles_through(self, diamond_graph):
+        assert diamond_graph.triangles_through(1, 2) == 2
+        assert diamond_graph.triangles_through(0, 1) == 1
+
+    def test_subgraph_induced(self, k4_graph):
+        sub = k4_graph.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_subgraph_keeps_isolated_nodes(self):
+        graph = AdjacencyGraph([(0, 1)])
+        graph.add_node(5)
+        sub = graph.subgraph([0, 5])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 0
+
+    def test_len_is_node_count(self, k4_graph):
+        assert len(k4_graph) == 4
+
+
+@settings(max_examples=150, deadline=None)
+@given(edge_lists)
+def test_edge_count_matches_edge_iteration(pairs):
+    graph = AdjacencyGraph(pairs)
+    assert graph.num_edges == len(list(graph.edges()))
+
+
+@settings(max_examples=150, deadline=None)
+@given(edge_lists)
+def test_degree_sum_is_twice_edges(pairs):
+    graph = AdjacencyGraph(pairs)
+    assert sum(graph.degree(v) for v in graph.nodes()) == 2 * graph.num_edges
+
+
+@settings(max_examples=150, deadline=None)
+@given(edge_lists)
+def test_adjacency_is_symmetric(pairs):
+    graph = AdjacencyGraph(pairs)
+    for u in graph.nodes():
+        for v in graph.neighbors(u):
+            assert u in graph.neighbors(v)

@@ -1,0 +1,157 @@
+"""Tests for sampler/estimator checkpointing (save → load → resume)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import (
+    estimator_state,
+    load_checkpoint,
+    restore_estimator,
+    restore_sampler,
+    sampler_state,
+    save_checkpoint,
+)
+from repro.core.in_stream import InStreamEstimator
+from repro.core.post_stream import PostStreamEstimator
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.weights import UniformWeight
+from repro.graph.generators import powerlaw_cluster
+from repro.streams.stream import EdgeStream
+
+
+@pytest.fixture(scope="module")
+def ckpt_graph():
+    return powerlaw_cluster(500, 4, 0.5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def ckpt_stream(ckpt_graph):
+    return list(EdgeStream.from_graph(ckpt_graph, seed=2))
+
+
+class TestSamplerRoundTrip:
+    def test_state_is_json_serializable(self, ckpt_stream):
+        sampler = GraphPrioritySampler(100, seed=3)
+        sampler.process_stream(ckpt_stream[:500])
+        state = sampler_state(sampler)
+        json.dumps(state)  # must not raise
+
+    def test_restore_reproduces_sample(self, ckpt_stream):
+        sampler = GraphPrioritySampler(100, seed=3)
+        sampler.process_stream(ckpt_stream[:500])
+        restored = restore_sampler(sampler_state(sampler))
+        assert sorted(restored.sampled_edges()) == sorted(sampler.sampled_edges())
+        assert restored.threshold == sampler.threshold
+        assert restored.stream_position == sampler.stream_position
+        assert restored.normalized_probabilities() == (
+            sampler.normalized_probabilities()
+        )
+
+    def test_resume_equals_uninterrupted_run(self, ckpt_stream):
+        half = len(ckpt_stream) // 2
+        full = GraphPrioritySampler(150, seed=4)
+        full.process_stream(ckpt_stream)
+
+        part = GraphPrioritySampler(150, seed=4)
+        part.process_stream(ckpt_stream[:half])
+        resumed = restore_sampler(sampler_state(part))
+        resumed.process_stream(ckpt_stream[half:])
+
+        assert sorted(resumed.sampled_edges()) == sorted(full.sampled_edges())
+        assert resumed.threshold == full.threshold
+
+    def test_weight_fingerprint_guard(self, ckpt_stream):
+        sampler = GraphPrioritySampler(50, weight_fn=UniformWeight(), seed=5)
+        sampler.process_stream(ckpt_stream[:200])
+        state = sampler_state(sampler)
+        restore_sampler(state, weight_fn=UniformWeight())  # matching: fine
+        with pytest.raises(ValueError, match="weight function mismatch"):
+            restore_sampler(state)  # default TriangleWeight differs
+
+    def test_wrong_kind_rejected(self, ckpt_stream):
+        sampler = GraphPrioritySampler(50, seed=6)
+        sampler.process_stream(ckpt_stream[:100])
+        state = sampler_state(sampler)
+        state["kind"] = "other"
+        with pytest.raises(ValueError, match="not a sampler checkpoint"):
+            restore_sampler(state)
+
+    def test_wrong_version_rejected(self, ckpt_stream):
+        sampler = GraphPrioritySampler(50, seed=6)
+        sampler.process_stream(ckpt_stream[:100])
+        state = sampler_state(sampler)
+        state["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            restore_sampler(state)
+
+
+class TestEstimatorRoundTrip:
+    def test_resume_equals_uninterrupted_run(self, ckpt_stream):
+        half = len(ckpt_stream) // 2
+        full = InStreamEstimator(150, seed=7)
+        full.process_stream(ckpt_stream)
+
+        part = InStreamEstimator(150, seed=7)
+        part.process_stream(ckpt_stream[:half])
+        resumed = restore_estimator(estimator_state(part))
+        resumed.process_stream(ckpt_stream[half:])
+
+        full_estimates = full.estimates()
+        resumed_estimates = resumed.estimates()
+        assert resumed_estimates.triangles.value == full_estimates.triangles.value
+        assert resumed_estimates.wedges.value == full_estimates.wedges.value
+        assert resumed_estimates.triangles.variance == (
+            full_estimates.triangles.variance
+        )
+        assert resumed_estimates.tri_wedge_covariance == (
+            full_estimates.tri_wedge_covariance
+        )
+
+    def test_post_stream_identical_after_restore(self, ckpt_stream):
+        estimator = InStreamEstimator(120, seed=8)
+        estimator.process_stream(ckpt_stream)
+        restored = restore_estimator(estimator_state(estimator))
+        original = PostStreamEstimator(estimator.sampler).estimate()
+        recovered = PostStreamEstimator(restored.sampler).estimate()
+        assert recovered.triangles.value == original.triangles.value
+        assert recovered.triangles.variance == original.triangles.variance
+
+
+class TestFileRoundTrip:
+    def test_sampler_file(self, tmp_path, ckpt_stream):
+        sampler = GraphPrioritySampler(80, seed=9)
+        sampler.process_stream(ckpt_stream[:400])
+        path = save_checkpoint(sampler, tmp_path / "sampler.json")
+        loaded = load_checkpoint(path)
+        assert isinstance(loaded, GraphPrioritySampler)
+        assert sorted(loaded.sampled_edges()) == sorted(sampler.sampled_edges())
+
+    def test_estimator_file(self, tmp_path, ckpt_stream):
+        estimator = InStreamEstimator(80, seed=10)
+        estimator.process_stream(ckpt_stream[:400])
+        path = save_checkpoint(estimator, tmp_path / "est.json")
+        loaded = load_checkpoint(path)
+        assert isinstance(loaded, InStreamEstimator)
+        assert loaded.triangle_estimate == estimator.triangle_estimate
+
+    def test_creates_parent_directories(self, tmp_path, ckpt_stream):
+        sampler = GraphPrioritySampler(10, seed=0)
+        sampler.process_stream(ckpt_stream[:50])
+        path = save_checkpoint(sampler, tmp_path / "deep" / "dir" / "c.json")
+        assert path.exists()
+
+    def test_unknown_object_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_checkpoint(object(), tmp_path / "x.json")
+
+    def test_string_nodes_survive(self, tmp_path):
+        sampler = GraphPrioritySampler(10, seed=0)
+        sampler.process_stream([("alice", "bob"), ("bob", "carol")])
+        path = save_checkpoint(sampler, tmp_path / "s.json")
+        loaded = load_checkpoint(path)
+        assert sorted(loaded.sampled_edges()) == [
+            ("alice", "bob"), ("bob", "carol"),
+        ]

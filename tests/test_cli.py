@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture(scope="module")
+def edge_file(tmp_path_factory):
+    graph = powerlaw_cluster(300, 3, 0.6, seed=2)
+    path = tmp_path_factory.mktemp("cli") / "graph.txt"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+class TestStats:
+    def test_basic(self, edge_file, capsys):
+        assert main(["stats", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "triangles" in out
+        assert "clustering" in out
+
+    def test_motifs(self, edge_file, capsys):
+        assert main(["stats", edge_file, "--motifs"]) == 0
+        out = capsys.readouterr().out
+        assert "clique4" in out
+        assert "tailed_triangle" in out
+
+
+class TestSampleAndEstimate:
+    def test_sample_prints_estimates(self, edge_file, capsys):
+        assert main(["sample", edge_file, "-m", "200", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "in-stream estimates" in out
+        assert "95% CI" in out
+
+    def test_sample_then_estimate_round_trip(self, edge_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt.json")
+        assert main(["sample", edge_file, "-m", "200", "-o", ckpt]) == 0
+        capsys.readouterr()
+        assert main([
+            "estimate", ckpt, "--cliques", "4", "--stars", "3",
+            "--motifs", "--top-nodes", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "post-stream estimates" in out
+        assert "4-cliques" in out
+        assert "3-stars" in out
+        assert "diamond" in out
+        assert "top 3 nodes" in out
+
+    def test_uniform_weight_selection(self, edge_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "uniform.json")
+        assert main([
+            "sample", edge_file, "-m", "100", "--weight", "uniform", "-o", ckpt,
+        ]) == 0
+        capsys.readouterr()
+        # Restoring with the matching weight succeeds ...
+        assert main(["estimate", ckpt, "--weight", "uniform"]) == 0
+        capsys.readouterr()
+        # ... while a mismatching weight is rejected loudly.
+        with pytest.raises(ValueError, match="weight function mismatch"):
+            main(["estimate", ckpt, "--weight", "triangle"])
+
+
+class TestTrack:
+    def test_track_table(self, edge_file, capsys):
+        assert main([
+            "track", edge_file, "-m", "150", "--checkpoints", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert "triangles" in lines[0]
+        assert len(lines) == 5  # header + 4 checkpoints
+
+
+class TestReproduce:
+    def test_parser_knows_artefacts(self):
+        from repro.cli import ARTEFACTS, build_parser
+
+        assert set(ARTEFACTS) == {
+            "table1", "table2", "table3", "figure1", "figure2", "figure3",
+        }
+        parser = build_parser()
+        args = parser.parse_args(["reproduce", "figure1"])
+        assert args.artefacts == ["figure1"]
+
+    def test_invalid_artefact_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "table9"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

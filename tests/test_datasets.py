@@ -1,0 +1,95 @@
+"""Tests for the experiment dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.datasets import (
+    DATASETS,
+    FIGURE1_DATASETS,
+    FIGURE2_DATASETS,
+    FIGURE3_DATASETS,
+    TABLE1_DATASETS,
+    TABLE2_DATASETS,
+    TABLE3_DATASETS,
+    get_statistics,
+    make_graph,
+    register_edge_list_dataset,
+)
+
+
+class TestRegistryIntegrity:
+    def test_experiment_groupings_are_registered(self):
+        for group in (
+            TABLE1_DATASETS,
+            TABLE2_DATASETS,
+            TABLE3_DATASETS,
+            FIGURE1_DATASETS,
+            FIGURE2_DATASETS,
+            FIGURE3_DATASETS,
+        ):
+            for name in group:
+                assert name in DATASETS
+
+    def test_paper_groupings_match_paper_sizes(self):
+        assert len(TABLE1_DATASETS) == 11
+        assert len(TABLE2_DATASETS) == 3
+        assert len(TABLE3_DATASETS) == 4
+        assert len(FIGURE1_DATASETS) == 12
+        assert len(FIGURE2_DATASETS) == 12
+        assert len(FIGURE3_DATASETS) == 2
+
+    def test_specs_have_descriptions_and_domains(self):
+        for spec in DATASETS.values():
+            assert spec.description
+            assert spec.domain
+
+    def test_table1_specs_carry_paper_statistics(self):
+        for name in TABLE1_DATASETS:
+            paper = DATASETS[name].paper
+            assert paper is not None
+            assert paper.triangles and paper.wedges and paper.clustering
+            assert paper.are_in_stream is not None
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            make_graph("no-such-graph")
+
+
+class TestConstruction:
+    def test_make_graph_cached_identity(self):
+        assert make_graph("infra-roadNet-CA") is make_graph("infra-roadNet-CA")
+
+    def test_statistics_cached(self):
+        stats = get_statistics("infra-roadNet-CA")
+        assert get_statistics("infra-roadNet-CA") is stats
+        assert stats.triangles > 0
+        assert stats.num_edges > 10_000
+
+    def test_road_network_has_low_clustering(self):
+        stats = get_statistics("infra-roadNet-CA")
+        assert stats.clustering < 0.25
+
+    def test_graphs_are_simple(self):
+        graph = make_graph("infra-roadNet-CA")
+        for v in list(graph.nodes())[:100]:
+            assert v not in graph.neighbors(v)
+
+
+class TestUserRegistration:
+    def test_register_edge_list_dataset(self, tmp_path):
+        path = tmp_path / "mini.txt"
+        path.write_text("0 1\n1 2\n0 2\n")
+        spec = register_edge_list_dataset("test-mini-graph", path)
+        try:
+            assert "test-mini-graph" in DATASETS
+            graph = spec.factory()
+            assert graph.num_edges == 3
+        finally:
+            del DATASETS["test-mini-graph"]
+
+    def test_duplicate_name_rejected(self, tmp_path):
+        path = tmp_path / "mini.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            register_edge_list_dataset("infra-roadNet-CA", path)

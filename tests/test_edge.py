@@ -1,0 +1,51 @@
+"""Tests for canonical edge helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.edge import canonical_edge, is_self_loop
+
+
+class TestCanonicalEdge:
+    def test_orders_integers(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_orders_strings(self):
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_equal_endpoints_stay(self):
+        assert canonical_edge(2, 2) == (2, 2)
+
+    def test_mixed_types_fall_back_to_repr(self):
+        key1 = canonical_edge("a", 1)
+        key2 = canonical_edge(1, "a")
+        assert key1 == key2
+
+    def test_tuple_nodes(self):
+        assert canonical_edge((2, 0), (1, 5)) == ((1, 5), (2, 0))
+
+
+@given(st.integers(), st.integers())
+def test_canonical_edge_is_symmetric(u, v):
+    assert canonical_edge(u, v) == canonical_edge(v, u)
+
+
+@given(st.integers(), st.integers())
+def test_canonical_edge_is_sorted(u, v):
+    a, b = canonical_edge(u, v)
+    assert a <= b
+
+
+class TestSelfLoop:
+    def test_loop_detected(self):
+        assert is_self_loop(4, 4)
+
+    def test_distinct_nodes(self):
+        assert not is_self_loop(4, 5)
+
+    def test_string_nodes(self):
+        assert is_self_loop("x", "x")
+        assert not is_self_loop("x", "y")

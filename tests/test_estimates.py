@@ -1,0 +1,83 @@
+"""Tests for the estimate containers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.estimates import GraphEstimates, SubgraphEstimate
+
+
+class TestSubgraphEstimate:
+    def test_std_error(self):
+        assert SubgraphEstimate(10.0, 25.0).std_error == 5.0
+
+    def test_std_error_clamps_negative_variance(self):
+        assert SubgraphEstimate(10.0, -1.0).std_error == 0.0
+
+    def test_confidence_bounds(self):
+        estimate = SubgraphEstimate(100.0, 100.0)
+        lb, ub = estimate.confidence_bounds()
+        assert lb == pytest.approx(100 - 1.96 * 10, abs=0.01)
+        assert ub == pytest.approx(100 + 1.96 * 10, abs=0.01)
+        assert estimate.lower_bound == pytest.approx(lb)
+        assert estimate.upper_bound == pytest.approx(ub)
+
+    def test_custom_level(self):
+        estimate = SubgraphEstimate(0.0, 1.0)
+        lb99, ub99 = estimate.confidence_bounds(level=0.99)
+        lb95, ub95 = estimate.confidence_bounds(level=0.95)
+        assert lb99 < lb95 and ub99 > ub95
+
+    def test_relative_error(self):
+        assert SubgraphEstimate(90.0, 0.0).relative_error(100.0) == pytest.approx(0.1)
+        assert SubgraphEstimate(0.0, 0.0).relative_error(0.0) == 0.0
+        assert SubgraphEstimate(1.0, 0.0).relative_error(0.0) == float("inf")
+
+
+class TestGraphEstimates:
+    def test_from_raw_derives_clustering(self):
+        bundle = GraphEstimates.from_raw(
+            triangle_count=30.0,
+            triangle_variance=9.0,
+            wedge_count=300.0,
+            wedge_variance=100.0,
+            tri_wedge_covariance=5.0,
+            stream_position=1000,
+            sample_size=100,
+            threshold=2.5,
+        )
+        assert bundle.clustering.value == pytest.approx(3 * 30 / 300)
+        assert bundle.clustering.variance > 0.0
+        assert bundle.stream_position == 1000
+        assert bundle.sample_size == 100
+        assert bundle.threshold == 2.5
+
+    def test_zero_wedges_gives_zero_clustering(self):
+        bundle = GraphEstimates.from_raw(
+            triangle_count=0.0,
+            triangle_variance=0.0,
+            wedge_count=0.0,
+            wedge_variance=0.0,
+            tri_wedge_covariance=0.0,
+            stream_position=0,
+            sample_size=0,
+            threshold=0.0,
+        )
+        assert bundle.clustering.value == 0.0
+        assert bundle.clustering.variance == 0.0
+
+    def test_clustering_variance_uses_delta_method(self):
+        # Against the formula: Var ≈ 9·[Vt/W² + T²·Vw/W⁴ − 2·T·C/W³].
+        t, w, vt, vw, c = 30.0, 300.0, 9.0, 100.0, 5.0
+        bundle = GraphEstimates.from_raw(t, vt, w, vw, c, 1, 1, 1.0)
+        expected = 9.0 * (
+            vt / w**2 + t * t * vw / w**4 - 2 * t * c / w**3
+        )
+        assert bundle.clustering.variance == pytest.approx(expected)
+
+    def test_immutable(self):
+        estimate = SubgraphEstimate(1.0, 1.0)
+        with pytest.raises(AttributeError):
+            estimate.value = 2.0

@@ -1,0 +1,193 @@
+"""Tests for exact triangle/wedge/clustering counting (the ground truth).
+
+Cross-validated against networkx (test dependency only) and against
+hand-computable closed forms on structured graphs.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.exact import (
+    ExactStreamCounter,
+    compute_statistics,
+    global_clustering,
+    local_clustering,
+    per_edge_triangles,
+    per_node_triangles,
+    triangle_count,
+    wedge_count,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+
+
+def comb2(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+def comb3(n: int) -> int:
+    return n * (n - 1) * (n - 2) // 6
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 12])
+    def test_complete_graph_counts(self, n):
+        graph = complete_graph(n)
+        assert triangle_count(graph) == comb3(n)
+        assert wedge_count(graph) == 3 * comb3(n)
+        assert global_clustering(graph) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("leaves", [1, 2, 5, 10])
+    def test_star_counts(self, leaves):
+        graph = star_graph(leaves)
+        assert triangle_count(graph) == 0
+        assert wedge_count(graph) == comb2(leaves)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 10])
+    def test_cycle_counts(self, n):
+        graph = cycle_graph(n)
+        assert triangle_count(graph) == (1 if n == 3 else 0)
+        assert wedge_count(graph) == n
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7])
+    def test_path_counts(self, n):
+        graph = path_graph(n)
+        assert triangle_count(graph) == 0
+        assert wedge_count(graph) == max(0, n - 2)
+
+    def test_empty_graph(self):
+        graph = AdjacencyGraph()
+        assert triangle_count(graph) == 0
+        assert wedge_count(graph) == 0
+        assert global_clustering(graph) == 0.0
+
+    def test_diamond(self, diamond_graph):
+        assert triangle_count(diamond_graph) == 2
+        assert wedge_count(diamond_graph) == 8
+        assert global_clustering(diamond_graph) == pytest.approx(6 / 8)
+
+
+class TestPerElementCounts:
+    def test_per_edge_triangles_diamond(self, diamond_graph):
+        counts = per_edge_triangles(diamond_graph)
+        assert counts[(1, 2)] == 2
+        assert counts[(0, 1)] == 1
+        assert counts[(1, 3)] == 1
+
+    def test_per_node_triangles_k4(self, k4_graph):
+        counts = per_node_triangles(k4_graph)
+        assert all(count == 3 for count in counts.values())
+
+    def test_per_node_sums_to_three_triangles(self, diamond_graph):
+        counts = per_node_triangles(diamond_graph)
+        assert sum(counts.values()) == 3 * triangle_count(diamond_graph)
+
+    def test_local_clustering(self, diamond_graph):
+        assert local_clustering(diamond_graph, 0) == pytest.approx(1.0)
+        assert local_clustering(diamond_graph, 1) == pytest.approx(2 / 3)
+
+    def test_local_clustering_degree_below_two(self):
+        graph = AdjacencyGraph([(0, 1)])
+        assert local_clustering(graph, 0) == 0.0
+
+
+class TestStatisticsBundle:
+    def test_compute_statistics(self, diamond_graph):
+        stats = compute_statistics(diamond_graph)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 5
+        assert stats.triangles == 2
+        assert stats.wedges == 8
+        assert stats.clustering == pytest.approx(0.75)
+
+    def test_as_dict_round_trip(self, diamond_graph):
+        stats = compute_statistics(diamond_graph)
+        data = stats.as_dict()
+        assert data["triangles"] == 2
+        assert set(data) == {
+            "num_nodes", "num_edges", "triangles", "wedges", "clustering",
+        }
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(0, 25)), min_size=0, max_size=150
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(edge_lists)
+def test_triangles_match_networkx(pairs):
+    graph = AdjacencyGraph(pairs)
+    reference = nx.Graph()
+    reference.add_nodes_from(graph.nodes())
+    reference.add_edges_from(graph.edges())
+    expected = sum(nx.triangles(reference).values()) // 3
+    assert triangle_count(graph) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(edge_lists)
+def test_clustering_matches_networkx(pairs):
+    graph = AdjacencyGraph(pairs)
+    reference = nx.Graph()
+    reference.add_nodes_from(graph.nodes())
+    reference.add_edges_from(graph.edges())
+    assert global_clustering(graph) == pytest.approx(
+        nx.transitivity(reference), abs=1e-12
+    )
+
+
+class TestExactStreamCounter:
+    def test_matches_batch_counts_on_stream(self, medium_graph):
+        counter = ExactStreamCounter()
+        for u, v in medium_graph.edges():
+            counter.process(u, v)
+        assert counter.triangles == triangle_count(medium_graph)
+        assert counter.wedges == wedge_count(medium_graph)
+        assert counter.clustering == pytest.approx(global_clustering(medium_graph))
+
+    def test_prefix_counts_match_batch(self, social_graph):
+        edges = social_graph.edge_list()
+        counter = ExactStreamCounter()
+        checkpoints = [len(edges) // 4, len(edges) // 2, len(edges)]
+        prefix = AdjacencyGraph()
+        next_mark = 0
+        for idx, (u, v) in enumerate(edges, start=1):
+            counter.process(u, v)
+            prefix.add_edge(u, v)
+            if next_mark < len(checkpoints) and idx == checkpoints[next_mark]:
+                assert counter.triangles == triangle_count(prefix)
+                assert counter.wedges == wedge_count(prefix)
+                next_mark += 1
+
+    def test_ignores_duplicates_and_loops(self):
+        counter = ExactStreamCounter()
+        assert counter.process(0, 1)
+        assert not counter.process(1, 0)
+        assert not counter.process(2, 2)
+        assert counter.edges_seen == 1
+
+    def test_process_many(self, k4_graph):
+        counter = ExactStreamCounter()
+        counter.process_many(k4_graph.edges())
+        assert counter.triangles == 4
+        assert counter.wedges == 12
+
+    def test_graph_view_tracks_prefix(self):
+        counter = ExactStreamCounter()
+        counter.process(0, 1)
+        counter.process(1, 2)
+        assert counter.graph.num_edges == 2
+        assert counter.graph.has_edge(0, 1)
+
+    def test_empty_clustering_is_zero(self):
+        assert ExactStreamCounter().clustering == 0.0

@@ -1,0 +1,113 @@
+"""Smoke tests: every example runs end to end at a reduced size."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart")
+        assert module.main(["--nodes", "400", "--capacity", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "In-stream estimation" in out
+        assert "Post-stream estimation" in out
+        assert "ARE" in out
+
+    def test_realtime_tracking(self, capsys):
+        module = load_example("realtime_tracking")
+        code = module.main(
+            ["--nodes", "500", "--edges", "2000", "--capacity", "400",
+             "--checkpoints", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Triangle tracking" in out
+        assert "final estimate" in out
+
+    def test_retrospective_queries(self, capsys):
+        module = load_example("retrospective_queries")
+        assert module.main(["--nodes", "400", "--capacity", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "4-cliques" in out
+        assert "3-stars" in out
+
+    def test_baseline_comparison(self, capsys):
+        module = load_example("baseline_comparison")
+        code = module.main(
+            ["--nodes", "500", "--edges", "2000", "--budget", "300", "--runs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gps-in-stream" in out
+        assert "nsamp" in out
+
+    def test_attribute_weighted_sampling(self, capsys):
+        module = load_example("attribute_weighted_sampling")
+        assert module.main(["--capacity", "400", "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "attribute-weighted" in out
+
+    def test_motif_census(self, capsys):
+        module = load_example("motif_census")
+        assert module.main(["--nodes", "300", "--capacity", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "clique4" in out
+        assert "heavy-hitters" in out
+
+    def test_example_files_exist(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "realtime_tracking.py",
+            "retrospective_queries.py",
+            "baseline_comparison.py",
+            "attribute_weighted_sampling.py",
+            "motif_census.py",
+        } <= names
+
+
+class TestExperimentClis:
+    """The experiment modules double as CLIs; exercise their mains."""
+
+    @pytest.mark.parametrize(
+        "module_name,argv",
+        [
+            ("repro.experiments.table1",
+             ["--capacity", "2000", "--runs", "1", "--datasets", "infra-roadNet-CA"]),
+            ("repro.experiments.table2",
+             ["--budget", "800", "--runs", "1", "--datasets", "infra-roadNet-CA",
+              "--methods", "triest", "gps-post"]),
+            ("repro.experiments.table3",
+             ["--capacity", "2000", "--checkpoints", "4",
+              "--datasets", "infra-roadNet-CA"]),
+            ("repro.experiments.figure1",
+             ["--capacity", "2000", "--datasets", "infra-roadNet-CA"]),
+            ("repro.experiments.figure2",
+             ["--capacities", "1500", "--datasets", "infra-roadNet-CA"]),
+            ("repro.experiments.figure3",
+             ["--capacity", "2000", "--checkpoints", "3",
+              "--datasets", "infra-roadNet-CA"]),
+        ],
+        ids=["table1", "table2", "table3", "figure1", "figure2", "figure3"],
+    )
+    def test_cli_main(self, module_name, argv, capsys):
+        module = importlib.import_module(module_name)
+        assert module.main(argv) == 0
+        assert capsys.readouterr().out.strip()

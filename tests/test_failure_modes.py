@@ -1,0 +1,134 @@
+"""Failure injection and edge-case hardening tests.
+
+A production sampler must fail loudly on invalid inputs and stay
+consistent when a user-supplied component (weight function) raises
+mid-stream.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.in_stream import InStreamEstimator
+from repro.core.post_stream import PostStreamEstimator
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.weights import AttributeWeight
+
+
+class FlakyWeight:
+    """Weight function that raises on a chosen arrival."""
+
+    def __init__(self, explode_at: int) -> None:
+        self.calls = 0
+        self.explode_at = explode_at
+
+    def __call__(self, u, v, sample) -> float:
+        self.calls += 1
+        if self.calls == self.explode_at:
+            raise RuntimeError("weight service unavailable")
+        return 1.0
+
+
+class TestWeightFunctionFailures:
+    def test_nan_weight_rejected(self):
+        sampler = GraphPrioritySampler(
+            5, weight_fn=lambda u, v, s: float("nan"), seed=0
+        )
+        with pytest.raises(ValueError, match="non-positive"):
+            sampler.process(0, 1)
+
+    def test_negative_weight_rejected(self):
+        sampler = GraphPrioritySampler(5, weight_fn=lambda u, v, s: -2.0, seed=0)
+        with pytest.raises(ValueError):
+            sampler.process(0, 1)
+
+    def test_exception_propagates_and_state_survives(self):
+        weight = FlakyWeight(explode_at=3)
+        sampler = GraphPrioritySampler(5, weight_fn=weight, seed=0)
+        sampler.process(0, 1)
+        sampler.process(1, 2)
+        with pytest.raises(RuntimeError):
+            sampler.process(2, 3)
+        # The failed arrival must not be half-admitted...
+        assert sampler.sample_size == 2
+        assert not sampler.contains_edge(2, 3)
+        # ... and processing can continue afterwards.
+        sampler.process(3, 4)
+        assert sampler.sample_size == 3
+
+    def test_attribute_weight_zero_rejected(self):
+        sampler = GraphPrioritySampler(
+            5, weight_fn=AttributeWeight(lambda u, v: 0.0), seed=0
+        )
+        with pytest.raises(ValueError):
+            sampler.process(0, 1)
+
+
+class TestExtremeInputs:
+    def test_huge_weights_do_not_overflow_probabilities(self):
+        sampler = GraphPrioritySampler(
+            2, weight_fn=lambda u, v, s: 1e300, seed=0
+        )
+        for i in range(10):
+            sampler.process(i, i + 1)
+        for prob in sampler.normalized_probabilities().values():
+            assert 0.0 < prob <= 1.0
+            assert math.isfinite(prob)
+
+    def test_tiny_weights(self):
+        sampler = GraphPrioritySampler(
+            2, weight_fn=lambda u, v, s: 1e-300, seed=0
+        )
+        for i in range(10):
+            sampler.process(i, i + 1)
+        estimates = PostStreamEstimator(sampler).estimate()
+        assert math.isfinite(estimates.wedges.value)
+
+    def test_duplicate_only_stream(self):
+        estimator = InStreamEstimator(capacity=4, seed=0)
+        for _ in range(50):
+            estimator.process(0, 1)
+        assert estimator.sampler.sample_size == 1
+        assert estimator.sampler.duplicates_skipped == 49
+        assert estimator.wedge_estimate == 0.0
+
+    def test_self_loop_only_stream(self):
+        estimator = InStreamEstimator(capacity=4, seed=0)
+        for i in range(20):
+            estimator.process(i, i)
+        assert estimator.sampler.sample_size == 0
+        assert estimator.estimates().triangles.value == 0.0
+
+    def test_string_labels_full_pipeline(self):
+        # Two triangles: (a, b, c) and (a, c, d).
+        edges = [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d"), ("d", "a")]
+        estimator = InStreamEstimator(capacity=10, seed=0)
+        estimator.process_stream(edges)
+        estimates = estimator.estimates()
+        assert estimates.triangles.value == pytest.approx(2.0)
+        post = PostStreamEstimator(estimator.sampler).estimate()
+        assert post.triangles.value == pytest.approx(2.0)
+
+    def test_mixed_label_types(self):
+        # Ints and strings in one stream: canonicalisation falls back to
+        # repr ordering and everything keeps working.
+        estimator = InStreamEstimator(capacity=10, seed=0)
+        estimator.process_stream([(1, "x"), ("x", 2), (2, 1)])
+        assert estimator.triangle_estimate == pytest.approx(1.0)
+
+    def test_capacity_one(self):
+        estimator = InStreamEstimator(capacity=1, seed=3)
+        for i in range(30):
+            estimator.process(i, i + 1)
+        assert estimator.sampler.sample_size == 1
+        assert estimator.estimates().triangles.value >= 0.0
+
+    def test_single_edge_stream(self):
+        estimator = InStreamEstimator(capacity=5, seed=0)
+        estimator.process(7, 9)
+        estimates = estimator.estimates()
+        assert estimates.triangles.value == 0.0
+        assert estimates.wedges.value == 0.0
+        assert estimates.clustering.value == 0.0

@@ -1,0 +1,205 @@
+"""Tests for the from-scratch random graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.exact import global_clustering, triangle_count
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    path_graph,
+    powerlaw_cluster,
+    road_grid,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz,
+)
+
+
+def assert_simple(graph):
+    """No self loops (structural) and consistent degree bookkeeping."""
+    for u in graph.nodes():
+        assert u not in graph.neighbors(u)
+    assert sum(graph.degree(v) for v in graph.nodes()) == 2 * graph.num_edges
+
+
+class TestDeterministicFamilies:
+    def test_complete(self):
+        graph = complete_graph(6)
+        assert graph.num_nodes == 6
+        assert graph.num_edges == 15
+        assert_simple(graph)
+
+    def test_star(self):
+        graph = star_graph(7)
+        assert graph.num_nodes == 8
+        assert graph.num_edges == 7
+        assert graph.degree(0) == 7
+
+    def test_cycle(self):
+        graph = cycle_graph(6)
+        assert graph.num_edges == 6
+        assert all(graph.degree(v) == 2 for v in graph.nodes())
+
+    def test_tiny_cycle_is_single_node(self):
+        assert cycle_graph(1).num_nodes == 1
+        assert cycle_graph(1).num_edges == 0
+
+    def test_path(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        graph = erdos_renyi_gnm(50, 200, seed=0)
+        assert graph.num_nodes == 50
+        assert graph.num_edges == 200
+        assert_simple(graph)
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(5, 100, seed=0)
+
+    def test_deterministic_by_seed(self):
+        g1 = erdos_renyi_gnm(40, 100, seed=3)
+        g2 = erdos_renyi_gnm(40, 100, seed=3)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_seeds_differ(self):
+        g1 = erdos_renyi_gnm(40, 100, seed=3)
+        g2 = erdos_renyi_gnm(40, 100, seed=4)
+        assert sorted(g1.edges()) != sorted(g2.edges())
+
+
+class TestBarabasiAlbert:
+    def test_size_and_edge_count(self):
+        graph = barabasi_albert(200, 3, seed=0)
+        assert graph.num_nodes == 200
+        # star seed contributes `attach` edges; each later node adds `attach`.
+        assert graph.num_edges == 3 + 3 * (200 - 4)
+        assert_simple(graph)
+
+    def test_heavy_tail(self):
+        graph = barabasi_albert(500, 2, seed=1)
+        degrees = sorted((graph.degree(v) for v in graph.nodes()), reverse=True)
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+
+class TestPowerlawCluster:
+    def test_clustering_increases_with_triangle_prob(self):
+        low = powerlaw_cluster(400, 3, 0.0, seed=2)
+        high = powerlaw_cluster(400, 3, 0.9, seed=2)
+        assert global_clustering(high) > global_clustering(low)
+
+    def test_structure(self):
+        graph = powerlaw_cluster(300, 4, 0.5, seed=3)
+        assert graph.num_nodes == 300
+        assert_simple(graph)
+        assert triangle_count(graph) > 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster(10, 2, 1.5)
+
+
+class TestChungLu:
+    def test_reaches_target_edges(self):
+        graph = chung_lu(500, 2000, exponent=2.3, seed=4)
+        assert graph.num_edges == 2000
+        assert_simple(graph)
+
+    def test_heavier_exponent_gives_heavier_tail(self):
+        flat = chung_lu(800, 3000, exponent=3.5, seed=5)
+        heavy = chung_lu(800, 3000, exponent=2.05, seed=5)
+        max_flat = max(flat.degree(v) for v in flat.nodes())
+        max_heavy = max(heavy.degree(v) for v in heavy.nodes())
+        assert max_heavy > max_flat
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            chung_lu(1, 5)
+
+    def test_target_capped_at_complete_graph(self):
+        graph = chung_lu(10, 10_000, seed=6)
+        assert graph.num_edges <= 45
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring_lattice(self):
+        graph = watts_strogatz(30, 4, 0.0, seed=7)
+        assert graph.num_edges == 60
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+
+    def test_rewiring_preserves_edge_count(self):
+        graph = watts_strogatz(100, 6, 0.4, seed=8)
+        assert graph.num_edges == 300
+        assert_simple(graph)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(4, 4, 0.1)
+
+
+class TestStochasticBlockModel:
+    def test_block_density_contrast(self):
+        graph = stochastic_block_model([60, 60], p_in=0.3, p_out=0.01, seed=9)
+        within = sum(
+            1 for u, v in graph.edges() if (u < 60) == (v < 60)
+        )
+        across = graph.num_edges - within
+        assert within > 4 * across
+        assert_simple(graph)
+
+    def test_zero_probabilities(self):
+        graph = stochastic_block_model([10, 10], p_in=0.0, p_out=0.0, seed=10)
+        assert graph.num_edges == 0
+        assert graph.num_nodes == 20
+
+
+class TestRoadGrid:
+    def test_pure_grid_has_no_triangles(self):
+        graph = road_grid(10, 12, diagonal_prob=0.0, seed=11)
+        assert graph.num_nodes == 120
+        assert graph.num_edges == 10 * 11 + 12 * 9
+        assert triangle_count(graph) == 0
+
+    def test_diagonals_create_triangles(self):
+        graph = road_grid(15, 15, diagonal_prob=0.5, seed=12)
+        assert triangle_count(graph) > 0
+        assert_simple(graph)
+
+    def test_clustering_stays_low(self):
+        graph = road_grid(25, 25, diagonal_prob=0.1, seed=13)
+        assert global_clustering(graph) < 0.15
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda seed: erdos_renyi_gnm(60, 150, seed=seed),
+        lambda seed: barabasi_albert(80, 3, seed=seed),
+        lambda seed: powerlaw_cluster(80, 3, 0.4, seed=seed),
+        lambda seed: chung_lu(80, 200, seed=seed),
+        lambda seed: watts_strogatz(40, 4, 0.3, seed=seed),
+        lambda seed: stochastic_block_model([20, 20], 0.3, 0.05, seed=seed),
+        lambda seed: road_grid(8, 8, 0.2, seed=seed),
+    ],
+    ids=["gnm", "ba", "plc", "cl", "ws", "sbm", "road"],
+)
+def test_generators_deterministic_by_seed(factory):
+    assert sorted(factory(123).edges()) == sorted(factory(123).edges())

@@ -1,0 +1,207 @@
+"""Unit and property tests for the indexed binary min-heap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import EdgeRecord
+from repro.heap.binary_heap import IndexedMinHeap
+
+
+def record(priority: float) -> EdgeRecord:
+    return EdgeRecord(0, 1, weight=1.0, priority=priority)
+
+
+def heap_of(priorities) -> IndexedMinHeap:
+    heap = IndexedMinHeap()
+    for p in priorities:
+        heap.push(record(p))
+    return heap
+
+
+class TestBasics:
+    def test_empty_heap(self):
+        heap = IndexedMinHeap()
+        assert len(heap) == 0
+        assert not heap
+        assert heap.min_priority() is None
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().peek()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().pop()
+
+    def test_push_and_peek(self):
+        heap = heap_of([5.0, 1.0, 3.0])
+        assert heap.peek().priority == 1.0
+        assert len(heap) == 3
+
+    def test_pop_returns_sorted_order(self):
+        heap = heap_of([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert [heap.pop().priority for _ in range(5)] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_push_duplicate_item_rejected(self):
+        heap = IndexedMinHeap()
+        item = record(1.0)
+        heap.push(item)
+        with pytest.raises(ValueError):
+            heap.push(item)
+
+    def test_contains(self):
+        heap = IndexedMinHeap()
+        inside = record(1.0)
+        outside = record(2.0)
+        heap.push(inside)
+        assert inside in heap
+        assert outside not in heap
+
+    def test_popped_item_not_contained(self):
+        heap = IndexedMinHeap()
+        item = record(1.0)
+        heap.push(item)
+        heap.pop()
+        assert item not in heap
+        assert item.heap_pos == -1
+
+    def test_iteration_covers_all_items(self):
+        heap = heap_of([3.0, 1.0, 2.0])
+        assert sorted(item.priority for item in heap) == [1.0, 2.0, 3.0]
+
+    def test_clear(self):
+        heap = heap_of([1.0, 2.0])
+        heap.clear()
+        assert len(heap) == 0
+        assert heap.is_valid()
+
+    def test_ties_are_handled(self):
+        heap = heap_of([2.0, 2.0, 2.0, 1.0])
+        assert heap.pop().priority == 1.0
+        assert all(heap.pop().priority == 2.0 for _ in range(3))
+
+
+class TestRemoveAndUpdate:
+    def test_remove_arbitrary_item(self):
+        heap = IndexedMinHeap()
+        items = [record(p) for p in (4.0, 2.0, 6.0, 1.0, 5.0)]
+        for item in items:
+            heap.push(item)
+        heap.remove(items[0])
+        assert items[0] not in heap
+        assert heap.is_valid()
+        assert [heap.pop().priority for _ in range(4)] == [1.0, 2.0, 5.0, 6.0]
+
+    def test_remove_missing_raises(self):
+        heap = heap_of([1.0])
+        with pytest.raises(ValueError):
+            heap.remove(record(1.0))
+
+    def test_update_priority_down(self):
+        heap = IndexedMinHeap()
+        items = [record(p) for p in (5.0, 3.0, 4.0)]
+        for item in items:
+            heap.push(item)
+        heap.update_priority(items[0], 0.5)
+        assert heap.peek() is items[0]
+        assert heap.is_valid()
+
+    def test_update_priority_up(self):
+        heap = IndexedMinHeap()
+        items = [record(p) for p in (1.0, 3.0, 4.0)]
+        for item in items:
+            heap.push(item)
+        heap.update_priority(items[0], 10.0)
+        assert heap.peek() is items[1]
+        assert heap.is_valid()
+
+    def test_update_missing_raises(self):
+        heap = heap_of([1.0])
+        with pytest.raises(ValueError):
+            heap.update_priority(record(2.0), 5.0)
+
+
+class TestPushPop:
+    def test_pushpop_on_empty_returns_item(self):
+        heap = IndexedMinHeap()
+        item = record(3.0)
+        assert heap.pushpop(item) is item
+        assert len(heap) == 0
+
+    def test_pushpop_smaller_than_min_bounces(self):
+        heap = heap_of([5.0])
+        item = record(1.0)
+        assert heap.pushpop(item) is item
+        assert len(heap) == 1
+        assert heap.peek().priority == 5.0
+
+    def test_pushpop_larger_than_min_swaps(self):
+        heap = IndexedMinHeap()
+        low = record(1.0)
+        heap.push(low)
+        high = record(9.0)
+        assert heap.pushpop(high) is low
+        assert heap.peek() is high
+        assert low.heap_pos == -1
+
+    def test_pushpop_equals_push_then_pop(self):
+        rng = random.Random(0)
+        for _trial in range(50):
+            priorities = [rng.random() for _ in range(rng.randrange(1, 20))]
+            incoming = rng.random()
+            reference = heap_of(priorities)
+            reference.push(record(incoming))
+            expected = reference.pop().priority
+            subject = heap_of(priorities)
+            assert subject.pushpop(record(incoming)).priority == expected
+            assert subject.is_valid()
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.floats(min_value=0.001, max_value=1e9), max_size=64))
+def test_heap_sorts_any_input(priorities):
+    heap = heap_of(priorities)
+    assert heap.is_valid()
+    drained = [heap.pop().priority for _ in range(len(priorities))]
+    assert drained == sorted(priorities)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["push", "pop", "remove"]), st.floats(0.001, 1e6)),
+        max_size=80,
+    )
+)
+def test_random_operation_sequences_keep_invariant(operations):
+    heap = IndexedMinHeap()
+    rng = random.Random(42)
+    live = []
+    for op, priority in operations:
+        if op == "push":
+            item = record(priority)
+            heap.push(item)
+            live.append(item)
+        elif op == "pop" and live:
+            popped = heap.pop()
+            assert popped.priority == min(i.priority for i in live)
+            live.remove(popped)
+        elif op == "remove" and live:
+            victim = live.pop(rng.randrange(len(live)))
+            heap.remove(victim)
+        assert heap.is_valid()
+    assert len(heap) == len(live)
+
+
+def test_large_random_workload_matches_sorted_reference():
+    rng = random.Random(7)
+    priorities = [rng.random() for _ in range(5000)]
+    heap = heap_of(priorities)
+    assert heap.is_valid()
+    out = [heap.pop().priority for _ in range(len(priorities))]
+    assert out == sorted(priorities)

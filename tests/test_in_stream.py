@@ -1,0 +1,146 @@
+"""Tests for Algorithm 3 (in-stream snapshot estimation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.in_stream import InStreamEstimator
+from repro.core.post_stream import PostStreamEstimator
+from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
+
+
+def run_in_stream(graph, capacity, stream_seed=0, sampler_seed=1):
+    estimator = InStreamEstimator(capacity=capacity, seed=sampler_seed)
+    estimator.process_stream(EdgeStream.from_graph(graph, seed=stream_seed))
+    return estimator
+
+
+class TestExactnessWithoutOverflow:
+    def test_triangle(self, triangle_graph):
+        est = run_in_stream(triangle_graph, capacity=10).estimates()
+        assert est.triangles.value == pytest.approx(1.0)
+        assert est.wedges.value == pytest.approx(3.0)
+        assert est.triangles.variance == 0.0
+
+    def test_k4(self, k4_graph):
+        est = run_in_stream(k4_graph, capacity=10).estimates()
+        assert est.triangles.value == pytest.approx(4.0)
+        assert est.wedges.value == pytest.approx(12.0)
+
+    def test_medium_graph(self, medium_graph, medium_stats):
+        est = run_in_stream(medium_graph, medium_graph.num_edges + 1).estimates()
+        assert est.triangles.value == pytest.approx(medium_stats.triangles)
+        assert est.wedges.value == pytest.approx(medium_stats.wedges)
+        assert est.clustering.value == pytest.approx(medium_stats.clustering)
+
+    def test_order_invariant_when_exact(self, diamond_graph):
+        for seed in range(5):
+            est = run_in_stream(diamond_graph, 10, stream_seed=seed).estimates()
+            assert est.triangles.value == pytest.approx(2.0)
+            assert est.wedges.value == pytest.approx(8.0)
+
+
+class TestStreamSemantics:
+    def test_estimates_are_monotone(self, medium_graph):
+        estimator = InStreamEstimator(capacity=300, seed=2)
+        last_tri = last_wedge = 0.0
+        for u, v in EdgeStream.from_graph(medium_graph, seed=0).prefix(2000):
+            estimator.process(u, v)
+            assert estimator.triangle_estimate >= last_tri
+            assert estimator.wedge_estimate >= last_wedge
+            last_tri = estimator.triangle_estimate
+            last_wedge = estimator.wedge_estimate
+
+    def test_skips_match_sampler(self):
+        estimator = InStreamEstimator(capacity=10, seed=0)
+        estimator.process(0, 1)
+        estimator.process(0, 1)  # duplicate of sampled edge
+        estimator.process(2, 2)  # self loop
+        assert estimator.sampler.stream_position == 1
+        assert estimator.wedge_estimate == 0.0
+
+    def test_duplicate_does_not_double_count(self, triangle_graph):
+        estimator = InStreamEstimator(capacity=10, seed=0)
+        estimator.process(0, 1)
+        estimator.process(1, 2)
+        estimator.process(0, 2)
+        before = estimator.triangle_estimate
+        estimator.process(0, 2)
+        assert estimator.triangle_estimate == before
+
+    def test_track_yields_at_checkpoints(self, medium_graph):
+        stream = EdgeStream.from_graph(medium_graph, seed=0)
+        marks = stream.checkpoints(5)
+        estimator = InStreamEstimator(capacity=200, seed=1)
+        out = list(estimator.track(stream, marks))
+        assert [t for t, _ in out] == marks
+        values = [e.triangles.value for _, e in out]
+        assert values == sorted(values)
+
+    def test_estimates_readable_any_time(self):
+        estimator = InStreamEstimator(capacity=10, seed=0)
+        assert estimator.estimates().triangles.value == 0.0
+        estimator.process(0, 1)
+        assert estimator.estimates().wedges.value == 0.0
+
+    def test_shares_sampler_with_post_stream(self, medium_graph):
+        """The paper's protocol: post-stream estimates from the same sample."""
+        estimator = run_in_stream(medium_graph, capacity=400, sampler_seed=5)
+        post = PostStreamEstimator(estimator.sampler).estimate()
+        assert post.sample_size == estimator.estimates().sample_size
+        assert post.threshold == estimator.estimates().threshold
+
+
+class TestUnbiasedness:
+    def test_triangle_and_wedge_means(self, social_graph, social_stats):
+        runs = 250
+        tri = RunningMoments()
+        wedge = RunningMoments()
+        for seed in range(runs):
+            estimator = run_in_stream(
+                social_graph, 150, stream_seed=seed, sampler_seed=30_000 + seed
+            )
+            tri.add(estimator.triangle_estimate)
+            wedge.add(estimator.wedge_estimate)
+        assert abs(tri.mean - social_stats.triangles) < 4.5 * tri.std_error
+        assert abs(wedge.mean - social_stats.wedges) < 4.5 * wedge.std_error
+
+    def test_variance_estimator_calibrated(self, social_graph):
+        runs = 250
+        estimates = RunningMoments()
+        variance_estimates = RunningMoments()
+        for seed in range(runs):
+            est = run_in_stream(
+                social_graph, 150, stream_seed=seed, sampler_seed=40_000 + seed
+            ).estimates()
+            estimates.add(est.triangles.value)
+            variance_estimates.add(est.triangles.variance)
+        assert variance_estimates.mean == pytest.approx(estimates.variance, rel=0.4)
+
+    def test_lower_variance_than_post_stream(self, social_graph):
+        """The paper's headline property of in-stream estimation."""
+        runs = 150
+        in_stream = RunningMoments()
+        post = RunningMoments()
+        for seed in range(runs):
+            estimator = run_in_stream(
+                social_graph, 150, stream_seed=seed, sampler_seed=50_000 + seed
+            )
+            in_stream.add(estimator.triangle_estimate)
+            post.add(PostStreamEstimator(estimator.sampler).estimate().triangles.value)
+        assert in_stream.variance < post.variance
+
+
+class TestVarianceProperties:
+    def test_non_negative(self, medium_graph):
+        est = run_in_stream(medium_graph, 400).estimates()
+        assert est.triangles.variance >= 0.0
+        assert est.wedges.variance >= 0.0
+        assert est.clustering.variance >= 0.0
+        assert est.tri_wedge_covariance >= 0.0
+
+    def test_bounds_bracket_estimate(self, medium_graph):
+        est = run_in_stream(medium_graph, 400).estimates()
+        lb, ub = est.wedges.confidence_bounds()
+        assert lb <= est.wedges.value <= ub

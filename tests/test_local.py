@@ -1,0 +1,137 @@
+"""Tests for local (per-node) estimation: GPS LocalTriangleEstimator and
+MASCOT's local counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.mascot import Mascot
+from repro.core.local import LocalTriangleEstimator
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.graph.exact import local_clustering, per_node_triangles
+from repro.graph.generators import powerlaw_cluster
+from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
+
+
+def sampler_over(graph, capacity, stream_seed=0, sampler_seed=1):
+    sampler = GraphPrioritySampler(capacity=capacity, seed=sampler_seed)
+    sampler.process_stream(EdgeStream.from_graph(graph, seed=stream_seed))
+    return sampler
+
+
+class TestGpsLocalExactness:
+    def test_k4_per_node(self, k4_graph):
+        local = LocalTriangleEstimator(sampler_over(k4_graph, 10))
+        counts = local.node_triangles()
+        assert counts == pytest.approx({0: 3.0, 1: 3.0, 2: 3.0, 3: 3.0})
+
+    def test_diamond_per_node(self, diamond_graph):
+        local = LocalTriangleEstimator(sampler_over(diamond_graph, 10))
+        counts = local.node_triangles()
+        assert counts[1] == pytest.approx(2.0)
+        assert counts[0] == pytest.approx(1.0)
+        assert counts[3] == pytest.approx(1.0)
+
+    def test_matches_exact_per_node(self, medium_graph):
+        sampler = sampler_over(medium_graph, medium_graph.num_edges + 1)
+        estimates = LocalTriangleEstimator(sampler).node_triangles()
+        exact = per_node_triangles(medium_graph)
+        for node, actual in exact.items():
+            assert estimates.get(node, 0.0) == pytest.approx(actual), node
+
+    def test_wedges_match_exact(self, medium_graph):
+        sampler = sampler_over(medium_graph, medium_graph.num_edges + 1)
+        wedges = LocalTriangleEstimator(sampler).node_wedges()
+        for node in medium_graph.nodes():
+            d = medium_graph.degree(node)
+            assert wedges.get(node, 0.0) == pytest.approx(d * (d - 1) / 2), node
+
+    def test_local_clustering_matches_exact(self, diamond_graph):
+        sampler = sampler_over(diamond_graph, 10)
+        clustering = LocalTriangleEstimator(sampler).local_clustering()
+        for node in diamond_graph.nodes():
+            assert clustering[node] == pytest.approx(
+                local_clustering(diamond_graph, node)
+            ), node
+
+    def test_zero_entries_for_triangle_free_nodes(self):
+        sampler = GraphPrioritySampler(capacity=10, seed=0)
+        sampler.process_stream([(0, 1), (1, 2), (0, 2), (5, 6)])
+        counts = LocalTriangleEstimator(sampler).node_triangles()
+        assert counts[5] == 0.0
+        assert counts[6] == 0.0
+        assert counts[0] == pytest.approx(1.0)
+
+
+class TestGpsLocalSampling:
+    @pytest.fixture(scope="class")
+    def hub_graph(self):
+        return powerlaw_cluster(300, 3, 0.7, seed=13)
+
+    def test_hub_estimates_unbiased(self, hub_graph):
+        exact = per_node_triangles(hub_graph)
+        hubs = sorted(exact, key=exact.get, reverse=True)[:3]
+        moments = {node: RunningMoments() for node in hubs}
+        for seed in range(150):
+            sampler = sampler_over(
+                hub_graph, 200, stream_seed=seed, sampler_seed=3_000 + seed
+            )
+            counts = LocalTriangleEstimator(sampler).node_triangles()
+            for node in hubs:
+                moments[node].add(counts.get(node, 0.0))
+        for node in hubs:
+            spread = moments[node].std_error
+            assert abs(moments[node].mean - exact[node]) < 5.0 * spread, node
+
+    def test_local_sums_to_three_global(self, hub_graph):
+        from repro.core.post_stream import PostStreamEstimator
+
+        sampler = sampler_over(hub_graph, 200, sampler_seed=17)
+        local_total = sum(
+            LocalTriangleEstimator(sampler).node_triangles().values()
+        )
+        global_estimate = PostStreamEstimator(sampler).estimate().triangles.value
+        assert local_total == pytest.approx(3.0 * global_estimate)
+
+    def test_top_nodes_sorted(self, hub_graph):
+        sampler = sampler_over(hub_graph, 200)
+        top = LocalTriangleEstimator(sampler).top_nodes(5)
+        values = [count for _node, count in top]
+        assert values == sorted(values, reverse=True)
+        assert len(top) == 5
+
+
+class TestMascotLocal:
+    def test_exact_at_p_one(self, medium_graph):
+        counter = Mascot(1.0, seed=0)
+        for u, v in EdgeStream.from_graph(medium_graph, seed=0):
+            counter.process(u, v)
+        exact = per_node_triangles(medium_graph)
+        for node, actual in exact.items():
+            if actual:
+                assert counter.local_estimate(node) == pytest.approx(actual), node
+
+    def test_local_sums_to_three_global(self, medium_graph):
+        counter = Mascot(0.5, seed=1)
+        for u, v in EdgeStream.from_graph(medium_graph, seed=1):
+            counter.process(u, v)
+        assert sum(counter.local_estimates.values()) == pytest.approx(
+            3.0 * counter.triangle_estimate
+        )
+
+    def test_local_unbiased(self, social_graph):
+        exact = per_node_triangles(social_graph)
+        hub = max(exact, key=exact.get)
+        moments = RunningMoments()
+        for seed in range(200):
+            counter = Mascot(0.4, seed=9_000 + seed)
+            for u, v in EdgeStream.from_graph(social_graph, seed=seed):
+                counter.process(u, v)
+            moments.add(counter.local_estimate(hub))
+        assert abs(moments.mean - exact[hub]) < 5.0 * moments.std_error
+
+    def test_unseen_node_is_zero(self):
+        counter = Mascot(0.5, seed=0)
+        counter.process(0, 1)
+        assert counter.local_estimate(99) == 0.0

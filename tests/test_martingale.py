@@ -1,0 +1,128 @@
+"""Tests for the martingale/snapshot toolkit (Theorems 1-5 algebra)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.martingale import (
+    Snapshot,
+    edge_inverse_probability,
+    post_stream_covariance,
+    snapshot_covariance,
+    subgraph_estimate,
+    variance_estimate,
+)
+from repro.core.records import EdgeRecord
+
+
+def rec(u, v, weight):
+    return EdgeRecord(u, v, weight=weight, priority=1.0)
+
+
+class TestEdgeEstimators:
+    def test_inverse_probability_before_overflow(self):
+        assert edge_inverse_probability(rec(0, 1, 0.5), 0.0) == 1.0
+
+    def test_inverse_probability_after_overflow(self):
+        assert edge_inverse_probability(rec(0, 1, 1.0), 4.0) == 4.0
+
+    def test_subgraph_product(self):
+        records = [rec(0, 1, 1.0), rec(1, 2, 2.0)]
+        assert subgraph_estimate(records, 4.0) == pytest.approx(4.0 * 2.0)
+
+    def test_variance_estimate(self):
+        records = [rec(0, 1, 2.0)]
+        # p = 0.5 → Ŝ = 2, Ŝ(Ŝ−1) = 2.
+        assert variance_estimate(records, 4.0) == pytest.approx(2.0)
+
+    def test_variance_zero_when_certain(self):
+        assert variance_estimate([rec(0, 1, 8.0)], 4.0) == 0.0
+
+
+class TestSnapshots:
+    def test_capture_freezes_values(self):
+        record = rec(0, 1, 1.0)
+        snap = Snapshot.capture([record], threshold=2.0, time=5)
+        assert snap.value == pytest.approx(2.0)
+        # Later threshold changes do not affect the snapshot.
+        assert Snapshot.capture([record], threshold=10.0, time=9).value == 10.0
+        assert snap.value == pytest.approx(2.0)
+
+    def test_edges_property(self):
+        snap = Snapshot.capture([rec(0, 1, 1.0), rec(1, 2, 1.0)], 0.0, 1)
+        assert snap.edges == frozenset({(0, 1), (1, 2)})
+
+    def test_snapshot_variance(self):
+        snap = Snapshot.capture([rec(0, 1, 1.0)], threshold=4.0, time=1)
+        assert snap.variance() == pytest.approx(4.0 * 3.0)
+
+
+class TestSnapshotCovariance:
+    def test_disjoint_snapshots_have_zero_covariance(self):
+        s1 = Snapshot.capture([rec(0, 1, 1.0)], 2.0, 1)
+        s2 = Snapshot.capture([rec(2, 3, 1.0)], 2.0, 2)
+        assert snapshot_covariance(s1, s2) == 0.0
+
+    def test_shared_edge_same_time(self):
+        shared = rec(0, 1, 1.0)
+        other1 = rec(1, 2, 1.0)
+        other2 = rec(0, 2, 1.0)
+        threshold = 2.0  # p = 0.5 everywhere
+        s1 = Snapshot.capture([shared, other1], threshold, 3)
+        s2 = Snapshot.capture([shared, other2], threshold, 3)
+        # Ĉ = Ŝ_{J1∪J2}(Ŝ_{J1∩J2} − 1) = 2·2·2 · (2 − 1) = 8.
+        assert snapshot_covariance(s1, s2) == pytest.approx(8.0)
+
+    def test_shared_edge_uses_later_stopping_time(self):
+        shared = rec(0, 1, 1.0)
+        other1 = rec(1, 2, 1.0)
+        other2 = rec(0, 2, 1.0)
+        early = Snapshot.capture([shared, other1], 2.0, time=1)   # p_shared = 0.5
+        late = Snapshot.capture([shared, other2], 4.0, time=9)    # p_shared = 0.25
+        # Ŝ1·Ŝ2 − Ŝ_{J1\J2} Ŝ_{J2\J1} Ŝ^{later}_{shared}
+        #   = (2·2)·(4·4) − 2·4·4 = 64 − 32 = 32.
+        assert snapshot_covariance(early, late) == pytest.approx(32.0)
+
+    def test_covariance_symmetric_in_arguments(self):
+        shared = rec(0, 1, 1.0)
+        s1 = Snapshot.capture([shared, rec(1, 2, 1.0)], 2.0, 1)
+        s2 = Snapshot.capture([shared, rec(0, 2, 1.0)], 4.0, 2)
+        assert snapshot_covariance(s1, s2) == pytest.approx(
+            snapshot_covariance(s2, s1)
+        )
+
+    def test_covariance_non_negative(self):
+        # Theorem 5(ii): the estimator is non-negative by construction.
+        shared = rec(0, 1, 1.0)
+        for t1, t2 in [(2.0, 4.0), (4.0, 2.0), (3.0, 3.0)]:
+            s1 = Snapshot.capture([shared, rec(1, 2, 1.0)], t1, 1)
+            s2 = Snapshot.capture([shared, rec(0, 2, 1.0)], t2, 2)
+            assert snapshot_covariance(s1, s2) >= 0.0
+
+    def test_identical_snapshot_covariance_is_variance(self):
+        records = [rec(0, 1, 1.0), rec(1, 2, 1.0)]
+        snap = Snapshot.capture(records, 2.0, 1)
+        assert snapshot_covariance(snap, snap) == pytest.approx(snap.variance())
+
+
+class TestPostStreamCovariance:
+    def test_matches_snapshot_special_case(self):
+        shared = rec(0, 1, 1.0)
+        j1 = [shared, rec(1, 2, 1.0)]
+        j2 = [shared, rec(0, 2, 1.0)]
+        threshold = 2.0
+        direct = post_stream_covariance(j1, j2, threshold)
+        s1 = Snapshot.capture(j1, threshold, 1)
+        s2 = Snapshot.capture(j2, threshold, 1)
+        assert direct == pytest.approx(snapshot_covariance(s1, s2))
+
+    def test_disjoint_zero(self):
+        assert post_stream_covariance(
+            [rec(0, 1, 1.0)], [rec(2, 3, 1.0)], 2.0
+        ) == 0.0
+
+    def test_certain_edges_give_zero(self):
+        shared = rec(0, 1, 9.0)  # p = 1 at threshold 4
+        j1 = [shared, rec(1, 2, 9.0)]
+        j2 = [shared, rec(0, 2, 9.0)]
+        assert post_stream_covariance(j1, j2, 4.0) == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the MASCOT baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.mascot import Mascot, MascotBasic
+from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
+
+
+def drive(counter, graph, stream_seed=0):
+    for u, v in EdgeStream.from_graph(graph, seed=stream_seed):
+        counter.process(u, v)
+    return counter
+
+
+class TestMascot:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            Mascot(0.0)
+        with pytest.raises(ValueError):
+            Mascot(1.5)
+
+    def test_exact_at_p_one(self, k5_graph, medium_graph, medium_stats):
+        assert drive(Mascot(1.0, seed=0), k5_graph).triangle_estimate == 10.0
+        counter = drive(Mascot(1.0, seed=0), medium_graph)
+        assert counter.triangle_estimate == pytest.approx(medium_stats.triangles)
+
+    def test_skips_self_loops_and_stored_duplicates(self):
+        counter = Mascot(1.0, seed=0)
+        counter.process(0, 0)
+        counter.process(0, 1)
+        counter.process(1, 0)
+        assert counter.arrivals == 1
+
+    def test_expected_sample_size(self, medium_graph):
+        counter = drive(Mascot(0.2, seed=3), medium_graph)
+        expected = 0.2 * medium_graph.num_edges
+        assert counter.sample_size == pytest.approx(expected, rel=0.15)
+
+    def test_unbiased(self, social_graph, social_stats):
+        moments = RunningMoments()
+        for seed in range(200):
+            counter = drive(
+                Mascot(0.3, seed=3000 + seed), social_graph, stream_seed=seed
+            )
+            moments.add(counter.triangle_estimate)
+        assert abs(moments.mean - social_stats.triangles) < 5.0 * moments.std_error
+
+    def test_estimate_monotone(self, medium_graph):
+        counter = Mascot(0.3, seed=4)
+        last = 0.0
+        for u, v in EdgeStream.from_graph(medium_graph, seed=0).prefix(2000):
+            counter.process(u, v)
+            assert counter.triangle_estimate >= last
+            last = counter.triangle_estimate
+
+
+class TestMascotBasic:
+    def test_exact_at_p_one(self, k5_graph):
+        assert drive(MascotBasic(1.0, seed=0), k5_graph).triangle_estimate == 10.0
+
+    def test_unbiased(self, social_graph, social_stats):
+        moments = RunningMoments()
+        for seed in range(200):
+            counter = drive(
+                MascotBasic(0.3, seed=4000 + seed), social_graph, stream_seed=seed
+            )
+            moments.add(counter.triangle_estimate)
+        assert abs(moments.mean - social_stats.triangles) < 5.0 * moments.std_error
+
+    def test_higher_variance_than_improved(self, social_graph):
+        improved = RunningMoments()
+        basic = RunningMoments()
+        for seed in range(150):
+            improved.add(
+                drive(
+                    Mascot(0.25, seed=seed), social_graph, stream_seed=seed
+                ).triangle_estimate
+            )
+            basic.add(
+                drive(
+                    MascotBasic(0.25, seed=seed), social_graph, stream_seed=seed
+                ).triangle_estimate
+            )
+        assert improved.variance < basic.variance
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            MascotBasic(-0.1)

@@ -1,0 +1,221 @@
+"""Tests for exact 4-node motif counting and the GPS motif census."""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.motifs import MotifCensusEstimator
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    powerlaw_cluster,
+    star_graph,
+)
+from repro.graph.motifs import (
+    MOTIF_NAMES,
+    count_cliques4,
+    count_cycles4,
+    count_diamonds,
+    count_motifs,
+    count_paths4,
+    count_stars4,
+    count_tailed_triangles,
+)
+from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
+
+
+# ----------------------------------------------------------------------
+# Brute-force reference counters (independent implementations)
+# ----------------------------------------------------------------------
+def brute_paths4(graph):
+    count = 0
+    nodes = list(graph.nodes())
+    for quad in permutations(nodes, 4):
+        a, b, c, d = quad
+        if graph.has_edge(a, b) and graph.has_edge(b, c) and graph.has_edge(c, d):
+            count += 1
+    return count // 2  # each path counted in both directions
+
+
+def brute_cycles4(graph):
+    count = 0
+    for quad in permutations(list(graph.nodes()), 4):
+        a, b, c, d = quad
+        if (
+            graph.has_edge(a, b)
+            and graph.has_edge(b, c)
+            and graph.has_edge(c, d)
+            and graph.has_edge(d, a)
+        ):
+            count += 1
+    return count // 8  # 4 rotations x 2 directions
+
+
+def brute_tailed(graph):
+    count = 0
+    for tri in combinations(list(graph.nodes()), 3):
+        a, b, c = tri
+        if not (
+            graph.has_edge(a, b) and graph.has_edge(b, c) and graph.has_edge(a, c)
+        ):
+            continue
+        for v in tri:
+            count += graph.degree(v) - 2
+    return count
+
+
+def brute_diamonds(graph):
+    count = 0
+    for u, v in graph.edges():
+        shared = len(graph.common_neighbors(u, v))
+        count += shared * (shared - 1) // 2
+    return count
+
+
+def brute_cliques4(graph):
+    count = 0
+    for quad in combinations(list(graph.nodes()), 4):
+        if all(graph.has_edge(a, b) for a, b in combinations(quad, 2)):
+            count += 1
+    return count
+
+
+class TestExactClosedForms:
+    def test_k5(self, k5_graph):
+        counts = count_motifs(k5_graph)
+        assert counts.path4 == 60
+        assert counts.star4 == 20
+        assert counts.cycle4 == 15
+        assert counts.tailed_triangle == 60
+        assert counts.diamond == 30
+        assert counts.clique4 == 5
+
+    def test_path_graph(self):
+        graph = path_graph(6)
+        counts = count_motifs(graph)
+        assert counts.path4 == 3
+        assert counts.star4 == 0
+        assert counts.cycle4 == 0
+        assert counts.clique4 == 0
+
+    def test_cycle_graph(self):
+        counts = count_motifs(cycle_graph(4))
+        assert counts.cycle4 == 1
+        assert counts.path4 == 4
+        assert counts.clique4 == 0
+
+    def test_star_graph(self):
+        counts = count_motifs(star_graph(5))
+        assert counts.star4 == 10  # C(5,3)
+        assert counts.path4 == 0
+        assert counts.tailed_triangle == 0
+
+    def test_diamond_graph(self, diamond_graph):
+        counts = count_motifs(diamond_graph)
+        assert counts.diamond == 1
+        assert counts.clique4 == 0
+        # Non-induced occurrences: each of the two triangles has two tail
+        # edges (the tails land on the other triangle's nodes).
+        assert counts.tailed_triangle == 4
+
+    def test_as_dict_names(self, k4_graph):
+        assert tuple(count_motifs(k4_graph).as_dict()) == MOTIF_NAMES
+
+
+small_graphs = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs)
+def test_exact_formulas_match_brute_force(pairs):
+    graph = AdjacencyGraph(pairs)
+    assert count_paths4(graph) == brute_paths4(graph)
+    assert count_cycles4(graph) == brute_cycles4(graph)
+    assert count_tailed_triangles(graph) == brute_tailed(graph)
+    assert count_diamonds(graph) == brute_diamonds(graph)
+    assert count_cliques4(graph) == brute_cliques4(graph)
+    assert count_stars4(graph) == sum(
+        graph.degree(v) * (graph.degree(v) - 1) * (graph.degree(v) - 2) // 6
+        for v in graph.nodes()
+    )
+
+
+class TestCensusExactness:
+    def sampler_for(self, graph, capacity=None, seed=0):
+        sampler = GraphPrioritySampler(
+            capacity or graph.num_edges + 1, seed=seed
+        )
+        sampler.process_stream(EdgeStream.from_graph(graph, seed=seed))
+        return sampler
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_complete_graphs(self, n):
+        graph = complete_graph(n)
+        census = MotifCensusEstimator(self.sampler_for(graph)).estimate()
+        exact = count_motifs(graph)
+        for name in MOTIF_NAMES:
+            assert census[name].value == pytest.approx(getattr(exact, name)), name
+            assert census[name].variance == pytest.approx(0.0, abs=1e-9), name
+
+    def test_clustered_graph(self):
+        graph = powerlaw_cluster(200, 3, 0.7, seed=5)
+        census = MotifCensusEstimator(self.sampler_for(graph)).estimate()
+        exact = count_motifs(graph)
+        for name in MOTIF_NAMES:
+            assert census[name].value == pytest.approx(getattr(exact, name)), name
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs, st.integers(0, 100_000))
+def test_census_exact_without_overflow(pairs, seed):
+    graph = AdjacencyGraph(pairs)
+    sampler = GraphPrioritySampler(graph.num_edges + 1, seed=seed)
+    sampler.process_stream(graph.edges())
+    census = MotifCensusEstimator(sampler).estimate()
+    exact = count_motifs(graph)
+    for name in MOTIF_NAMES:
+        assert census[name].value == pytest.approx(getattr(exact, name)), name
+
+
+class TestCensusSampling:
+    @pytest.fixture(scope="class")
+    def motif_graph(self):
+        return powerlaw_cluster(150, 3, 0.7, seed=3)
+
+    def test_all_motifs_unbiased(self, motif_graph):
+        exact = count_motifs(motif_graph)
+        moments = {name: RunningMoments() for name in MOTIF_NAMES}
+        for seed in range(120):
+            sampler = GraphPrioritySampler(capacity=120, seed=2_000 + seed)
+            sampler.process_stream(EdgeStream.from_graph(motif_graph, seed=seed))
+            census = MotifCensusEstimator(sampler).estimate()
+            for name in MOTIF_NAMES:
+                moments[name].add(census[name].value)
+        for name in MOTIF_NAMES:
+            actual = getattr(exact, name)
+            spread = moments[name].std_error
+            assert abs(moments[name].mean - actual) < 5.0 * spread, name
+
+    def test_variances_non_negative(self, motif_graph):
+        sampler = GraphPrioritySampler(capacity=120, seed=9)
+        sampler.process_stream(EdgeStream.from_graph(motif_graph, seed=9))
+        census = MotifCensusEstimator(sampler).estimate()
+        for name in MOTIF_NAMES:
+            assert census[name].variance >= 0.0, name
+
+    def test_estimates_non_negative(self, motif_graph):
+        sampler = GraphPrioritySampler(capacity=60, seed=11)
+        sampler.process_stream(EdgeStream.from_graph(motif_graph, seed=11))
+        census = MotifCensusEstimator(sampler).estimate()
+        for name in MOTIF_NAMES:
+            assert census[name].value >= 0.0, name

@@ -1,0 +1,156 @@
+"""Tests for Algorithm 2 (post-stream estimation).
+
+The exactness invariant is load-bearing: while the reservoir never
+overflows, every inclusion probability is 1 and Algorithm 2 must return
+*exactly* the prefix graph's triangle/wedge counts with zero variance.
+Unbiasedness and variance calibration are checked by Monte Carlo with
+pinned seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.post_stream import PostStreamEstimator
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.graph.exact import compute_statistics
+from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
+
+
+def estimate_after(graph, capacity, stream_seed=0, sampler_seed=1):
+    sampler = GraphPrioritySampler(capacity=capacity, seed=sampler_seed)
+    sampler.process_stream(EdgeStream.from_graph(graph, seed=stream_seed))
+    return PostStreamEstimator(sampler).estimate()
+
+
+class TestExactnessWithoutOverflow:
+    def test_triangle_graph(self, triangle_graph):
+        est = estimate_after(triangle_graph, capacity=10)
+        assert est.triangles.value == pytest.approx(1.0)
+        assert est.wedges.value == pytest.approx(3.0)
+        assert est.clustering.value == pytest.approx(1.0)
+        assert est.triangles.variance == 0.0
+        assert est.wedges.variance == 0.0
+
+    def test_diamond_graph(self, diamond_graph):
+        est = estimate_after(diamond_graph, capacity=10)
+        assert est.triangles.value == pytest.approx(2.0)
+        assert est.wedges.value == pytest.approx(8.0)
+
+    def test_k5(self, k5_graph):
+        est = estimate_after(k5_graph, capacity=100)
+        assert est.triangles.value == pytest.approx(10.0)
+        assert est.wedges.value == pytest.approx(30.0)
+        assert est.clustering.value == pytest.approx(1.0)
+
+    def test_medium_graph_exact(self, medium_graph, medium_stats):
+        est = estimate_after(medium_graph, capacity=medium_graph.num_edges + 1)
+        assert est.triangles.value == pytest.approx(medium_stats.triangles)
+        assert est.wedges.value == pytest.approx(medium_stats.wedges)
+        assert est.clustering.value == pytest.approx(medium_stats.clustering)
+        assert est.triangles.variance == 0.0
+        assert est.tri_wedge_covariance == 0.0
+
+    def test_empty_sampler(self):
+        sampler = GraphPrioritySampler(capacity=5, seed=0)
+        est = PostStreamEstimator(sampler).estimate()
+        assert est.triangles.value == 0.0
+        assert est.wedges.value == 0.0
+        assert est.clustering.value == 0.0
+
+
+class TestUnbiasedness:
+    def test_triangle_and_wedge_means(self, social_graph, social_stats):
+        runs = 250
+        capacity = 150
+        tri = RunningMoments()
+        wedge = RunningMoments()
+        for seed in range(runs):
+            est = estimate_after(
+                social_graph, capacity, stream_seed=seed, sampler_seed=10_000 + seed
+            )
+            tri.add(est.triangles.value)
+            wedge.add(est.wedges.value)
+        # 4.5-sigma Monte-Carlo tolerance around the exact counts.
+        assert abs(tri.mean - social_stats.triangles) < 4.5 * tri.std_error
+        assert abs(wedge.mean - social_stats.wedges) < 4.5 * wedge.std_error
+
+    def test_variance_estimator_calibrated(self, social_graph, social_stats):
+        runs = 250
+        capacity = 150
+        estimates = RunningMoments()
+        variance_estimates = RunningMoments()
+        for seed in range(runs):
+            est = estimate_after(
+                social_graph, capacity, stream_seed=seed, sampler_seed=20_000 + seed
+            )
+            estimates.add(est.triangles.value)
+            variance_estimates.add(est.triangles.variance)
+        empirical = estimates.variance
+        # Mean estimated variance tracks the empirical variance within 40%.
+        assert variance_estimates.mean == pytest.approx(empirical, rel=0.4)
+
+
+class TestVarianceProperties:
+    def test_variances_non_negative(self, medium_graph):
+        est = estimate_after(medium_graph, capacity=400)
+        assert est.triangles.variance >= 0.0
+        assert est.wedges.variance >= 0.0
+        assert est.clustering.variance >= 0.0
+        assert est.tri_wedge_covariance >= 0.0
+
+    def test_confidence_bounds_bracket_estimate(self, medium_graph):
+        est = estimate_after(medium_graph, capacity=400)
+        lb, ub = est.triangles.confidence_bounds()
+        assert lb <= est.triangles.value <= ub
+
+    def test_estimates_non_negative(self, medium_graph):
+        est = estimate_after(medium_graph, capacity=300, sampler_seed=7)
+        assert est.triangles.value >= 0.0
+        assert est.wedges.value >= 0.0
+        assert est.clustering.value >= 0.0
+
+
+class TestAgainstBruteForce:
+    def test_matches_direct_ht_sums(self, social_graph):
+        """Algorithm 2's localized sums equal the global HT definitions."""
+        sampler = GraphPrioritySampler(capacity=120, seed=3)
+        sampler.process_stream(EdgeStream.from_graph(social_graph, seed=3))
+        est = PostStreamEstimator(sampler).estimate()
+
+        threshold = sampler.threshold
+        sample = sampler.sample
+        probs = {r.key: r.inclusion_probability(threshold) for r in sample.records()}
+        # Brute force: enumerate sampled triangles and wedges globally.
+        keys = sorted(probs)
+        nodes = {}
+        for u, v in keys:
+            nodes.setdefault(u, set()).add(v)
+            nodes.setdefault(v, set()).add(u)
+        tri_total = 0.0
+        seen = set()
+        for u, v in keys:
+            for w in nodes[u] & nodes[v]:
+                tri = frozenset((u, v, w))
+                if tri in seen:
+                    continue
+                seen.add(tri)
+                import itertools
+
+                inv = 1.0
+                for a, b in itertools.combinations(sorted(tri, key=repr), 2):
+                    key = (a, b) if (a, b) in probs else (b, a)
+                    inv /= probs[key]
+                tri_total += inv
+        wedge_total = 0.0
+        for center, nbrs in nodes.items():
+            nbr_list = sorted(nbrs, key=repr)
+            for i in range(len(nbr_list)):
+                for j in range(i + 1, len(nbr_list)):
+                    a, b = nbr_list[i], nbr_list[j]
+                    ka = (a, center) if (a, center) in probs else (center, a)
+                    kb = (b, center) if (b, center) in probs else (center, b)
+                    wedge_total += 1.0 / (probs[ka] * probs[kb])
+        assert est.triangles.value == pytest.approx(tri_total)
+        assert est.wedges.value == pytest.approx(wedge_total)

@@ -1,0 +1,200 @@
+"""Tests for Algorithm 1: the GPS(m) priority sampler."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.priority_sampler import GraphPrioritySampler, priority_of
+from repro.core.weights import UniformWeight
+from repro.graph.adjacency import AdjacencyGraph
+from repro.streams.stream import EdgeStream
+
+
+def feed(sampler, edges):
+    for u, v in edges:
+        sampler.process(u, v)
+
+
+class TestBasicBehaviour:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GraphPrioritySampler(0)
+
+    def test_sample_grows_until_capacity(self):
+        sampler = GraphPrioritySampler(capacity=3, seed=0)
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+        sizes = []
+        for u, v in edges:
+            sampler.process(u, v)
+            sizes.append(sampler.sample_size)
+        assert sizes == [1, 2, 3, 3, 3]
+
+    def test_threshold_zero_until_overflow(self):
+        sampler = GraphPrioritySampler(capacity=3, seed=0)
+        feed(sampler, [(0, 1), (1, 2), (2, 3)])
+        assert sampler.threshold == 0.0
+        sampler.process(3, 4)
+        assert sampler.threshold > 0.0
+
+    def test_threshold_is_monotone(self, medium_graph):
+        sampler = GraphPrioritySampler(capacity=50, seed=1)
+        last = 0.0
+        for u, v in EdgeStream.from_graph(medium_graph, seed=0).prefix(500):
+            sampler.process(u, v)
+            assert sampler.threshold >= last
+            last = sampler.threshold
+
+    def test_self_loops_skipped(self):
+        sampler = GraphPrioritySampler(capacity=3, seed=0)
+        result = sampler.process(1, 1)
+        assert result.skipped
+        assert sampler.self_loops_skipped == 1
+        assert sampler.stream_position == 0
+
+    def test_duplicate_of_sampled_edge_skipped(self):
+        sampler = GraphPrioritySampler(capacity=3, seed=0)
+        sampler.process(0, 1)
+        result = sampler.process(1, 0)
+        assert result.skipped
+        assert sampler.duplicates_skipped == 1
+        assert sampler.sample_size == 1
+
+    def test_update_result_reports_eviction(self):
+        sampler = GraphPrioritySampler(capacity=1, seed=0)
+        first = sampler.process(0, 1)
+        assert first.kept and first.evicted is None
+        second = sampler.process(1, 2)
+        assert second.evicted is not None
+        assert second.changed_sample or not second.kept
+
+    def test_eviction_can_reject_the_arrival(self):
+        # With capacity 1 some arrivals must bounce; find one.
+        sampler = GraphPrioritySampler(capacity=1, seed=3)
+        bounced = False
+        for i in range(1, 50):
+            result = sampler.process(i, i + 1)
+            if result.evicted is result.record:
+                assert not result.kept
+                bounced = True
+        assert bounced
+
+    def test_deterministic_by_seed(self, medium_graph):
+        stream = EdgeStream.from_graph(medium_graph, seed=0)
+        s1 = GraphPrioritySampler(capacity=100, seed=9)
+        s2 = GraphPrioritySampler(capacity=100, seed=9)
+        s1.process_stream(stream)
+        s2.process_stream(stream)
+        assert sorted(s1.sampled_edges()) == sorted(s2.sampled_edges())
+        assert s1.threshold == s2.threshold
+
+    def test_different_seeds_differ(self, medium_graph):
+        stream = EdgeStream.from_graph(medium_graph, seed=0)
+        s1 = GraphPrioritySampler(capacity=100, seed=1)
+        s2 = GraphPrioritySampler(capacity=100, seed=2)
+        s1.process_stream(stream)
+        s2.process_stream(stream)
+        assert sorted(s1.sampled_edges()) != sorted(s2.sampled_edges())
+
+
+class TestProbabilities:
+    def test_probabilities_before_overflow_are_one(self):
+        sampler = GraphPrioritySampler(capacity=10, seed=0)
+        feed(sampler, [(0, 1), (1, 2)])
+        probs = sampler.normalized_probabilities()
+        assert probs == {(0, 1): 1.0, (1, 2): 1.0}
+
+    def test_probabilities_in_unit_interval(self, medium_graph):
+        sampler = GraphPrioritySampler(capacity=200, seed=4)
+        sampler.process_stream(EdgeStream.from_graph(medium_graph, seed=0))
+        for prob in sampler.normalized_probabilities().values():
+            assert 0.0 < prob <= 1.0
+
+    def test_edge_probability_of_missing_edge(self):
+        sampler = GraphPrioritySampler(capacity=5, seed=0)
+        sampler.process(0, 1)
+        assert sampler.edge_probability(5, 6) == 0.0
+        assert sampler.edge_probability(0, 1) == 1.0
+
+    def test_sampled_records_survive_priority_rule(self, medium_graph):
+        # Every retained record's priority must exceed the threshold.
+        sampler = GraphPrioritySampler(capacity=100, seed=5)
+        sampler.process_stream(EdgeStream.from_graph(medium_graph, seed=0))
+        for record in sampler.records():
+            assert record.priority >= sampler.threshold
+
+    def test_weight_validation(self):
+        sampler = GraphPrioritySampler(
+            capacity=2, weight_fn=lambda u, v, s: 0.0, seed=0
+        )
+        with pytest.raises(ValueError):
+            sampler.process(0, 1)
+
+
+class TestUniformDegenerate:
+    def test_uniform_weight_gives_uniform_marginals(self):
+        # With W ≡ 1 GPS is a uniform without-replacement sampler (paper
+        # remark after Algorithm 1): empirically every edge should be
+        # retained at about the same rate m/t.
+        edges = [(i, i + 1) for i in range(40)]
+        counts: Counter = Counter()
+        runs = 3000
+        m = 10
+        for seed in range(runs):
+            sampler = GraphPrioritySampler(capacity=m, weight_fn=UniformWeight(), seed=seed)
+            feed(sampler, edges)
+            counts.update(sampler.sampled_edges())
+        expected = m / len(edges)
+        for edge in AdjacencyGraph(edges).edges():
+            rate = counts[edge] / runs
+            # 3000 runs: 4.5 sigma tolerance on a Bernoulli(0.25) rate.
+            sigma = math.sqrt(expected * (1 - expected) / runs)
+            assert abs(rate - expected) < 4.5 * sigma, (edge, rate, expected)
+
+
+class TestPriorityOf:
+    def test_formula(self):
+        assert priority_of(2.0, 0.5) == 4.0
+
+    def test_invalid_uniform(self):
+        with pytest.raises(ValueError):
+            priority_of(1.0, 0.0)
+        with pytest.raises(ValueError):
+            priority_of(1.0, 1.5)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            priority_of(0.0, 0.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=80),
+    st.integers(1, 20),
+    st.integers(0, 10_000),
+)
+def test_invariants_hold_for_any_stream(pairs, capacity, seed):
+    sampler = GraphPrioritySampler(capacity=capacity, seed=seed)
+    simple = set()
+    for u, v in pairs:
+        sampler.process(u, v)
+        if u != v:
+            simple.add(frozenset((u, v)))
+    # S1: fixed-size sample.
+    assert sampler.sample_size == min(len(simple), capacity) or (
+        # duplicates *outside* the reservoir cannot be detected, so the
+        # arrival count may exceed the number of distinct edges; the sample
+        # can therefore be smaller than min(distinct, capacity).
+        sampler.sample_size <= min(sampler.stream_position, capacity)
+    )
+    assert sampler.sample_size <= capacity
+    # Threshold and probabilities are consistent.
+    for record in sampler.records():
+        prob = sampler.inclusion_probability(record)
+        assert 0.0 < prob <= 1.0
+        assert record.priority >= sampler.threshold

@@ -1,0 +1,108 @@
+"""Hypothesis property tests for the GPS core.
+
+These pin the estimator algebra to exact counting on *arbitrary* graphs
+and streams: whatever edges hypothesis generates, (a) a non-overflowing
+GPS run must reproduce the exact counts with zero variance, and (b) an
+overflowing run must keep all structural invariants intact.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.in_stream import InStreamEstimator
+from repro.core.post_stream import PostStreamEstimator
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.exact import global_clustering, triangle_count, wedge_count
+from repro.streams.transforms import simplify_edges
+
+edge_streams = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=70
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(edge_streams, st.integers(0, 1_000_000))
+def test_no_overflow_post_stream_is_exact(pairs, seed):
+    edges = list(simplify_edges(pairs))
+    graph = AdjacencyGraph(edges)
+    sampler = GraphPrioritySampler(capacity=len(edges) + 1, seed=seed)
+    sampler.process_stream(edges)
+    estimates = PostStreamEstimator(sampler).estimate()
+    assert estimates.triangles.value == pytest.approx(triangle_count(graph))
+    assert estimates.wedges.value == pytest.approx(wedge_count(graph))
+    assert estimates.clustering.value == pytest.approx(global_clustering(graph))
+    assert estimates.triangles.variance == 0.0
+    assert estimates.wedges.variance == 0.0
+    assert estimates.tri_wedge_covariance == 0.0
+
+
+@settings(max_examples=120, deadline=None)
+@given(edge_streams, st.integers(0, 1_000_000))
+def test_no_overflow_in_stream_is_exact(pairs, seed):
+    edges = list(simplify_edges(pairs))
+    graph = AdjacencyGraph(edges)
+    estimator = InStreamEstimator(capacity=len(edges) + 1, seed=seed)
+    estimator.process_stream(edges)
+    estimates = estimator.estimates()
+    assert estimates.triangles.value == pytest.approx(triangle_count(graph))
+    assert estimates.wedges.value == pytest.approx(wedge_count(graph))
+    assert estimates.triangles.variance == 0.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(edge_streams, st.integers(1, 15), st.integers(0, 1_000_000))
+def test_overflowing_runs_keep_invariants(pairs, capacity, seed):
+    estimator = InStreamEstimator(capacity=capacity, seed=seed)
+    last_tri = 0.0
+    for u, v in pairs:
+        estimator.process(u, v)
+        # In-stream estimates are frozen snapshots: monotone non-decreasing.
+        assert estimator.triangle_estimate >= last_tri
+        last_tri = estimator.triangle_estimate
+    estimates = estimator.estimates()
+    sampler = estimator.sampler
+    assert sampler.sample_size <= capacity
+    assert estimates.triangles.value >= 0.0
+    assert estimates.wedges.value >= 0.0
+    assert estimates.triangles.variance >= 0.0
+    assert estimates.wedges.variance >= 0.0
+    assert estimates.tri_wedge_covariance >= 0.0
+    post = PostStreamEstimator(sampler).estimate()
+    assert post.triangles.value >= 0.0
+    assert post.triangles.variance >= 0.0
+    # Both estimators agree on the sample they describe.
+    assert post.sample_size == estimates.sample_size
+    assert post.threshold == estimates.threshold
+
+
+@settings(max_examples=80, deadline=None)
+@given(edge_streams, st.integers(1, 15), st.integers(0, 1_000_000))
+def test_post_stream_counts_only_sampled_subgraphs(pairs, capacity, seed):
+    """If the sample holds no triangles/wedges, estimates must be zero."""
+    sampler = GraphPrioritySampler(capacity=capacity, seed=seed)
+    sampler.process_stream(pairs)
+    estimates = PostStreamEstimator(sampler).estimate()
+    sample_graph = AdjacencyGraph(sampler.sampled_edges())
+    if triangle_count(sample_graph) == 0:
+        assert estimates.triangles.value == 0.0
+    else:
+        assert estimates.triangles.value > 0.0
+    if wedge_count(sample_graph) == 0:
+        assert estimates.wedges.value == 0.0
+    else:
+        assert estimates.wedges.value > 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_streams, st.integers(1, 12), st.integers(0, 1_000_000))
+def test_threshold_never_decreases(pairs, capacity, seed):
+    sampler = GraphPrioritySampler(capacity=capacity, seed=seed)
+    last = 0.0
+    for u, v in pairs:
+        sampler.process(u, v)
+        assert sampler.threshold >= last
+        last = sampler.threshold

@@ -1,0 +1,131 @@
+"""Tests for EdgeRecord and the SampledGraph reservoir view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import EdgeRecord
+from repro.core.reservoir import SampledGraph
+
+
+def rec(u, v, weight=1.0, priority=1.0):
+    return EdgeRecord(u, v, weight=weight, priority=priority)
+
+
+class TestEdgeRecord:
+    def test_key_is_canonical(self):
+        assert rec(5, 2).key == (2, 5)
+
+    def test_other_endpoint(self):
+        record = rec(1, 2)
+        assert record.other_endpoint(1) == 2
+        assert record.other_endpoint(2) == 1
+
+    def test_other_endpoint_invalid(self):
+        with pytest.raises(ValueError):
+            rec(1, 2).other_endpoint(9)
+
+    def test_inclusion_probability_before_overflow(self):
+        assert rec(0, 1, weight=0.5).inclusion_probability(0.0) == 1.0
+
+    def test_inclusion_probability_capped_at_one(self):
+        assert rec(0, 1, weight=10.0).inclusion_probability(2.0) == 1.0
+
+    def test_inclusion_probability_ratio(self):
+        assert rec(0, 1, weight=1.0).inclusion_probability(4.0) == 0.25
+
+    def test_accumulators_start_at_zero(self):
+        record = rec(0, 1)
+        assert record.cov_triangle == 0.0
+        assert record.cov_wedge == 0.0
+        assert record.heap_pos == -1
+
+
+class TestSampledGraphMutation:
+    def test_add_and_query(self):
+        sample = SampledGraph()
+        record = rec(0, 1)
+        sample.add(record)
+        assert sample.num_edges == 1
+        assert sample.num_nodes == 2
+        assert sample.has_edge(0, 1)
+        assert sample.has_edge(1, 0)
+        assert sample.record(1, 0) is record
+
+    def test_duplicate_add_raises(self):
+        sample = SampledGraph()
+        sample.add(rec(0, 1))
+        with pytest.raises(ValueError):
+            sample.add(rec(1, 0))
+
+    def test_remove_drops_isolated_nodes(self):
+        sample = SampledGraph()
+        record = rec(0, 1)
+        sample.add(record)
+        sample.remove(record)
+        assert sample.num_edges == 0
+        assert sample.num_nodes == 0
+        assert sample.record(0, 1) is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            SampledGraph().remove(rec(0, 1))
+
+    def test_degree(self):
+        sample = SampledGraph()
+        sample.add(rec(0, 1))
+        sample.add(rec(0, 2))
+        assert sample.degree(0) == 2
+        assert sample.degree(1) == 1
+        assert sample.degree(9) == 0
+
+
+class TestSampledGraphEnumeration:
+    def build_diamond(self):
+        sample = SampledGraph()
+        records = {}
+        for u, v in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]:
+            records[(u, v)] = rec(u, v)
+            sample.add(records[(u, v)])
+        return sample, records
+
+    def test_records_each_edge_once(self):
+        sample, records = self.build_diamond()
+        seen = sorted(r.key for r in sample.records())
+        assert seen == sorted(r.key for r in records.values())
+
+    def test_common_neighbor_count(self):
+        sample, _ = self.build_diamond()
+        assert sample.common_neighbor_count(1, 2) == 2
+        assert sample.common_neighbor_count(0, 3) == 2
+        assert sample.common_neighbor_count(0, 9) == 0
+
+    def test_triangles_with_sampled_edge(self):
+        sample, records = self.build_diamond()
+        found = {w: (r1.key, r2.key) for w, r1, r2 in sample.triangles_with(1, 2)}
+        assert set(found) == {0, 3}
+        assert found[0] == ((0, 1), (0, 2))
+        assert found[3] == ((1, 3), (2, 3))
+
+    def test_triangles_with_unsampled_edge(self):
+        # Triangles an *arriving* (not yet sampled) edge would close.
+        sample = SampledGraph()
+        sample.add(rec(0, 1))
+        sample.add(rec(0, 2))
+        found = list(sample.triangles_with(1, 2))
+        assert len(found) == 1
+        assert found[0][0] == 0
+
+    def test_incident_records_with_exclusion(self):
+        sample, _ = self.build_diamond()
+        keys = sorted(r.key for r in sample.incident_records(1, exclude=2))
+        assert keys == [(0, 1), (1, 3)]
+        keys_all = sorted(r.key for r in sample.incident_records(1))
+        assert keys_all == [(0, 1), (1, 2), (1, 3)]
+
+    def test_triangles_with_scans_smaller_side(self):
+        # Correctness is orientation-independent.
+        sample, _ = self.build_diamond()
+        fwd = {w for w, _a, _b in sample.triangles_with(1, 2)}
+        rev = {w for w, _a, _b in sample.triangles_with(2, 1)}
+        assert fwd == rev == {0, 3}

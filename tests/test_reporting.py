@@ -1,0 +1,84 @@
+"""Tests for ASCII reporting helpers."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import (
+    format_fraction,
+    format_table,
+    human_count,
+    save_report,
+)
+
+
+class TestHumanCount:
+    def test_paper_style_magnitudes(self):
+        assert human_count(4.9e9) == "4.9B"
+        assert human_count(667.1e3) == "667.1K"
+        assert human_count(83e6) == "83M"
+        assert human_count(1.8e12) == "1.8T"
+
+    def test_small_numbers(self):
+        assert human_count(12) == "12"
+        assert human_count(0.205) == "0.205"
+        assert human_count(999) == "999"
+
+    def test_none(self):
+        assert human_count(None) == "-"
+
+    def test_negative(self):
+        assert human_count(-2.5e6) == "-2.5M"
+
+    def test_trailing_zeros_stripped(self):
+        assert human_count(3.0e6) == "3M"
+
+
+class TestFormatFraction:
+    def test_default_digits(self):
+        assert format_fraction(0.12345) == "0.1235"
+
+    def test_none(self):
+        assert format_fraction(None) == "-"
+
+
+class TestFormatTable:
+    def test_header_and_rows_aligned(self):
+        text = format_table(
+            headers=["name", "value"],
+            rows=[["a", 1], ["bbbb", 22]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line) for line in lines if line.strip()}
+        # all rendered rows padded to consistent column widths
+        assert lines[2].startswith("a")
+        assert "22" in lines[3]
+
+    def test_title_rendered(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_none_cells(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formatting(self):
+        text = format_table(["a"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["name", "v"], [["x", 1], ["y", 100]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("100")
+        assert lines[-2].endswith("  1")
+
+
+class TestSaveReport:
+    def test_writes_file(self, tmp_path):
+        path = save_report("hello", tmp_path / "sub" / "report.txt")
+        assert path.read_text() == "hello\n"
+
+    def test_creates_directories(self, tmp_path):
+        path = save_report("x", tmp_path / "a" / "b" / "c.txt")
+        assert path.exists()

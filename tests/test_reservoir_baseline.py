@@ -1,0 +1,85 @@
+"""Tests for the uniform reservoir edge sampler (Vitter) substrate."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.baselines.base import StreamingTriangleCounter, drive
+from repro.baselines.mascot import Mascot
+from repro.baselines.neighborhood import NeighborhoodSampling
+from repro.baselines.reservoir import ReservoirEdgeSampler
+from repro.baselines.triest import TriestBase, TriestImpr
+from repro.core.in_stream import InStreamEstimator
+
+
+class TestReservoirEdgeSampler:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirEdgeSampler(0)
+
+    def test_fills_then_caps(self):
+        sampler = ReservoirEdgeSampler(3, seed=0)
+        for i in range(10):
+            sampler.process(i, i + 1)
+        assert sampler.sample_size == 3
+        assert sampler.arrivals == 10
+
+    def test_skips_self_loops_and_sampled_duplicates(self):
+        sampler = ReservoirEdgeSampler(5, seed=0)
+        assert sampler.process(0, 0) is None
+        sampler.process(0, 1)
+        assert sampler.process(1, 0) is None
+        assert sampler.arrivals == 1
+
+    def test_graph_view_tracks_sample(self):
+        sampler = ReservoirEdgeSampler(2, seed=1)
+        for i in range(20):
+            sampler.process(i, i + 1)
+        assert sampler.graph.num_edges == 2
+        assert sorted(sampler.graph.edges()) == sorted(sampler.edges())
+
+    def test_inclusion_probability(self):
+        sampler = ReservoirEdgeSampler(4, seed=0)
+        for i in range(3):
+            sampler.process(i, i + 1)
+        assert sampler.inclusion_probability == 1.0
+        for i in range(3, 16):
+            sampler.process(i, i + 1)
+        assert sampler.inclusion_probability == pytest.approx(4 / 16)
+
+    def test_marginals_are_uniform(self):
+        edges = [(i, i + 1) for i in range(25)]
+        counts: Counter = Counter()
+        runs = 4000
+        m = 5
+        for seed in range(runs):
+            sampler = ReservoirEdgeSampler(m, seed=seed)
+            for u, v in edges:
+                sampler.process(u, v)
+            counts.update(sampler.edges())
+        expected = m / len(edges)
+        sigma = math.sqrt(expected * (1 - expected) / runs)
+        for edge in counts:
+            assert abs(counts[edge] / runs - expected) < 4.5 * sigma
+
+
+class TestCounterProtocol:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: TriestBase(10, seed=0),
+            lambda: TriestImpr(10, seed=0),
+            lambda: Mascot(0.5, seed=0),
+            lambda: NeighborhoodSampling(10, seed=0),
+            lambda: InStreamEstimator(10, seed=0),
+        ],
+        ids=["triest", "triest-impr", "mascot", "nsamp", "gps-in-stream"],
+    )
+    def test_satisfies_protocol(self, factory, k4_graph):
+        counter = factory()
+        assert isinstance(counter, StreamingTriangleCounter)
+        drive(counter, k4_graph.edges())
+        assert counter.triangle_estimate >= 0.0

@@ -1,0 +1,118 @@
+"""Tests for the experiment runner (on small ad-hoc graphs, not the registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.triest import TriestImpr
+from repro.experiments.runner import (
+    BASELINE_METHODS,
+    run_baseline,
+    run_gps,
+    track_counter,
+    track_gps,
+)
+from repro.graph.exact import compute_statistics
+from repro.graph.generators import powerlaw_cluster
+
+
+@pytest.fixture(scope="module")
+def runner_graph():
+    return powerlaw_cluster(400, 4, 0.5, seed=21)
+
+
+@pytest.fixture(scope="module")
+def runner_stats(runner_graph):
+    return compute_statistics(runner_graph)
+
+
+class TestRunGps:
+    def test_shared_sample_protocol(self, runner_graph, runner_stats):
+        result = run_gps(runner_graph, runner_stats, capacity=300, stream_seed=0)
+        assert result.in_stream.sample_size == result.post_stream.sample_size
+        assert result.in_stream.threshold == result.post_stream.threshold
+        assert result.capacity == 300
+        assert result.update_time_us > 0.0
+
+    def test_sample_fraction(self, runner_graph, runner_stats):
+        result = run_gps(runner_graph, runner_stats, capacity=300)
+        assert result.sample_fraction == pytest.approx(
+            300 / runner_stats.num_edges
+        )
+
+    def test_no_overflow_is_exact(self, runner_graph, runner_stats):
+        result = run_gps(
+            runner_graph, runner_stats, capacity=runner_stats.num_edges + 10
+        )
+        assert result.in_stream.triangles.value == pytest.approx(
+            runner_stats.triangles
+        )
+        assert result.post_stream.triangles.value == pytest.approx(
+            runner_stats.triangles
+        )
+
+    def test_deterministic(self, runner_graph, runner_stats):
+        a = run_gps(runner_graph, runner_stats, capacity=200, stream_seed=3,
+                    sampler_seed=4)
+        b = run_gps(runner_graph, runner_stats, capacity=200, stream_seed=3,
+                    sampler_seed=4)
+        assert a.in_stream.triangles.value == b.in_stream.triangles.value
+        assert a.post_stream.triangles.value == b.post_stream.triangles.value
+
+
+class TestRunBaseline:
+    @pytest.mark.parametrize("method", BASELINE_METHODS)
+    def test_every_method_dispatches(self, method, runner_graph, runner_stats):
+        result = run_baseline(
+            method, runner_graph, runner_stats, budget=120, stream_seed=0, seed=1
+        )
+        assert result.method == method
+        assert result.estimate >= 0.0
+        assert result.update_time_us > 0.0
+        assert result.memory_edges == 120
+        assert result.are >= 0.0
+
+    def test_unknown_method_raises(self, runner_graph, runner_stats):
+        with pytest.raises(ValueError):
+            run_baseline("nope", runner_graph, runner_stats, budget=10)
+
+    def test_gps_post_reasonable(self, runner_graph, runner_stats):
+        result = run_baseline(
+            "gps-post", runner_graph, runner_stats, budget=350, stream_seed=0
+        )
+        assert result.are < 1.0
+
+
+class TestTracking:
+    def test_track_gps_alignment(self, runner_graph):
+        series = track_gps(runner_graph, capacity=200, num_checkpoints=6,
+                           stream_seed=0)
+        n = len(series.checkpoints)
+        assert n == 6
+        assert len(series.exact_triangles) == n
+        assert len(series.in_stream) == n
+        assert len(series.post_stream) == n
+        assert series.checkpoints == sorted(series.checkpoints)
+        assert series.checkpoints[-1] == runner_graph.num_edges
+
+    def test_track_gps_exact_when_capacity_large(self, runner_graph):
+        series = track_gps(
+            runner_graph, capacity=runner_graph.num_edges + 5, num_checkpoints=4
+        )
+        for exact, est in zip(series.exact_triangles, series.in_stream_triangles):
+            assert est == pytest.approx(exact)
+        for exact, est in zip(series.exact_triangles, series.post_stream_triangles):
+            assert est == pytest.approx(exact)
+
+    def test_track_gps_without_post(self, runner_graph):
+        series = track_gps(runner_graph, capacity=100, num_checkpoints=3,
+                           include_post=False)
+        assert series.post_stream == []
+        assert len(series.in_stream) == 3
+
+    def test_track_counter(self, runner_graph):
+        marks, exact, estimates = track_counter(
+            TriestImpr(150, seed=0), runner_graph, num_checkpoints=5
+        )
+        assert len(marks) == len(exact) == len(estimates) == 5
+        assert exact == sorted(exact)

@@ -1,0 +1,113 @@
+"""Tests for the in-stream snapshot counters (clique counter + reference)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.in_stream import InStreamEstimator
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.snapshot_counters import (
+    InStreamCliqueCounter,
+    InStreamTriangleReference,
+)
+from repro.core.subgraphs import CliqueEstimator
+from repro.graph.generators import complete_graph, powerlaw_cluster, star_graph
+from repro.graph.motifs import count_cliques4
+from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
+
+
+class TestTriangleReference:
+    """Algorithm 3's triangle count must equal the generic snapshot sum."""
+
+    def test_matches_optimized_in_stream(self, medium_graph):
+        stream = list(EdgeStream.from_graph(medium_graph, seed=0))
+        optimized = InStreamEstimator(capacity=300, seed=5)
+        reference = InStreamTriangleReference(capacity=300, seed=5)
+        for u, v in stream:
+            optimized.process(u, v)
+            reference.process(u, v)
+        assert reference.triangle_estimate == pytest.approx(
+            optimized.triangle_estimate
+        )
+
+    def test_snapshot_values_frozen(self, k4_graph):
+        reference = InStreamTriangleReference(capacity=100, seed=1)
+        for u, v in EdgeStream.from_graph(k4_graph, seed=1):
+            reference.process(u, v)
+        # no overflow: every snapshot is worth exactly 1
+        assert all(s.value == 1.0 for s in reference.snapshots)
+        assert reference.triangle_estimate == pytest.approx(4.0)
+
+
+class TestInStreamCliqueCounter:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            InStreamCliqueCounter(10, size=2)
+
+    @pytest.mark.parametrize("n,size,expected", [(4, 4, 1), (5, 4, 5), (6, 5, 6)])
+    def test_exact_on_complete_graphs(self, n, size, expected):
+        counter = InStreamCliqueCounter(capacity=100, size=size, seed=0)
+        counter.process_stream(EdgeStream.from_graph(complete_graph(n), seed=0))
+        assert counter.clique_estimate == pytest.approx(expected)
+
+    def test_triangle_size_matches_triangle_counter(self, medium_graph):
+        stream = list(EdgeStream.from_graph(medium_graph, seed=2))
+        cliques = InStreamCliqueCounter(capacity=400, size=3, seed=7)
+        triangles = InStreamEstimator(capacity=400, seed=7)
+        for u, v in stream:
+            cliques.process(u, v)
+            triangles.process(u, v)
+        assert cliques.clique_estimate == pytest.approx(
+            triangles.triangle_estimate
+        )
+
+    def test_zero_on_clique_free_graph(self):
+        counter = InStreamCliqueCounter(capacity=50, size=4, seed=0)
+        counter.process_stream(EdgeStream.from_graph(star_graph(10), seed=0))
+        assert counter.clique_estimate == 0.0
+        assert counter.snapshots_taken == 0
+
+    def test_exact_without_overflow(self):
+        graph = powerlaw_cluster(120, 4, 0.8, seed=4)
+        counter = InStreamCliqueCounter(
+            capacity=graph.num_edges + 1, size=4, seed=3
+        )
+        counter.process_stream(EdgeStream.from_graph(graph, seed=3))
+        assert counter.clique_estimate == pytest.approx(count_cliques4(graph))
+
+    def test_unbiased_under_sampling(self):
+        graph = powerlaw_cluster(120, 4, 0.8, seed=4)
+        actual = count_cliques4(graph)
+        assert actual > 0
+        moments = RunningMoments()
+        for seed in range(150):
+            counter = InStreamCliqueCounter(capacity=250, size=4, seed=5_000 + seed)
+            counter.process_stream(EdgeStream.from_graph(graph, seed=seed))
+            moments.add(counter.clique_estimate)
+        assert abs(moments.mean - actual) < 5.0 * moments.std_error
+
+    def test_lower_variance_than_post_stream(self):
+        """Snapshots reduce variance for cliques just as for triangles."""
+        graph = powerlaw_cluster(120, 4, 0.8, seed=4)
+        in_stream = RunningMoments()
+        post = RunningMoments()
+        for seed in range(100):
+            counter = InStreamCliqueCounter(capacity=250, size=4, seed=6_000 + seed)
+            counter.process_stream(EdgeStream.from_graph(graph, seed=seed))
+            in_stream.add(counter.clique_estimate)
+            post.add(CliqueEstimator(counter.sampler, size=4).estimate().value)
+        assert in_stream.variance < post.variance
+
+    def test_skips_duplicates_and_loops(self):
+        counter = InStreamCliqueCounter(capacity=10, size=3, seed=0)
+        counter.process(0, 0)
+        counter.process(0, 1)
+        counter.process(0, 1)
+        assert counter.sampler.stream_position == 1
+        assert counter.clique_estimate == 0.0
+
+    def test_shares_sampler_protocol(self):
+        sampler = GraphPrioritySampler(capacity=50, seed=1)
+        counter = InStreamCliqueCounter(capacity=50, size=4, sampler=sampler)
+        assert counter.sampler is sampler

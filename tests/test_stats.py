@@ -1,0 +1,207 @@
+"""Tests for the statistics substrate (metrics, CIs, HT, moments, delta)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.confidence import confidence_interval, inverse_normal_cdf, z_score
+from repro.stats.horvitz_thompson import (
+    ht_estimate,
+    ht_single_variance_term,
+    ht_variance_with_replacement,
+    inverse_probability,
+    product_estimate,
+)
+from repro.stats.metrics import (
+    absolute_relative_error,
+    ci_coverage,
+    max_absolute_relative_error,
+    mean_absolute_relative_error,
+    normalized_rmse,
+)
+from repro.stats.running import RunningMoments
+from repro.stats.variance import clustering_variance, ratio_variance_delta
+
+
+class TestInverseNormal:
+    @pytest.mark.parametrize("p", [0.001, 0.01, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999])
+    def test_matches_scipy(self, p):
+        assert inverse_normal_cdf(p) == pytest.approx(
+            scipy_stats.norm.ppf(p), abs=1e-7
+        )
+
+    def test_symmetry(self):
+        assert inverse_normal_cdf(0.3) == pytest.approx(-inverse_normal_cdf(0.7))
+
+    def test_median_is_zero(self):
+        assert inverse_normal_cdf(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.5, 2.0])
+    def test_out_of_range_raises(self, p):
+        with pytest.raises(ValueError):
+            inverse_normal_cdf(p)
+
+    def test_z_score_95(self):
+        assert z_score(0.95) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_z_score_invalid(self):
+        with pytest.raises(ValueError):
+            z_score(1.5)
+
+
+class TestConfidenceInterval:
+    def test_95_interval(self):
+        lb, ub = confidence_interval(100.0, 25.0)
+        assert lb == pytest.approx(100 - 1.959964 * 5, abs=1e-3)
+        assert ub == pytest.approx(100 + 1.959964 * 5, abs=1e-3)
+
+    def test_zero_variance_collapses(self):
+        assert confidence_interval(7.0, 0.0) == (7.0, 7.0)
+
+    def test_negative_variance_clamped(self):
+        assert confidence_interval(7.0, -3.0) == (7.0, 7.0)
+
+    def test_wider_level_wider_interval(self):
+        lb95, ub95 = confidence_interval(0.0, 1.0, level=0.95)
+        lb99, ub99 = confidence_interval(0.0, 1.0, level=0.99)
+        assert lb99 < lb95 < ub95 < ub99
+
+
+class TestMetrics:
+    def test_are_basic(self):
+        assert absolute_relative_error(90, 100) == pytest.approx(0.1)
+        assert absolute_relative_error(110, 100) == pytest.approx(0.1)
+
+    def test_are_zero_actual(self):
+        assert absolute_relative_error(0, 0) == 0.0
+        assert absolute_relative_error(5, 0) == float("inf")
+
+    def test_mare(self):
+        assert mean_absolute_relative_error([90, 110], [100, 100]) == pytest.approx(0.1)
+
+    def test_mare_skips_zero_actuals(self):
+        assert mean_absolute_relative_error([5, 90], [0, 100]) == pytest.approx(0.1)
+
+    def test_mare_all_zero_actuals(self):
+        assert mean_absolute_relative_error([5], [0]) == 0.0
+
+    def test_mare_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_relative_error([1, 2], [1])
+
+    def test_max_are(self):
+        assert max_absolute_relative_error([90, 150], [100, 100]) == pytest.approx(0.5)
+
+    def test_nrmse(self):
+        assert normalized_rmse([90, 110], 100) == pytest.approx(0.1)
+
+    def test_nrmse_requires_data(self):
+        with pytest.raises(ValueError):
+            normalized_rmse([], 10)
+        with pytest.raises(ValueError):
+            normalized_rmse([1.0], 0)
+
+    def test_ci_coverage(self):
+        intervals = [(0, 2), (5, 6), (0.5, 1.5)]
+        assert ci_coverage(intervals, 1.0) == pytest.approx(2 / 3)
+
+    def test_ci_coverage_empty(self):
+        with pytest.raises(ValueError):
+            ci_coverage([], 1.0)
+
+
+class TestHorvitzThompson:
+    def test_inverse_probability(self):
+        assert inverse_probability(0.25) == 4.0
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_invalid_probability(self, p):
+        with pytest.raises(ValueError):
+            inverse_probability(p)
+
+    def test_ht_estimate(self):
+        assert ht_estimate([0.5, 0.25]) == pytest.approx(6.0)
+
+    def test_single_variance_term(self):
+        assert ht_single_variance_term(0.5) == pytest.approx(2.0)
+        assert ht_single_variance_term(1.0) == 0.0
+
+    def test_variance_with_replacement(self):
+        assert ht_variance_with_replacement([0.5, 1.0]) == pytest.approx(2.0)
+
+    def test_product_estimate(self):
+        assert product_estimate([0.5, 0.5, 1.0]) == pytest.approx(4.0)
+
+    def test_ht_is_unbiased_bernoulli(self):
+        # Monte-Carlo: estimate a population total of 100 items sampled
+        # independently with p = 0.3 via HT; mean should approach 100.
+        rng = random.Random(0)
+        total = 0.0
+        runs = 3000
+        for _ in range(runs):
+            kept = sum(1 for _ in range(100) if rng.random() < 0.3)
+            total += kept / 0.3
+        assert total / runs == pytest.approx(100.0, rel=0.02)
+
+
+class TestRunningMoments:
+    def test_matches_batch_statistics(self):
+        rng = random.Random(1)
+        values = [rng.gauss(5, 2) for _ in range(500)]
+        mom = RunningMoments()
+        mom.extend(values)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert mom.mean == pytest.approx(mean)
+        assert mom.variance == pytest.approx(var)
+        assert mom.std == pytest.approx(math.sqrt(var))
+        assert mom.minimum == min(values)
+        assert mom.maximum == max(values)
+
+    def test_std_error(self):
+        mom = RunningMoments()
+        mom.extend([1.0, 2.0, 3.0, 4.0])
+        assert mom.std_error == pytest.approx(mom.std / 2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningMoments().mean
+
+    def test_single_value(self):
+        mom = RunningMoments()
+        mom.add(3.0)
+        assert mom.mean == 3.0
+        assert mom.variance == 0.0
+
+
+class TestDeltaMethod:
+    def test_matches_monte_carlo(self):
+        # X ~ N(100, 4), Y ~ N(50, 1) independent; Var(X/Y) by simulation.
+        rng = random.Random(2)
+        ratios = []
+        for _ in range(40_000):
+            x = rng.gauss(100, 2)
+            y = rng.gauss(50, 1)
+            ratios.append(x / y)
+        mean = sum(ratios) / len(ratios)
+        empirical = sum((r - mean) ** 2 for r in ratios) / (len(ratios) - 1)
+        approx = ratio_variance_delta(100, 50, 4.0, 1.0, 0.0)
+        assert approx == pytest.approx(empirical, rel=0.1)
+
+    def test_zero_denominator(self):
+        assert ratio_variance_delta(1, 0, 1, 1) == 0.0
+
+    def test_negative_inputs_clamped(self):
+        assert ratio_variance_delta(10, 5, -1.0, -1.0) == 0.0
+
+    def test_result_clamped_non_negative(self):
+        # Huge positive covariance can push the expansion negative.
+        assert ratio_variance_delta(10, 5, 0.1, 0.1, covariance=100.0) == 0.0
+
+    def test_clustering_variance_scaling(self):
+        base = ratio_variance_delta(30, 300, 9.0, 25.0, 2.0)
+        assert clustering_variance(30, 300, 9.0, 25.0, 2.0) == pytest.approx(9 * base)

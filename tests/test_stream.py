@@ -1,0 +1,81 @@
+"""Tests for the edge-stream model."""
+
+from __future__ import annotations
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.streams.stream import EdgeStream
+
+
+class TestConstruction:
+    def test_from_graph_contains_all_edges(self, k5_graph):
+        stream = EdgeStream.from_graph(k5_graph, seed=0)
+        assert len(stream) == 10
+        assert sorted(stream) == sorted(k5_graph.edges())
+
+    def test_permutation_deterministic_by_seed(self, k5_graph):
+        s1 = EdgeStream.from_graph(k5_graph, seed=42)
+        s2 = EdgeStream.from_graph(k5_graph, seed=42)
+        assert list(s1) == list(s2)
+
+    def test_different_seeds_differ(self, medium_graph):
+        s1 = EdgeStream.from_graph(medium_graph, seed=1)
+        s2 = EdgeStream.from_graph(medium_graph, seed=2)
+        assert list(s1) != list(s2)
+
+    def test_replayable(self, k4_graph):
+        stream = EdgeStream.from_graph(k4_graph, seed=0)
+        assert list(stream) == list(stream)
+
+    def test_from_edges_preserves_order(self):
+        edges = [(3, 4), (1, 2), (2, 3)]
+        assert list(EdgeStream.from_edges(edges)) == edges
+
+
+class TestSlicing:
+    def test_prefix(self):
+        stream = EdgeStream.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert list(stream.prefix(2)) == [(0, 1), (1, 2)]
+
+    def test_getitem_index_and_slice(self):
+        stream = EdgeStream.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert stream[0] == (0, 1)
+        assert list(stream[1:]) == [(1, 2), (2, 3)]
+        assert isinstance(stream[1:], EdgeStream)
+
+    def test_prefix_graph(self):
+        stream = EdgeStream.from_edges([(0, 1), (1, 2), (2, 0), (3, 4)])
+        prefix = stream.prefix_graph(3)
+        assert prefix.num_edges == 3
+        assert prefix.has_edge(2, 0)
+        full = stream.prefix_graph()
+        assert full.num_edges == 4
+
+    def test_enumerate_is_one_based(self):
+        stream = EdgeStream.from_edges([(0, 1), (1, 2)])
+        assert list(stream.enumerate()) == [(1, (0, 1)), (2, (1, 2))]
+
+
+class TestCheckpoints:
+    def test_checkpoints_end_at_stream_length(self):
+        stream = EdgeStream.from_edges([(i, i + 1) for i in range(100)])
+        marks = stream.checkpoints(4)
+        assert marks == [25, 50, 75, 100]
+
+    def test_checkpoints_more_than_length(self):
+        stream = EdgeStream.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert stream.checkpoints(10) == [1, 2, 3]
+
+    def test_checkpoints_zero(self):
+        stream = EdgeStream.from_edges([(0, 1)])
+        assert stream.checkpoints(0) == []
+
+    def test_checkpoints_sorted_unique(self, medium_graph):
+        stream = EdgeStream.from_graph(medium_graph, seed=0)
+        marks = stream.checkpoints(17)
+        assert marks == sorted(set(marks))
+        assert marks[-1] == len(stream)
+
+    def test_stream_node_labels_preserved(self):
+        graph = AdjacencyGraph([("a", "b"), ("b", "c")])
+        stream = EdgeStream.from_graph(graph, seed=0)
+        assert sorted(stream) == [("a", "b"), ("b", "c")]

@@ -1,0 +1,125 @@
+"""Tests for generalised subgraph estimation (k-cliques, k-stars)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.subgraphs import CliqueEstimator, StarEstimator, _elementary_symmetric
+from repro.graph.generators import complete_graph, powerlaw_cluster, star_graph
+from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
+
+
+def comb(n: int, k: int) -> int:
+    return math.comb(n, k)
+
+
+def sampler_over(graph, capacity, stream_seed=0, sampler_seed=1):
+    sampler = GraphPrioritySampler(capacity=capacity, seed=sampler_seed)
+    sampler.process_stream(EdgeStream.from_graph(graph, seed=stream_seed))
+    return sampler
+
+
+class TestElementarySymmetric:
+    def test_small_cases(self):
+        values = [1.0, 2.0, 3.0]
+        assert _elementary_symmetric(values, 1) == pytest.approx(6.0)
+        assert _elementary_symmetric(values, 2) == pytest.approx(11.0)
+        assert _elementary_symmetric(values, 3) == pytest.approx(6.0)
+
+    def test_k_larger_than_n(self):
+        assert _elementary_symmetric([1.0], 2) == 0.0
+
+    def test_all_ones_gives_binomial(self):
+        assert _elementary_symmetric([1.0] * 10, 3) == pytest.approx(comb(10, 3))
+
+
+class TestCliqueExactness:
+    @pytest.mark.parametrize("n,k", [(5, 3), (5, 4), (6, 4), (6, 5)])
+    def test_complete_graph_counts(self, n, k):
+        graph = complete_graph(n)
+        sampler = sampler_over(graph, capacity=graph.num_edges + 1)
+        estimate = CliqueEstimator(sampler, size=k).estimate()
+        assert estimate.value == pytest.approx(comb(n, k))
+        assert estimate.variance == 0.0
+
+    def test_triangles_match_algorithm2(self, medium_graph, medium_stats):
+        sampler = sampler_over(medium_graph, capacity=medium_graph.num_edges + 1)
+        estimate = CliqueEstimator(sampler, size=3).estimate()
+        assert estimate.value == pytest.approx(medium_stats.triangles)
+
+    def test_no_cliques_in_star(self):
+        sampler = sampler_over(star_graph(6), capacity=100)
+        assert CliqueEstimator(sampler, size=3).estimate().value == 0.0
+
+    def test_enumerate_returns_node_tuples(self, k4_graph):
+        sampler = sampler_over(k4_graph, capacity=10)
+        cliques = CliqueEstimator(sampler, size=3).enumerate()
+        assert len(cliques) == 4
+        assert all(len(c.nodes) == 3 for c in cliques)
+        assert all(c.estimate == pytest.approx(1.0) for c in cliques)
+
+    def test_size_validation(self, k4_graph):
+        sampler = sampler_over(k4_graph, capacity=10)
+        with pytest.raises(ValueError):
+            CliqueEstimator(sampler, size=2)
+
+
+class TestCliqueSampling:
+    def test_four_clique_unbiased(self):
+        graph = powerlaw_cluster(120, 4, 0.8, seed=9)
+        sampler_full = sampler_over(graph, capacity=graph.num_edges + 1)
+        actual = CliqueEstimator(sampler_full, size=4).estimate().value
+        assert actual > 0
+        moments = RunningMoments()
+        runs = 200
+        for seed in range(runs):
+            sampler = sampler_over(
+                graph, capacity=250, stream_seed=seed, sampler_seed=60_000 + seed
+            )
+            moments.add(CliqueEstimator(sampler, size=4).estimate().value)
+        assert abs(moments.mean - actual) < 5.0 * moments.std_error
+
+    def test_variance_non_negative(self):
+        graph = powerlaw_cluster(200, 4, 0.7, seed=10)
+        sampler = sampler_over(graph, capacity=150)
+        estimate = CliqueEstimator(sampler, size=4).estimate()
+        assert estimate.variance >= 0.0
+
+
+class TestStars:
+    @pytest.mark.parametrize("leaves,k", [(5, 2), (5, 3), (7, 4)])
+    def test_star_graph_counts(self, leaves, k):
+        graph = star_graph(leaves)
+        sampler = sampler_over(graph, capacity=100)
+        estimate = StarEstimator(sampler, leaves=k).estimate()
+        assert estimate.value == pytest.approx(comb(leaves, k))
+        assert estimate.variance == 0.0
+
+    def test_two_stars_are_wedges(self, medium_graph, medium_stats):
+        sampler = sampler_over(medium_graph, capacity=medium_graph.num_edges + 1)
+        estimate = StarEstimator(sampler, leaves=2).estimate()
+        assert estimate.value == pytest.approx(medium_stats.wedges)
+
+    def test_k4_three_stars(self, k4_graph):
+        sampler = sampler_over(k4_graph, capacity=10)
+        # each of the 4 nodes has degree 3 → one 3-star each.
+        assert StarEstimator(sampler, leaves=3).estimate().value == pytest.approx(4.0)
+
+    def test_star_unbiased_under_sampling(self, social_graph, social_stats):
+        moments = RunningMoments()
+        runs = 150
+        for seed in range(runs):
+            sampler = sampler_over(
+                social_graph, capacity=150, stream_seed=seed, sampler_seed=70_000 + seed
+            )
+            moments.add(StarEstimator(sampler, leaves=2).estimate().value)
+        assert abs(moments.mean - social_stats.wedges) < 5.0 * moments.std_error
+
+    def test_leaves_validation(self, k4_graph):
+        sampler = sampler_over(k4_graph, capacity=10)
+        with pytest.raises(ValueError):
+            StarEstimator(sampler, leaves=0)

@@ -1,0 +1,180 @@
+"""Tests for the table/figure builders (small configurations).
+
+These use the deterministic dataset registry (graphs cached per process)
+with reduced capacities/run counts so the whole file stays fast; the
+full-size regeneration lives in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import build_figure1, format_figure1
+from repro.experiments.figure2 import build_figure2, format_figure2
+from repro.experiments.figure3 import build_figure3, format_figure3
+from repro.experiments.table1 import build_table1, format_table1
+from repro.experiments.table2 import build_table2, format_table2
+from repro.experiments.table3 import build_table3, format_table3
+
+SMALL = ["infra-roadNet-CA"]
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return build_table1(datasets=SMALL, capacity=3000, runs=2)
+
+    def test_three_statistics_per_dataset(self, rows):
+        assert [r.statistic for r in rows] == ["triangles", "wedges", "clustering"]
+
+    def test_rows_carry_truth_and_estimates(self, rows):
+        for row in rows:
+            assert row.actual > 0
+            assert row.in_stream.value > 0
+            assert row.post_stream.value > 0
+            assert 0 < row.fraction < 1
+
+    def test_errors_are_moderate(self, rows):
+        for row in rows:
+            assert row.are_in_stream < 0.5
+            assert row.are_post < 0.5
+
+    def test_format_contains_sections(self, rows):
+        text = format_table1(rows)
+        assert "TRIANGLES" in text
+        assert "WEDGES" in text
+        assert "CLUSTERING" in text
+        assert "infra-roadNet-CA" in text
+
+    def test_capacity_capped_at_graph_size(self):
+        rows = build_table1(datasets=SMALL, capacity=10**9, runs=1)
+        tri = rows[0]
+        assert tri.are_in_stream == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return build_table2(
+            datasets=SMALL,
+            methods=("triest", "gps-post"),
+            budget=1500,
+            runs=2,
+        )
+
+    def test_one_row_per_method(self, rows):
+        assert [r.method for r in rows] == ["triest", "gps-post"]
+
+    def test_rows_have_metrics(self, rows):
+        for row in rows:
+            assert row.are >= 0.0
+            assert row.rel_std >= 0.0
+            assert row.update_time_us > 0.0
+            assert row.runs == 2
+
+    def test_paper_reference_attached(self, rows):
+        assert rows[0].paper_are == pytest.approx(0.301)
+
+    def test_format(self, rows):
+        text = format_table2(rows)
+        assert "Table 2" in text
+        assert "µs/edge" in text
+        assert "gps-post" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return build_table3(datasets=SMALL, capacity=2500, num_checkpoints=6)
+
+    def test_four_methods(self, rows):
+        assert [r.method for r in rows] == [
+            "triest",
+            "triest-impr",
+            "gps-post",
+            "gps-in-stream",
+        ]
+
+    def test_mare_not_worse_than_max(self, rows):
+        for row in rows:
+            assert row.mare <= row.max_are + 1e-12
+
+    def test_gps_in_stream_beats_triest_base(self, rows):
+        by_method = {r.method: r for r in rows}
+        assert by_method["gps-in-stream"].mare < by_method["triest"].mare
+
+    def test_format(self, rows):
+        text = format_table3(rows)
+        assert "Table 3" in text
+        assert "MARE" in text
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return build_figure1(datasets=SMALL, capacity=3000)
+
+    def test_ratios_near_one(self, points):
+        for point in points:
+            assert point.triangle_ratio == pytest.approx(1.0, abs=0.3)
+            assert point.wedge_ratio == pytest.approx(1.0, abs=0.2)
+
+    def test_max_deviation(self, points):
+        point = points[0]
+        expected = max(
+            abs(point.triangle_ratio - 1), abs(point.wedge_ratio - 1)
+        )
+        assert point.max_deviation == pytest.approx(expected)
+
+    def test_format(self, points):
+        text = format_figure1(points)
+        assert "Figure 1" in text
+        assert "worst deviation" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return build_figure2(datasets=SMALL, capacities=(1000, 4000))
+
+    def test_point_per_capacity(self, points):
+        assert [p.capacity for p in points] == [1000, 4000]
+
+    def test_bounds_bracket_ratio(self, points):
+        for point in points:
+            assert point.lower_ratio <= point.ratio <= point.upper_ratio
+
+    def test_intervals_tighten_with_capacity(self, points):
+        assert points[1].interval_width < points[0].interval_width
+
+    def test_oversized_capacities_skipped(self):
+        points = build_figure2(datasets=SMALL, capacities=(1000, 10**9))
+        assert [p.capacity for p in points] == [1000]
+
+    def test_format(self, points):
+        text = format_figure2(points)
+        assert "Figure 2" in text
+        assert "LB/x" in text
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return build_figure3(datasets=SMALL, capacity=2500, num_checkpoints=5)
+
+    def test_series_alignment(self, series):
+        entry = series[0]
+        assert len(entry.series.checkpoints) == 5
+        assert len(entry.triangle_rows()) == 5
+        assert len(entry.clustering_rows()) == 5
+
+    def test_estimates_track_truth(self, series):
+        entry = series[0]
+        final_exact = entry.series.exact_triangles[-1]
+        final_est = entry.series.in_stream[-1].triangles.value
+        assert final_est == pytest.approx(final_exact, rel=0.3)
+
+    def test_format(self, series):
+        text = format_figure3(series)
+        assert "triangles vs time" in text
+        assert "clustering vs time" in text

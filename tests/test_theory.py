@@ -1,0 +1,127 @@
+"""Monte-Carlo verification of the paper's theorems on live samples.
+
+The unit tests in test_martingale.py check the estimator *algebra*; these
+tests check the *statistics*: over many independent GPS runs, the
+estimators must hit the expectations the theorems assert.
+
+* Theorem 1/2 — edge and subgraph product estimators are unbiased
+  (covered extensively elsewhere; re-checked here per-subgraph).
+* Theorem 3(i) — ``Ĉ_{J1,J2} = Ŝ_{J1∪J2}(Ŝ_{J1∩J2} − 1)`` is an unbiased
+  estimator of ``Cov(Ŝ_{J1}, Ŝ_{J2})`` for overlapping subgraphs.
+* Theorem 3(iii) — ``Ŝ_J(Ŝ_J − 1)`` is an unbiased estimator of
+  ``Var(Ŝ_J)``.
+* Theorem 3(iv) — the covariance estimator is zero for edge-disjoint
+  subgraphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.martingale import (
+    post_stream_covariance,
+    subgraph_estimate,
+    variance_estimate,
+)
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.generators import erdos_renyi_gnm
+from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
+
+
+def overlap_graph() -> AdjacencyGraph:
+    """Two triangles sharing edge (1, 2), inside background noise."""
+    base = erdos_renyi_gnm(30, 60, seed=9)
+    for u, v in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]:
+        base.add_edge(u, v)
+    return base
+
+
+TRIANGLE_A = [(0, 1), (0, 2), (1, 2)]
+TRIANGLE_B = [(1, 2), (1, 3), (2, 3)]
+
+
+def run_once(graph, seed):
+    sampler = GraphPrioritySampler(capacity=30, seed=50_000 + seed)
+    sampler.process_stream(EdgeStream.from_graph(graph, seed=seed))
+    threshold = sampler.threshold
+    sample = sampler.sample
+
+    def records_of(edges):
+        out = []
+        for u, v in edges:
+            record = sample.record(u, v)
+            if record is None:
+                return None
+            out.append(record)
+        return out
+
+    rec_a = records_of(TRIANGLE_A)
+    rec_b = records_of(TRIANGLE_B)
+    s_a = subgraph_estimate(rec_a, threshold) if rec_a else 0.0
+    s_b = subgraph_estimate(rec_b, threshold) if rec_b else 0.0
+    v_a = variance_estimate(rec_a, threshold) if rec_a else 0.0
+    c_ab = (
+        post_stream_covariance(rec_a, rec_b, threshold)
+        if rec_a and rec_b
+        else 0.0
+    )
+    return s_a, s_b, v_a, c_ab
+
+
+@pytest.fixture(scope="module")
+def theory_runs():
+    graph = overlap_graph()
+    runs = [run_once(graph, seed) for seed in range(4000)]
+    return runs
+
+
+class TestTheorem2Unbiasedness:
+    def test_subgraph_estimators_hit_indicator(self, theory_runs):
+        # Both triangles exist in the full graph, so E[Ŝ] = 1 each.
+        mean_a = sum(r[0] for r in theory_runs) / len(theory_runs)
+        mean_b = sum(r[1] for r in theory_runs) / len(theory_runs)
+        assert mean_a == pytest.approx(1.0, abs=0.1)
+        assert mean_b == pytest.approx(1.0, abs=0.1)
+
+
+class TestTheorem3Variance:
+    def test_variance_estimator_unbiased(self, theory_runs):
+        estimates = RunningMoments()
+        variance_estimates = RunningMoments()
+        for s_a, _s_b, v_a, _c in theory_runs:
+            estimates.add(s_a)
+            variance_estimates.add(v_a)
+        empirical = estimates.variance
+        assert variance_estimates.mean == pytest.approx(empirical, rel=0.25)
+
+
+class TestTheorem3Covariance:
+    def test_covariance_estimator_unbiased(self, theory_runs):
+        # Empirical covariance of the two triangle estimators ...
+        n = len(theory_runs)
+        mean_a = sum(r[0] for r in theory_runs) / n
+        mean_b = sum(r[1] for r in theory_runs) / n
+        empirical_cov = sum(
+            (r[0] - mean_a) * (r[1] - mean_b) for r in theory_runs
+        ) / (n - 1)
+        # ... versus the mean of the covariance estimator.
+        mean_c = sum(r[3] for r in theory_runs) / n
+        assert empirical_cov > 0.0  # shared edge => positive dependence
+        assert mean_c == pytest.approx(empirical_cov, rel=0.35)
+
+    def test_covariance_estimator_non_negative(self, theory_runs):
+        assert all(r[3] >= 0.0 for r in theory_runs)
+
+    def test_disjoint_subgraphs_zero_covariance(self):
+        graph = overlap_graph()
+        sampler = GraphPrioritySampler(capacity=len(graph.edge_list()) + 1, seed=0)
+        sampler.process_stream(EdgeStream.from_graph(graph, seed=0))
+        sample = sampler.sample
+        j1 = [sample.record(0, 1)]
+        disjoint = [
+            record for record in sample.records()
+            if record.key not in {(0, 1)} and 0 not in record.key and 1 not in record.key
+        ][:2]
+        assert post_stream_covariance(j1, disjoint, sampler.threshold) == 0.0

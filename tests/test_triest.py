@@ -1,0 +1,105 @@
+"""Tests for the TRIEST baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.triest import TriestBase, TriestImpr
+from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
+
+
+def drive(counter, graph, stream_seed=0):
+    for u, v in EdgeStream.from_graph(graph, seed=stream_seed):
+        counter.process(u, v)
+    return counter
+
+
+class TestTriestBase:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TriestBase(2)
+
+    def test_exact_when_no_eviction(self, k5_graph):
+        counter = drive(TriestBase(100, seed=0), k5_graph)
+        assert counter.triangle_estimate == pytest.approx(10.0)
+        assert counter.sample_triangles == 10
+
+    def test_scaling_factor_applied_after_capacity(self):
+        counter = TriestBase(3, seed=0)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]:
+            counter.process(u, v)
+        assert counter.arrivals == 5
+        # ξ(5) = 5·4·3 / 3·2·1 = 10.
+        assert counter.triangle_estimate == counter.sample_triangles * 10.0
+
+    def test_skips_self_loops_and_sampled_duplicates(self):
+        counter = TriestBase(10, seed=0)
+        counter.process(0, 0)
+        counter.process(0, 1)
+        counter.process(1, 0)
+        assert counter.arrivals == 1
+        assert counter.sample_size == 1
+
+    def test_sample_counter_consistent_with_sample(self, medium_graph):
+        counter = drive(TriestBase(200, seed=1), medium_graph)
+        # τ must equal the exact triangle count of the reservoir graph.
+        from repro.graph.exact import triangle_count
+
+        assert counter.sample_triangles == triangle_count(counter._graph)
+
+    def test_unbiased(self, social_graph, social_stats):
+        moments = RunningMoments()
+        for seed in range(150):
+            counter = drive(
+                TriestBase(150, seed=1000 + seed), social_graph, stream_seed=seed
+            )
+            moments.add(counter.triangle_estimate)
+        assert abs(moments.mean - social_stats.triangles) < 5.0 * moments.std_error
+
+
+class TestTriestImpr:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TriestImpr(1)
+
+    def test_exact_when_no_eviction(self, k5_graph):
+        counter = drive(TriestImpr(100, seed=0), k5_graph)
+        assert counter.triangle_estimate == pytest.approx(10.0)
+
+    def test_estimate_monotone(self, medium_graph):
+        counter = TriestImpr(200, seed=2)
+        last = 0.0
+        for u, v in EdgeStream.from_graph(medium_graph, seed=0).prefix(2000):
+            counter.process(u, v)
+            assert counter.triangle_estimate >= last
+            last = counter.triangle_estimate
+
+    def test_unbiased(self, social_graph, social_stats):
+        moments = RunningMoments()
+        for seed in range(150):
+            counter = drive(
+                TriestImpr(150, seed=2000 + seed), social_graph, stream_seed=seed
+            )
+            moments.add(counter.triangle_estimate)
+        assert abs(moments.mean - social_stats.triangles) < 5.0 * moments.std_error
+
+    def test_lower_variance_than_base(self, social_graph):
+        base = RunningMoments()
+        impr = RunningMoments()
+        for seed in range(120):
+            base.add(
+                drive(
+                    TriestBase(120, seed=seed), social_graph, stream_seed=seed
+                ).triangle_estimate
+            )
+            impr.add(
+                drive(
+                    TriestImpr(120, seed=seed), social_graph, stream_seed=seed
+                ).triangle_estimate
+            )
+        assert impr.variance < base.variance
+
+    def test_sample_size_bounded(self, medium_graph):
+        counter = drive(TriestImpr(77, seed=0), medium_graph)
+        assert counter.sample_size == 77

@@ -1,0 +1,105 @@
+"""Tests for the W(k, K̂) weight-function family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import EdgeRecord
+from repro.core.reservoir import SampledGraph
+from repro.core.weights import (
+    AttributeWeight,
+    LinearCombinationWeight,
+    TriangleWeight,
+    UniformWeight,
+    WedgeWeight,
+)
+
+
+@pytest.fixture()
+def wedge_sample():
+    """Sample containing edges (0,1) and (0,2): arriving (1,2) closes one triangle."""
+    sample = SampledGraph()
+    sample.add(EdgeRecord(0, 1, weight=1.0, priority=1.0))
+    sample.add(EdgeRecord(0, 2, weight=1.0, priority=1.0))
+    return sample
+
+
+class TestUniformWeight:
+    def test_constant(self, wedge_sample):
+        weight = UniformWeight()
+        assert weight(1, 2, wedge_sample) == 1.0
+        assert weight(7, 9, wedge_sample) == 1.0
+
+    def test_custom_constant(self, wedge_sample):
+        assert UniformWeight(2.5)(1, 2, wedge_sample) == 2.5
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            UniformWeight(0.0)
+
+
+class TestTriangleWeight:
+    def test_paper_default(self, wedge_sample):
+        weight = TriangleWeight()
+        assert weight(1, 2, wedge_sample) == 9.0 * 1 + 1.0
+        assert weight(5, 6, wedge_sample) == 1.0
+
+    def test_counts_multiple_triangles(self):
+        sample = SampledGraph()
+        for u, v in [(0, 1), (0, 2), (3, 1), (3, 2)]:
+            sample.add(EdgeRecord(u, v, weight=1.0, priority=1.0))
+        assert TriangleWeight()(1, 2, sample) == 9.0 * 2 + 1.0
+
+    def test_custom_coefficients(self, wedge_sample):
+        assert TriangleWeight(coef=4.0, default=0.5)(1, 2, wedge_sample) == 4.5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TriangleWeight(coef=-1.0)
+        with pytest.raises(ValueError):
+            TriangleWeight(default=0.0)
+
+
+class TestWedgeWeight:
+    def test_counts_adjacent_sampled_edges(self, wedge_sample):
+        # deĝ(1) = 1, deĝ(2) = 1 → 2 wedges would be completed.
+        assert WedgeWeight()(1, 2, wedge_sample) == 2 + 1.0
+
+    def test_novel_edge_gets_default(self, wedge_sample):
+        assert WedgeWeight()(7, 9, wedge_sample) == 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            WedgeWeight(default=-1.0)
+
+
+class TestAttributeWeight:
+    def test_user_callable(self, wedge_sample):
+        weight = AttributeWeight(lambda u, v: u + v)
+        assert weight(1, 2, wedge_sample) == 3.0
+
+    def test_non_positive_result_raises(self, wedge_sample):
+        weight = AttributeWeight(lambda u, v: 0.0)
+        with pytest.raises(ValueError):
+            weight(1, 2, wedge_sample)
+
+
+class TestLinearCombination:
+    def test_combines_terms(self, wedge_sample):
+        combo = LinearCombinationWeight(
+            [(1.0, TriangleWeight(coef=9.0, default=1.0)), (2.0, UniformWeight())]
+        )
+        assert combo(1, 2, wedge_sample) == 10.0 + 2.0
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCombinationWeight([])
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCombinationWeight([(-1.0, UniformWeight())])
+
+    def test_reprs_are_informative(self):
+        assert "TriangleWeight" in repr(TriangleWeight())
+        assert "UniformWeight" in repr(UniformWeight())
+        assert "WedgeWeight" in repr(WedgeWeight())
