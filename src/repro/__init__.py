@@ -24,6 +24,8 @@ Package map
 ``repro.graph``       Graph substrate: adjacency structure, exact counting,
                       generators, edge-list I/O.
 ``repro.streams``     Edge-stream model and transforms.
+``repro.engine``      High-throughput stream driving and parallel
+                      multi-seed replication.
 ``repro.stats``       HT estimation, confidence intervals, error metrics.
 ``repro.baselines``   TRIEST, MASCOT, NSAMP, JSP, Buriol, gSH, uniform
                       reservoir — the paper's comparison methods.
@@ -50,6 +52,13 @@ from repro.core.weights import (
     UniformWeight,
     WedgeWeight,
 )
+from repro.engine.replication import (
+    MetricSummary,
+    ReplicatedRunner,
+    ReplicatedSummary,
+    ReplicationResult,
+)
+from repro.engine.stream_engine import EngineStats, StreamEngine
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.exact import (
     ExactStreamCounter,
@@ -85,6 +94,12 @@ __all__ = [
     "TriangleWeight",
     "UniformWeight",
     "WedgeWeight",
+    "EngineStats",
+    "MetricSummary",
+    "ReplicatedRunner",
+    "ReplicatedSummary",
+    "ReplicationResult",
+    "StreamEngine",
     "AdjacencyGraph",
     "ExactStreamCounter",
     "GraphStatistics",

@@ -13,6 +13,9 @@ Production entry points for the common workflows:
                  k-cliques, k-stars and the motif census;
 * ``track``      checkpointed real-time tracking of a stream (estimate vs
                  exact at evenly spaced points);
+* ``replicate``  R independent (stream, sampler) seeded replications fanned
+                 across worker processes; reports mean / variance / 95% CI
+                 of the estimates — the paper's error-bar protocol;
 * ``reproduce``  regenerate the paper's tables and figures.
 
 Edge-list format: two whitespace-separated node ids per line, ``#``/``%``
@@ -32,10 +35,12 @@ from repro.core.motifs import MotifCensusEstimator
 from repro.core.post_stream import PostStreamEstimator
 from repro.core.subgraphs import CliqueEstimator, StarEstimator
 from repro.core.weights import TriangleWeight, UniformWeight, WedgeWeight
+from repro.engine.replication import ReplicatedRunner
 from repro.experiments import figure1, figure2, figure3, table1, table2, table3
 from repro.graph.exact import ExactStreamCounter, compute_statistics
 from repro.graph.io import iter_edge_list, read_edge_list
 from repro.graph.motifs import count_motifs
+from repro.streams.stream import EdgeStream
 from repro.streams.transforms import simplify_edges
 
 WEIGHTS = {
@@ -94,6 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
     track.add_argument("--weight", choices=sorted(WEIGHTS), default="triangle")
     track.add_argument("--seed", type=int, default=0)
 
+    replicate = commands.add_parser(
+        "replicate", help="parallel multi-seed replications with error bars"
+    )
+    replicate.add_argument("path")
+    replicate.add_argument("-m", "--capacity", type=int, required=True)
+    replicate.add_argument("-R", "--replications", type=int, default=8)
+    replicate.add_argument("--workers", type=int, default=None,
+                           help="process-pool size (0 runs inline)")
+    replicate.add_argument("--weight", choices=sorted(WEIGHTS), default="triangle")
+    replicate.add_argument("--stream-seed", type=int, default=0)
+    replicate.add_argument("--sampler-seed", type=int, default=10_000)
+
     reproduce = commands.add_parser(
         "reproduce", help="regenerate the paper's tables and figures"
     )
@@ -112,6 +129,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sample": _cmd_sample,
         "estimate": _cmd_estimate,
         "track": _cmd_track,
+        "replicate": _cmd_replicate,
         "reproduce": _cmd_reproduce,
     }[args.command]
     return handler(args)
@@ -175,7 +193,7 @@ def _cmd_track(args) -> int:
         args.capacity, weight_fn=WEIGHTS[args.weight](), seed=args.seed
     )
     exact = ExactStreamCounter()
-    marks = _even_marks(len(edges), args.checkpoints)
+    marks = set(EdgeStream.from_edges(edges).checkpoints(args.checkpoints))
     print(f"{'t':>10}  {'triangles':>12}  {'estimate':>12}  {'ARE':>8}")
     t = 0
     for u, v in edges:
@@ -187,6 +205,37 @@ def _cmd_track(args) -> int:
             actual = exact.triangles
             err = abs(estimate - actual) / actual if actual else 0.0
             print(f"{t:>10}  {actual:>12}  {estimate:>12.0f}  {err:>8.2%}")
+    return 0
+
+
+def _cmd_replicate(args) -> int:
+    edges = list(simplify_edges(iter_edge_list(args.path)))
+    runner = ReplicatedRunner(
+        edges,
+        capacity=args.capacity,
+        weight_fn=WEIGHTS[args.weight](),
+        replications=args.replications,
+        max_workers=args.workers,
+        base_stream_seed=args.stream_seed,
+        base_sampler_seed=args.sampler_seed,
+    )
+    summary = runner.run()
+    print(
+        f"{summary.num_replications} replications over {len(edges)} edges "
+        f"(m={args.capacity}, weight={args.weight}, workers={summary.workers})"
+    )
+    print(f"{'metric':<22} {'mean':>14} {'std':>12}  95% CI")
+    for label, stats in (
+        ("triangles in-stream", summary.in_stream_triangles),
+        ("triangles post-stream", summary.post_stream_triangles),
+        ("wedges in-stream", summary.in_stream_wedges),
+        ("clustering in-stream", summary.in_stream_clustering),
+    ):
+        std = stats.variance ** 0.5
+        print(
+            f"{label:<22} {stats.mean:>14.2f} {std:>12.2f}  "
+            f"[{stats.ci_low:.2f}, {stats.ci_high:.2f}]"
+        )
     return 0
 
 
@@ -214,12 +263,3 @@ def _print_estimates(title: str, estimates: GraphEstimates) -> None:
     ):
         lb, ub = estimate.confidence_bounds()
         print(f"  {label:<11}{estimate.value:14.2f}   95% CI [{lb:.2f}, {ub:.2f}]")
-
-
-def _even_marks(length: int, count: int) -> set:
-    if count <= 0 or length == 0:
-        return set()
-    if count >= length:
-        return set(range(1, length + 1))
-    step = length / count
-    return {max(1, min(length, round(step * (i + 1)))) for i in range(count)}

@@ -124,9 +124,68 @@ class InStreamEstimator:
         # the evicted record (and thus its accumulators) from play.
         return sampler.process(u, v)
 
+    def process_many(self, edges: Iterable[Tuple[Node, Node]]) -> int:
+        """Batched :meth:`process`: snapshot + sampler update per arrival.
+
+        Hoists the sampler/sample attribute lookups and the estimator
+        accumulators out of the per-edge loop; equivalent to calling
+        :meth:`process` on every edge in order.  Returns the number of
+        edges consumed from ``edges`` (including skipped arrivals).
+        """
+        sampler = self._sampler
+        sample = sampler.sample
+        contains_edge = sampler.contains_edge
+        sampler_process = sampler.process
+        triangles_with = sample.triangles_with
+        incident_records = sample.incident_records
+        triangles = self._triangles
+        triangle_var = self._triangle_var
+        wedges = self._wedges
+        wedge_var = self._wedge_var
+        cross_cov = self._cross_cov
+        consumed = 0
+        try:
+            for u, v in edges:
+                consumed += 1
+                if u == v or contains_edge(u, v):
+                    sampler_process(u, v)
+                    continue
+                threshold = sampler._threshold
+
+                for _w, rec1, rec2 in triangles_with(u, v):
+                    q1 = rec1.inclusion_probability(threshold)
+                    q2 = rec2.inclusion_probability(threshold)
+                    inv_prod = 1.0 / (q1 * q2)
+                    triangles += inv_prod
+                    triangle_var += (inv_prod - 1.0) * inv_prod
+                    triangle_var += (
+                        2.0 * (rec1.cov_triangle + rec2.cov_triangle) * inv_prod
+                    )
+                    cross_cov += (rec1.cov_wedge + rec2.cov_wedge) * inv_prod
+                    rec1.cov_triangle += (1.0 / q1 - 1.0) / q2
+                    rec2.cov_triangle += (1.0 / q2 - 1.0) / q1
+
+                for endpoint, other in ((u, v), (v, u)):
+                    for rec in incident_records(endpoint, exclude=other):
+                        q = rec.inclusion_probability(threshold)
+                        inv = 1.0 / q
+                        wedges += inv
+                        wedge_var += inv * (inv - 1.0)
+                        wedge_var += 2.0 * rec.cov_wedge * inv
+                        cross_cov += rec.cov_triangle * inv
+                        rec.cov_wedge += inv - 1.0
+
+                sampler_process(u, v)
+        finally:
+            self._triangles = triangles
+            self._triangle_var = triangle_var
+            self._wedges = wedges
+            self._wedge_var = wedge_var
+            self._cross_cov = cross_cov
+        return consumed
+
     def process_stream(self, edges: Iterable[Tuple[Node, Node]]) -> None:
-        for u, v in edges:
-            self.process(u, v)
+        self.process_many(edges)
 
     def track(
         self,

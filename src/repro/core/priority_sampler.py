@@ -110,7 +110,14 @@ class GraphPrioritySampler:
     # Stream processing (procedure GPSUpdate)
     # ------------------------------------------------------------------
     def process(self, u: Node, v: Node) -> UpdateResult:
-        """Process one arriving edge; returns what happened to the sample."""
+        """Process one arriving edge; returns what happened to the sample.
+
+        The overflow step is a single fused admit-or-evict
+        (:meth:`~repro.heap.binary_heap.IndexedMinHeap.pushpop`): an
+        arriving edge that bounces straight out never touches the
+        adjacency structure, and a replacement costs one O(log m) sift
+        instead of a push plus a pop.
+        """
         if is_self_loop(u, v):
             self._self_loops += 1
             return UpdateResult(record=None, kept=False, evicted=None, skipped=True)
@@ -129,23 +136,81 @@ class GraphPrioritySampler:
             u, v, weight=weight, priority=weight / uniform, arrival=self._arrivals
         )
 
-        # Provisional inclusion, then evict the lowest priority of the m+1.
+        if len(self._heap) < self._capacity:
+            self._sample.add(record)
+            self._heap.push(record)
+            return UpdateResult(record=record, kept=True, evicted=None)
+
+        # Provisional inclusion fused with the eviction of the lowest
+        # priority of the m+1 candidates.
+        evicted = self._heap.pushpop(record)
+        if evicted.priority > self._threshold:
+            self._threshold = evicted.priority
+        if evicted is record:
+            return UpdateResult(record=record, kept=False, evicted=record)
+        self._sample.remove(evicted)
         self._sample.add(record)
-        self._heap.push(record)
-        evicted: Optional[EdgeRecord] = None
-        if len(self._heap) > self._capacity:
-            evicted = self._heap.pop()
-            if evicted.priority > self._threshold:
-                self._threshold = evicted.priority
-            self._sample.remove(evicted)
-        return UpdateResult(
-            record=record, kept=evicted is not record, evicted=evicted
-        )
+        return UpdateResult(record=record, kept=True, evicted=evicted)
+
+    def process_many(self, edges: Iterable[Tuple[Node, Node]]) -> int:
+        """Feed a batch of arrivals through the fused update loop.
+
+        Semantically identical to calling :meth:`process` per edge (the
+        uniforms are drawn in the same order, so shared-seed samples are
+        bit-for-bit the same) but with the attribute lookups hoisted out
+        of the per-edge loop.  Returns the number of edges consumed from
+        ``edges`` (including skipped self-loops/duplicates).
+        """
+        sample = self._sample
+        heap = self._heap
+        weight_fn = self._weight_fn
+        rand = self._rng.random
+        capacity = self._capacity
+        has_edge = sample.has_edge
+        sample_add = sample.add
+        sample_remove = sample.remove
+        push = heap.push
+        pushpop = heap.pushpop
+        consumed = 0
+        arrivals = self._arrivals
+        threshold = self._threshold
+        try:
+            for u, v in edges:
+                consumed += 1
+                if u == v:
+                    self._self_loops += 1
+                    continue
+                if has_edge(u, v):
+                    self._duplicates += 1
+                    continue
+                arrivals += 1
+                weight = weight_fn(u, v, sample)
+                if not weight > 0.0:
+                    raise ValueError(
+                        f"weight function returned non-positive {weight!r}"
+                    )
+                record = EdgeRecord(
+                    u, v, weight=weight, priority=weight / (1.0 - rand()),
+                    arrival=arrivals,
+                )
+                if len(heap) < capacity:
+                    sample_add(record)
+                    push(record)
+                    continue
+                evicted = pushpop(record)
+                if evicted.priority > threshold:
+                    threshold = evicted.priority
+                if evicted is not record:
+                    sample_remove(evicted)
+                    sample_add(record)
+        finally:
+            self._arrivals = arrivals
+            self._threshold = threshold
+        return consumed
 
     def process_stream(self, edges: Iterable[Tuple[Node, Node]]) -> None:
         """Feed a whole stream through the sampler."""
-        for u, v in edges:
-            self.process(u, v)
+        self.process_many(edges)
 
     # ------------------------------------------------------------------
     # Sample access and HT normalisation (procedure GPSNormalize)

@@ -141,6 +141,10 @@ class LinearCombinationWeight:
         for coef, _fn in terms:
             if coef < 0:
                 raise ValueError("coefficients must be non-negative")
+        if not any(coef > 0 for coef, _fn in terms):
+            # An all-zero combination would only fail mid-stream with a
+            # cryptic "non-positive weight" error; reject it up front.
+            raise ValueError("at least one coefficient must be positive")
         self.terms = list(terms)
 
     def __call__(self, u: Node, v: Node, sample: SampledGraph) -> float:

@@ -1,0 +1,25 @@
+"""repro.engine — the high-throughput stream-driving subsystem.
+
+``StreamEngine`` is the one loop that feeds arrivals to counters (batched
+through ``process_many`` fast paths where available) and fires checkpoint
+callbacks; ``ReplicatedRunner`` fans independent multi-seed replications
+of a GPS run across worker processes and aggregates mean / variance /
+confidence intervals — the paper's error-bar protocol.
+"""
+
+from repro.engine.replication import (
+    MetricSummary,
+    ReplicatedRunner,
+    ReplicatedSummary,
+    ReplicationResult,
+)
+from repro.engine.stream_engine import EngineStats, StreamEngine
+
+__all__ = [
+    "EngineStats",
+    "MetricSummary",
+    "ReplicatedRunner",
+    "ReplicatedSummary",
+    "ReplicationResult",
+    "StreamEngine",
+]

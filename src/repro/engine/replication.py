@@ -1,0 +1,303 @@
+"""Parallel multi-seed replication of GPS experiments.
+
+The paper's error bars come from repeating each experiment over many
+independent ``(stream permutation, sampler uniforms)`` seed pairs.  A
+sequential for-loop over full stream passes is the slowest part of any
+such study, and the replications are embarrassingly parallel — each one
+is a pure function of ``(edges, capacity, weight_fn, stream_seed,
+sampler_seed)``.  :class:`ReplicatedRunner` fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and aggregates the
+per-replication estimates into mean / variance / normal confidence
+intervals via Welford's algorithm.
+
+Workers receive the *edge list* (always picklable) once, via the pool
+initializer — per-task payloads are just seed pairs — and re-derive the
+stream permutation locally, so replication ``i`` sees exactly the stream
+``EdgeStream.from_graph(graph, seed=stream_seed_i)`` would produce.
+``max_workers=0`` runs everything inline in the calling process — the
+results are identical (each replication is deterministic given its seed
+pair), which the test suite exploits.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.in_stream import InStreamEstimator
+from repro.core.post_stream import PostStreamEstimator
+from repro.core.weights import WeightFunction
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.edge import Node
+from repro.stats.confidence import confidence_interval
+from repro.stats.running import RunningMoments
+
+Edge = Tuple[Node, Node]
+SeedPair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Estimates from one independent ``(stream, sampler)`` seed pair."""
+
+    stream_seed: int
+    sampler_seed: int
+    in_stream_triangles: float
+    post_stream_triangles: float
+    in_stream_wedges: float
+    in_stream_clustering: float
+    sample_size: int
+    threshold: float
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / variance / normal CI of one metric across replications."""
+
+    mean: float
+    variance: float
+    std_error: float
+    ci_low: float
+    ci_high: float
+    count: int
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[float], level: float = 0.95
+    ) -> "MetricSummary":
+        moments = RunningMoments()
+        moments.extend(values)
+        std_error = moments.std_error
+        low, high = confidence_interval(moments.mean, std_error**2, level=level)
+        return cls(
+            mean=moments.mean,
+            variance=moments.variance,
+            std_error=std_error,
+            ci_low=low,
+            ci_high=high,
+            count=moments.count,
+        )
+
+
+@dataclass(frozen=True)
+class ReplicatedSummary:
+    """Aggregated outcome of :meth:`ReplicatedRunner.run`."""
+
+    replications: Tuple[ReplicationResult, ...]
+    in_stream_triangles: MetricSummary
+    post_stream_triangles: MetricSummary
+    in_stream_wedges: MetricSummary
+    in_stream_clustering: MetricSummary
+    workers: int
+
+    @property
+    def num_replications(self) -> int:
+        return len(self.replications)
+
+
+@dataclass(frozen=True)
+class _ReplicationTask:
+    """Everything a worker process needs (must stay picklable)."""
+
+    edges: Tuple[Edge, ...]
+    capacity: int
+    weight_fn: Optional[WeightFunction]
+    stream_seed: int
+    sampler_seed: int
+
+
+# Shared per-worker state: the edge population is identical across a
+# runner's replications, so it is shipped once per worker (initializer
+# args; free under fork) instead of once per task.
+_WORKER_STATE: Optional[Tuple[Tuple[Edge, ...], int, Optional[WeightFunction]]] = None
+
+
+def _pool_initializer(
+    edges: Tuple[Edge, ...], capacity: int, weight_fn: Optional[WeightFunction]
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (edges, capacity, weight_fn)
+
+
+def _run_seed_pair(pair: SeedPair) -> ReplicationResult:
+    """Worker entry point: task payload is just the seed pair."""
+    edges, capacity, weight_fn = _WORKER_STATE
+    return _run_replication(
+        _ReplicationTask(
+            edges=edges,
+            capacity=capacity,
+            weight_fn=weight_fn,
+            stream_seed=pair[0],
+            sampler_seed=pair[1],
+        )
+    )
+
+
+def _run_replication(task: _ReplicationTask) -> ReplicationResult:
+    """One full GPS pass; module-level so process pools can pickle it."""
+    order = list(task.edges)
+    random.Random(task.stream_seed).shuffle(order)
+    estimator = InStreamEstimator(
+        task.capacity, weight_fn=task.weight_fn, seed=task.sampler_seed
+    )
+    estimator.process_many(order)
+    sampler = estimator.sampler
+    post = PostStreamEstimator(sampler).estimate()
+    return ReplicationResult(
+        stream_seed=task.stream_seed,
+        sampler_seed=task.sampler_seed,
+        in_stream_triangles=estimator.triangle_estimate,
+        post_stream_triangles=post.triangles.value,
+        in_stream_wedges=estimator.wedge_estimate,
+        in_stream_clustering=estimator.clustering_estimate,
+        sample_size=sampler.sample_size,
+        threshold=sampler.threshold,
+    )
+
+
+class ReplicatedRunner:
+    """Fan R independent replications of a GPS run across processes.
+
+    Parameters
+    ----------
+    graph:
+        The fixed edge population; each replication streams an
+        independent random permutation of it.  An explicit edge sequence
+        is accepted in place of an :class:`AdjacencyGraph`.
+    capacity:
+        GPS reservoir capacity ``m`` for every replication.
+    weight_fn:
+        Shared weight function (must be picklable for ``max_workers`` ≥ 1;
+        every weight class in :mod:`repro.core.weights` is).
+    replications:
+        Number of independent ``(stream_seed, sampler_seed)`` pairs, R.
+    max_workers:
+        Size of the process pool; ``0`` (or 1 replication) runs inline in
+        the calling process.  ``None`` picks ``min(R, cpu, 8)`` but never
+        fewer than 2 so aggregation is exercised in parallel by default.
+    base_stream_seed / base_sampler_seed:
+        Replication ``i`` uses seeds ``(base_stream_seed + i,
+        base_sampler_seed + i)``; override ``seed_pairs`` for full control.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import erdos_renyi_gnm
+    >>> runner = ReplicatedRunner(
+    ...     erdos_renyi_gnm(30, 60, seed=0), capacity=20,
+    ...     replications=3, max_workers=0,
+    ... )
+    >>> summary = runner.run()
+    >>> summary.num_replications
+    3
+    """
+
+    __slots__ = (
+        "_edges",
+        "_capacity",
+        "_weight_fn",
+        "_seed_pairs",
+        "_max_workers",
+    )
+
+    def __init__(
+        self,
+        graph,
+        capacity: int,
+        weight_fn: Optional[WeightFunction] = None,
+        replications: int = 8,
+        max_workers: Optional[int] = None,
+        base_stream_seed: int = 0,
+        base_sampler_seed: int = 10_000,
+        seed_pairs: Optional[Sequence[SeedPair]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if isinstance(graph, AdjacencyGraph):
+            # Same canonical order EdgeStream.from_graph shuffles, so a
+            # replication with stream_seed s reproduces that exact stream.
+            edges = sorted(graph.edges(), key=repr)
+        else:
+            edges = list(graph)
+        self._edges: Tuple[Edge, ...] = tuple(edges)
+        self._capacity = capacity
+        self._weight_fn = weight_fn
+        if seed_pairs is not None:
+            pairs = [(int(s), int(t)) for s, t in seed_pairs]
+        else:
+            if replications <= 0:
+                raise ValueError("need at least one replication")
+            pairs = [
+                (base_stream_seed + i, base_sampler_seed + i)
+                for i in range(replications)
+            ]
+        if not pairs:
+            raise ValueError("need at least one replication")
+        if len(set(pairs)) != len(pairs):
+            raise ValueError("seed pairs must be distinct")
+        self._seed_pairs: List[SeedPair] = pairs
+        if max_workers is None:
+            max_workers = max(2, min(len(pairs), os.cpu_count() or 1, 8))
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0")
+        self._max_workers = max_workers
+
+    @property
+    def seed_pairs(self) -> Tuple[SeedPair, ...]:
+        return tuple(self._seed_pairs)
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def run(self) -> ReplicatedSummary:
+        """Execute all replications and aggregate their estimates."""
+        pairs = self._seed_pairs
+        if self._max_workers == 0 or len(pairs) == 1:
+            results = [
+                _run_replication(
+                    _ReplicationTask(
+                        edges=self._edges,
+                        capacity=self._capacity,
+                        weight_fn=self._weight_fn,
+                        stream_seed=stream_seed,
+                        sampler_seed=sampler_seed,
+                    )
+                )
+                for stream_seed, sampler_seed in pairs
+            ]
+            workers = 0
+        else:
+            workers = min(self._max_workers, len(pairs))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_initializer,
+                initargs=(self._edges, self._capacity, self._weight_fn),
+            ) as pool:
+                results = list(pool.map(_run_seed_pair, pairs))
+        return ReplicatedSummary(
+            replications=tuple(results),
+            in_stream_triangles=MetricSummary.from_values(
+                [r.in_stream_triangles for r in results]
+            ),
+            post_stream_triangles=MetricSummary.from_values(
+                [r.post_stream_triangles for r in results]
+            ),
+            in_stream_wedges=MetricSummary.from_values(
+                [r.in_stream_wedges for r in results]
+            ),
+            in_stream_clustering=MetricSummary.from_values(
+                [r.in_stream_clustering for r in results]
+            ),
+            workers=workers,
+        )
+
+
+__all__ = [
+    "MetricSummary",
+    "ReplicatedRunner",
+    "ReplicatedSummary",
+    "ReplicationResult",
+]

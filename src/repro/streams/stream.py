@@ -79,6 +79,11 @@ class EdgeStream:
     def checkpoints(self, count: int) -> List[int]:
         """``count`` evenly spaced arrival indices ending at the stream end.
 
+        Always produces exactly ``min(count, n)`` strictly increasing marks
+        in ``[1, n]``: when rounding makes two ideal marks collide, the
+        later one advances to the next free index (and marks near the end
+        retreat just enough that the remainder still fit).
+
         Used by the time-series experiments (Table 3, Figure 3) to pick
         when to record estimates.
         """
@@ -88,8 +93,13 @@ class EdgeStream:
         if count >= n:
             return list(range(1, n + 1))
         step = n / count
-        marks = sorted({int(round(step * (i + 1))) for i in range(count)})
-        return [max(1, min(n, mark)) for mark in marks]
+        marks: List[int] = []
+        for i in range(count):
+            mark = int(round(step * (i + 1)))
+            lowest = marks[-1] + 1 if marks else 1
+            highest = n - (count - 1 - i)  # leave room for the rest
+            marks.append(min(max(mark, lowest), highest))
+        return marks
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EdgeStream(len={len(self._edges)})"

@@ -104,3 +104,22 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestReplicate:
+    def test_replicate_reports_error_bars(self, edge_file, capsys):
+        assert main([
+            "replicate", edge_file, "-m", "120", "-R", "3", "--workers", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 replications" in out
+        assert "triangles in-stream" in out
+        assert "95% CI" in out
+
+    def test_replicate_with_process_pool(self, edge_file, capsys):
+        assert main([
+            "replicate", edge_file, "-m", "80", "-R", "4", "--workers", "2",
+            "--weight", "uniform",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out

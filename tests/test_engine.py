@@ -1,0 +1,219 @@
+"""Tests for repro.engine: StreamEngine and ReplicatedRunner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.triest import TriestImpr
+from repro.core.in_stream import InStreamEstimator
+from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.weights import UniformWeight
+from repro.engine import (
+    MetricSummary,
+    ReplicatedRunner,
+    StreamEngine,
+)
+from repro.engine.replication import _ReplicationTask, _run_replication
+from repro.graph.exact import ExactStreamCounter, compute_statistics
+from repro.graph.generators import powerlaw_cluster
+from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
+
+
+@pytest.fixture(scope="module")
+def engine_graph():
+    return powerlaw_cluster(250, 3, 0.5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def engine_stream(engine_graph):
+    return EdgeStream.from_graph(engine_graph, seed=0)
+
+
+class TestStreamEngine:
+    def test_batched_path_matches_direct_processing(self, engine_stream):
+        direct = InStreamEstimator(100, seed=3)
+        direct.process_stream(engine_stream)
+        driven = InStreamEstimator(100, seed=3)
+        stats = StreamEngine(driven).run(engine_stream)
+        assert stats.edges == len(engine_stream)
+        assert stats.elapsed_seconds > 0.0
+        assert driven.triangle_estimate == direct.triangle_estimate
+        assert driven.wedge_estimate == direct.wedge_estimate
+        assert driven.sampler.threshold == direct.sampler.threshold
+
+    def test_checkpoints_fire_at_positions(self, engine_stream):
+        marks = engine_stream.checkpoints(6)
+        fired = []
+        engine = StreamEngine(GraphPrioritySampler(50, seed=1))
+        stats = engine.run(engine_stream, checkpoints=marks,
+                           on_checkpoint=fired.append)
+        assert fired == marks
+        assert stats.checkpoints == tuple(marks)
+
+    def test_checkpoint_state_matches_prefix_run(self, engine_stream):
+        """At checkpoint t the counter state equals a fresh run over the
+        t-edge prefix (batching must not smear past the mark)."""
+        marks = engine_stream.checkpoints(4)
+        estimator = InStreamEstimator(60, seed=9)
+        seen = {}
+
+        def record(t):
+            seen[t] = estimator.triangle_estimate
+
+        StreamEngine(estimator).run(engine_stream, checkpoints=marks,
+                                    on_checkpoint=record)
+        for t in marks:
+            fresh = InStreamEstimator(60, seed=9)
+            fresh.process_stream(engine_stream.prefix(t))
+            assert seen[t] == fresh.triangle_estimate
+
+    def test_lockstep_companions(self, engine_stream):
+        estimator = InStreamEstimator(80, seed=2)
+        exact = ExactStreamCounter()
+        marks = engine_stream.checkpoints(5)
+        exact_at = []
+        engine = StreamEngine(estimator, companions=(exact,))
+        stats = engine.run(engine_stream, checkpoints=marks,
+                           on_checkpoint=lambda t: exact_at.append(exact.triangles))
+        assert stats.edges == len(engine_stream)
+        assert len(exact_at) == 5
+        assert exact_at == sorted(exact_at)  # prefix counts are monotone
+        final = compute_statistics(engine_stream.prefix_graph())
+        assert exact_at[-1] == final.triangles
+
+    def test_counter_without_process_many(self, engine_stream):
+        counter = TriestImpr(60, seed=0)
+        stats = StreamEngine(counter).run(engine_stream)
+        assert stats.edges == len(engine_stream)
+        assert counter.triangle_estimate >= 0.0
+
+    def test_checkpoints_beyond_stream_never_fire(self):
+        fired = []
+        stats = StreamEngine(GraphPrioritySampler(5, seed=0)).run(
+            [(0, 1), (1, 2)], checkpoints=[1, 5], on_checkpoint=fired.append
+        )
+        assert fired == [1]
+        assert stats.edges == 2
+        assert stats.checkpoints == (1,)
+
+    def test_rejects_unsorted_checkpoints(self):
+        engine = StreamEngine(GraphPrioritySampler(5, seed=0))
+        with pytest.raises(ValueError):
+            engine.run([(0, 1)], checkpoints=[3, 2])
+        with pytest.raises(ValueError):
+            engine.run([(0, 1)], checkpoints=[0, 2])
+
+    def test_stats_throughput_fields(self, engine_stream):
+        stats = StreamEngine(GraphPrioritySampler(40, seed=0)).run(engine_stream)
+        assert stats.edges_per_second > 0.0
+        assert stats.update_time_us > 0.0
+
+
+class TestReplicatedRunner:
+    def test_eight_replications_two_workers(self, engine_graph):
+        runner = ReplicatedRunner(
+            engine_graph, capacity=100, replications=8, max_workers=2
+        )
+        summary = runner.run()
+        assert summary.workers == 2
+        assert summary.num_replications == 8
+        seeds = {(r.stream_seed, r.sampler_seed) for r in summary.replications}
+        assert len(seeds) == 8
+        # Aggregates agree with a direct Welford pass over the results.
+        moments = RunningMoments()
+        moments.extend(r.in_stream_triangles for r in summary.replications)
+        assert summary.in_stream_triangles.mean == pytest.approx(moments.mean)
+        assert summary.in_stream_triangles.variance == pytest.approx(
+            moments.variance
+        )
+        assert summary.in_stream_triangles.count == 8
+        assert (
+            summary.in_stream_triangles.ci_low
+            <= summary.in_stream_triangles.mean
+            <= summary.in_stream_triangles.ci_high
+        )
+
+    def test_pool_matches_inline_execution(self, engine_graph):
+        kwargs = dict(capacity=100, replications=4)
+        pooled = ReplicatedRunner(engine_graph, max_workers=2, **kwargs).run()
+        inline = ReplicatedRunner(engine_graph, max_workers=0, **kwargs).run()
+        assert inline.workers == 0
+        assert [r.in_stream_triangles for r in pooled.replications] == [
+            r.in_stream_triangles for r in inline.replications
+        ]
+        assert pooled.in_stream_triangles.mean == inline.in_stream_triangles.mean
+
+    def test_replication_stream_matches_from_graph_protocol(self, engine_graph):
+        """A replication with stream_seed s runs exactly the stream
+        EdgeStream.from_graph(graph, seed=s) produces."""
+        runner = ReplicatedRunner(
+            engine_graph, capacity=90, replications=1, max_workers=0,
+            base_stream_seed=5, base_sampler_seed=77,
+        )
+        summary = runner.run()
+        estimator = InStreamEstimator(90, seed=77)
+        estimator.process_stream(EdgeStream.from_graph(engine_graph, seed=5))
+        assert summary.replications[0].in_stream_triangles == (
+            estimator.triangle_estimate
+        )
+        assert summary.replications[0].threshold == estimator.sampler.threshold
+
+    def test_mean_tracks_exact_count(self, engine_graph):
+        exact = compute_statistics(engine_graph)
+        summary = ReplicatedRunner(
+            engine_graph, capacity=150, replications=8, max_workers=2
+        ).run()
+        assert summary.in_stream_triangles.mean == pytest.approx(
+            exact.triangles, rel=0.6
+        )
+
+    def test_accepts_raw_edge_sequence(self, engine_graph):
+        edges = list(engine_graph.edges())
+        summary = ReplicatedRunner(
+            edges, capacity=80, replications=2, max_workers=0
+        ).run()
+        assert summary.num_replications == 2
+
+    def test_picklable_weight_functions(self, engine_graph):
+        summary = ReplicatedRunner(
+            engine_graph, capacity=60, weight_fn=UniformWeight(),
+            replications=3, max_workers=2,
+        ).run()
+        assert summary.num_replications == 3
+
+    def test_invalid_configurations_rejected(self, engine_graph):
+        with pytest.raises(ValueError):
+            ReplicatedRunner(engine_graph, capacity=0)
+        with pytest.raises(ValueError):
+            ReplicatedRunner(engine_graph, capacity=5, replications=0)
+        with pytest.raises(ValueError):
+            ReplicatedRunner(engine_graph, capacity=5, max_workers=-1)
+        with pytest.raises(ValueError):
+            ReplicatedRunner(
+                engine_graph, capacity=5, seed_pairs=[(0, 1), (0, 1)]
+            )
+
+    def test_worker_task_is_deterministic(self, engine_graph):
+        task = _ReplicationTask(
+            edges=tuple(sorted(engine_graph.edges(), key=repr)),
+            capacity=70, weight_fn=None, stream_seed=3, sampler_seed=4,
+        )
+        a = _run_replication(task)
+        b = _run_replication(task)
+        assert a == b
+
+
+class TestMetricSummary:
+    def test_single_value_collapses(self):
+        summary = MetricSummary.from_values([5.0])
+        assert summary.mean == 5.0
+        assert summary.variance == 0.0
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_known_values(self):
+        summary = MetricSummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.variance == pytest.approx(5.0 / 3.0)
+        assert summary.count == 4
+        assert summary.ci_low < 2.5 < summary.ci_high

@@ -10,7 +10,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.priority_sampler import GraphPrioritySampler, priority_of
+from repro.core.priority_sampler import (
+    GraphPrioritySampler,
+    UpdateResult,
+    priority_of,
+)
 from repro.core.weights import UniformWeight
 from repro.graph.adjacency import AdjacencyGraph
 from repro.streams.stream import EdgeStream
@@ -198,3 +202,154 @@ def test_invariants_hold_for_any_stream(pairs, capacity, seed):
         prob = sampler.inclusion_probability(record)
         assert 0.0 < prob <= 1.0
         assert record.priority >= sampler.threshold
+
+
+# ----------------------------------------------------------------------
+# Fused-update equivalence (the pushpop hot-path fix)
+# ----------------------------------------------------------------------
+class _ReferencePushPopSampler(GraphPrioritySampler):
+    """The pre-fix GPSUpdate: separate push + pop and unconditional
+    adjacency insert/remove on every overflow arrival.  Used as an
+    independent oracle for the fused update."""
+
+    def process(self, u, v):
+        from repro.core.records import EdgeRecord
+
+        if u == v:
+            self._self_loops += 1
+            return UpdateResult(record=None, kept=False, evicted=None, skipped=True)
+        if self._sample.has_edge(u, v):
+            self._duplicates += 1
+            return UpdateResult(record=None, kept=False, evicted=None, skipped=True)
+        self._arrivals += 1
+        weight = self._weight_fn(u, v, self._sample)
+        if not weight > 0.0:
+            raise ValueError(f"weight function returned non-positive {weight!r}")
+        uniform = 1.0 - self._rng.random()
+        record = EdgeRecord(
+            u, v, weight=weight, priority=weight / uniform, arrival=self._arrivals
+        )
+        self._sample.add(record)
+        self._heap.push(record)
+        evicted = None
+        if len(self._heap) > self._capacity:
+            evicted = self._heap.pop()
+            if evicted.priority > self._threshold:
+                self._threshold = evicted.priority
+            self._sample.remove(evicted)
+        return UpdateResult(
+            record=record, kept=evicted is not record, evicted=evicted
+        )
+
+    def process_many(self, edges):
+        consumed = 0
+        for u, v in edges:
+            consumed += 1
+            self.process(u, v)
+        return consumed
+
+
+def _random_stream(rng, length, num_nodes):
+    """Random arrivals including self-loops and repeated edges."""
+    return [
+        (rng.randrange(num_nodes), rng.randrange(num_nodes))
+        for _ in range(length)
+    ]
+
+
+class TestFusedEquivalence:
+    """The fused admit-or-evict step is shared-seed identical to the
+    reference push-then-pop implementation (bit-for-bit samples)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("weight_fn", [None, UniformWeight()])
+    def test_stepwise_update_results_match(self, seed, weight_fn):
+        rng = random.Random(100 + seed)
+        stream = _random_stream(rng, length=600, num_nodes=40)
+        fused = GraphPrioritySampler(capacity=25, weight_fn=weight_fn, seed=seed)
+        reference = _ReferencePushPopSampler(
+            capacity=25, weight_fn=weight_fn, seed=seed
+        )
+        for u, v in stream:
+            got = fused.process(u, v)
+            want = reference.process(u, v)
+            assert got.skipped == want.skipped
+            assert got.kept == want.kept
+            if want.record is None:
+                assert got.record is None
+            else:
+                assert got.record.key == want.record.key
+                assert got.record.weight == want.record.weight
+                assert got.record.priority == want.record.priority
+            if want.evicted is None:
+                assert got.evicted is None
+            else:
+                assert got.evicted.key == want.evicted.key
+                assert got.evicted.priority == want.evicted.priority
+            assert fused.threshold == reference.threshold
+
+    @pytest.mark.parametrize("seed", [7, 8, 9])
+    def test_final_samples_identical(self, medium_graph, seed):
+        stream = EdgeStream.from_graph(medium_graph, seed=seed)
+        fused = GraphPrioritySampler(capacity=150, seed=seed)
+        reference = _ReferencePushPopSampler(capacity=150, seed=seed)
+        fused.process_stream(stream)
+        reference.process_stream(stream)
+        assert fused.threshold == reference.threshold
+        assert fused.stream_position == reference.stream_position
+        assert sorted(r.key for r in fused.records()) == sorted(
+            r.key for r in reference.records()
+        )
+        assert fused.normalized_probabilities() == (
+            reference.normalized_probabilities()
+        )
+
+    def test_process_many_matches_per_edge_process(self):
+        rng = random.Random(99)
+        stream = _random_stream(rng, length=800, num_nodes=60)
+        batched = GraphPrioritySampler(capacity=40, seed=5)
+        stepped = GraphPrioritySampler(capacity=40, seed=5)
+        consumed = batched.process_many(stream)
+        for u, v in stream:
+            stepped.process(u, v)
+        assert consumed == len(stream)
+        assert batched.threshold == stepped.threshold
+        assert batched.stream_position == stepped.stream_position
+        assert batched.duplicates_skipped == stepped.duplicates_skipped
+        assert batched.self_loops_skipped == stepped.self_loops_skipped
+        assert sorted(r.key for r in batched.records()) == sorted(
+            r.key for r in stepped.records()
+        )
+
+    def test_bounced_arrival_leaves_adjacency_untouched(self):
+        """An arrival that bounces out must not churn the adjacency; its
+        endpoints never become sample nodes."""
+        sampler = GraphPrioritySampler(capacity=3, weight_fn=UniformWeight(),
+                                       seed=0)
+        feed(sampler, [(0, 1), (2, 3), (4, 5)])
+        bounced = None
+        for n in range(6, 200, 2):
+            result = sampler.process(n, n + 1)
+            if not result.kept:
+                bounced = (n, n + 1)
+                break
+        assert bounced is not None, "expected at least one bounce"
+        nodes = {node for r in sampler.records() for node in (r.u, r.v)}
+        assert bounced[0] not in nodes and bounced[1] not in nodes
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=60),
+        st.integers(1, 10),
+        st.integers(0, 1_000),
+    )
+    def test_equivalence_for_any_stream(self, pairs, capacity, seed):
+        fused = GraphPrioritySampler(capacity=capacity, seed=seed)
+        reference = _ReferencePushPopSampler(capacity=capacity, seed=seed)
+        for u, v in pairs:
+            fused.process(u, v)
+            reference.process(u, v)
+        assert fused.threshold == reference.threshold
+        assert sorted(r.key for r in fused.records()) == sorted(
+            r.key for r in reference.records()
+        )

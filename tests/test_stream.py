@@ -79,3 +79,28 @@ class TestCheckpoints:
         graph = AdjacencyGraph([("a", "b"), ("b", "c")])
         stream = EdgeStream.from_graph(graph, seed=0)
         assert sorted(stream) == [("a", "b"), ("b", "c")]
+
+
+class TestCheckpointExactCount:
+    """Regression: rounding collisions must not shrink the checkpoint list
+    below ``min(count, n)`` (small streams used to lose marks)."""
+
+    def test_exact_count_for_all_small_streams(self):
+        for n in range(1, 60):
+            stream = EdgeStream.from_edges([(i, i + 1) for i in range(n)])
+            for count in range(1, 70):
+                marks = stream.checkpoints(count)
+                assert len(marks) == min(count, n), (n, count, marks)
+                assert marks == sorted(set(marks)), (n, count, marks)
+                assert marks[0] >= 1
+                assert marks[-1] == n
+
+    def test_strictly_increasing_no_collisions(self):
+        stream = EdgeStream.from_edges([(i, i + 1) for i in range(7)])
+        marks = stream.checkpoints(5)
+        assert len(marks) == 5
+        assert all(b > a for a, b in zip(marks, marks[1:]))
+        assert marks[-1] == 7
+
+    def test_empty_stream(self):
+        assert EdgeStream.from_edges([]).checkpoints(4) == []

@@ -99,6 +99,20 @@ class TestLinearCombination:
         with pytest.raises(ValueError):
             LinearCombinationWeight([(-1.0, UniformWeight())])
 
+    def test_all_zero_coefficients_rejected_at_construction(self):
+        # Regression: an all-zero combination used to construct fine and
+        # then blow up mid-stream with a "non-positive weight" error.
+        with pytest.raises(ValueError, match="positive"):
+            LinearCombinationWeight(
+                [(0.0, UniformWeight()), (0.0, TriangleWeight())]
+            )
+
+    def test_zero_coefficient_allowed_alongside_positive(self, wedge_sample):
+        combo = LinearCombinationWeight(
+            [(0.0, TriangleWeight()), (3.0, UniformWeight())]
+        )
+        assert combo(1, 2, wedge_sample) == 3.0
+
     def test_reprs_are_informative(self):
         assert "TriangleWeight" in repr(TriangleWeight())
         assert "UniformWeight" in repr(UniformWeight())
