@@ -19,6 +19,9 @@ True
 
 Package map
 -----------
+``repro.api``         Declarative experiment facade: method/weight
+                      registries, ``RunSpec`` value objects and the
+                      ``run(spec) -> RunReport`` interpreter.
 ``repro.core``        GPS sampler, weight functions, post-/in-stream
                       estimation, generalised subgraph estimators.
 ``repro.graph``       Graph substrate: adjacency structure, exact counting,
@@ -33,6 +36,9 @@ Package map
                       table and figure in the paper.
 """
 
+from repro.api.execution import RunReport, run
+from repro.api.registry import register_method, register_weight
+from repro.api.spec import RunSpec
 from repro.core.adaptive import AdaptiveTriangleWeight
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.estimates import GraphEstimates, SubgraphEstimate
@@ -73,6 +79,11 @@ from repro.streams.stream import EdgeStream
 __version__ = "1.0.0"
 
 __all__ = [
+    "RunReport",
+    "RunSpec",
+    "register_method",
+    "register_weight",
+    "run",
     "AdaptiveTriangleWeight",
     "load_checkpoint",
     "save_checkpoint",

@@ -1,0 +1,65 @@
+"""repro.api — the declarative experiment facade.
+
+The paper's protocol (Sec. 6) is one experiment shape: a seeded stream
+permutation drives a budget-matched counter through the
+:class:`~repro.engine.StreamEngine`, and estimates come back with error
+bars.  This package expresses that shape once, declaratively:
+
+* :mod:`repro.api.registry` — ``@register_method`` / ``@register_weight``
+  registries; each method carries its own budget interpretation
+  ``(budget, stream_length, seed) -> counter`` and metric extractor, so
+  new methods plug into every entry point at once.
+* :mod:`repro.api.spec` — :class:`RunSpec`, a frozen value object with a
+  lossless JSON round trip: experiments are data, not code.
+* :mod:`repro.api.execution` — ``run(spec) -> RunReport`` dispatching a
+  spec through single, tracking or replicated passes; any registered
+  method replicates across the process pool.
+
+Quick start::
+
+    from repro.api import RunSpec, run
+    report = run(RunSpec(source="infra-roadNet-CA", method="triest",
+                         budget=2000, replications=8))
+    print(report.metrics["triangles"].mean, report.to_json())
+
+The CLI (``python -m repro``), the experiment harnesses
+(:mod:`repro.experiments`) and the examples all route through this
+facade; ``python -m repro methods`` lists what is registered.
+"""
+
+from repro.api.execution import RunReport, TrackPoint, replicate, run
+from repro.api.registry import (
+    GpsPostStreamAdapter,
+    MethodSpec,
+    WeightSpec,
+    baseline_method_names,
+    get_method,
+    get_weight,
+    method_names,
+    method_specs,
+    register_method,
+    register_weight,
+    weight_names,
+    weight_specs,
+)
+from repro.api.spec import RunSpec
+
+__all__ = [
+    "GpsPostStreamAdapter",
+    "MethodSpec",
+    "RunReport",
+    "RunSpec",
+    "TrackPoint",
+    "WeightSpec",
+    "baseline_method_names",
+    "get_method",
+    "get_weight",
+    "method_names",
+    "method_specs",
+    "register_method",
+    "register_weight",
+    "replicate",
+    "run",
+    "weight_names",
+    "weight_specs",
+]

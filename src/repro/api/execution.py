@@ -1,0 +1,466 @@
+"""``run(spec) -> RunReport``: the one interpreter of declarative specs.
+
+Every entry point — CLI commands, the table/figure harnesses, the
+examples — dispatches through this module, so the paper's experiment
+shape (seeded stream permutation → budget-matched counter → engine-driven
+pass → estimates with error bars) is implemented exactly once:
+
+* **single pass** (default): one :class:`~repro.engine.StreamEngine`
+  drive over the permuted stream, batched through ``process_many``;
+* **tracking pass** (``spec.checkpoints > 0``): the engine runs in
+  lockstep with an exact prefix counter and records a
+  :class:`TrackPoint` at every mark;
+* **replicated pass** (``spec.replications > 1``): the spec fans out
+  across the :class:`~repro.engine.ReplicatedRunner` process pool —
+  any registered method, not just GPS — and per-metric
+  :class:`~repro.engine.MetricSummary` error bars come back.
+
+The resulting :class:`RunReport` is uniform across modes and methods and
+serialises to JSON for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.registry import MethodSpec, get_method, get_weight
+from repro.api.spec import RunSpec
+from repro.core.estimates import GraphEstimates
+from repro.core.in_stream import InStreamEstimator
+from repro.core.post_stream import PostStreamEstimator
+from repro.core.weights import WeightFunction
+from repro.engine.replication import MetricSummary, ReplicatedRunner
+from repro.engine.stream_engine import EngineStats, StreamEngine
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.exact import ExactStreamCounter
+from repro.graph.io import iter_edge_list
+from repro.streams.stream import EdgeStream
+from repro.streams.transforms import simplify_edges
+
+Edge = Tuple[Any, Any]
+
+
+# ----------------------------------------------------------------------
+# Report containers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrackPoint:
+    """State recorded at one tracking checkpoint."""
+
+    position: int
+    exact_triangles: int
+    exact_clustering: float
+    estimate: float
+    in_stream: Optional[GraphEstimates] = None
+    post_stream: Optional[GraphEstimates] = None
+
+    @property
+    def are(self) -> float:
+        """Absolute relative triangle error at this checkpoint."""
+        if self.exact_triangles == 0:
+            return 0.0 if self.estimate == 0 else float("inf")
+        return abs(self.estimate - self.exact_triangles) / self.exact_triangles
+
+
+def _estimates_dict(estimates: GraphEstimates) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for stat in ("triangles", "wedges", "clustering"):
+        est = getattr(estimates, stat)
+        low, high = est.confidence_bounds()
+        out[stat] = {
+            "value": est.value,
+            "variance": est.variance,
+            "ci_low": low,
+            "ci_high": high,
+        }
+    out["stream_position"] = estimates.stream_position
+    out["sample_size"] = estimates.sample_size
+    out["threshold"] = estimates.threshold
+    return out
+
+
+def _summary_dict(summary: MetricSummary) -> Dict[str, float]:
+    return {
+        "mean": summary.mean,
+        "variance": summary.variance,
+        "std_error": summary.std_error,
+        "ci_low": summary.ci_low,
+        "ci_high": summary.ci_high,
+        "count": summary.count,
+    }
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Uniform outcome of ``run(spec)`` across modes and methods.
+
+    ``estimates`` always carries the method's final point estimates (for
+    replicated runs: the across-replication means); ``metrics`` carries
+    per-metric error bars for replicated runs; ``tracking`` the checkpoint
+    series for tracking runs.  Timing fields are the engine pass for
+    single/tracking runs; for replicated runs they cover the whole
+    protocol wall-clock — including process-pool startup and aggregation
+    — so they measure the study, not the per-edge update.  ``in_stream``/``post_stream`` hold the full
+    GPS estimate bundles (with variances and bounds) when the method
+    exposes them.  ``counter`` is the live counter object of single/track
+    passes — handy for checkpointing — and is excluded from serialisation.
+    """
+
+    spec: RunSpec
+    mode: str  # "single" | "track" | "replicate"
+    edges: int
+    estimates: Dict[str, float]
+    metrics: Dict[str, MetricSummary] = field(default_factory=dict)
+    tracking: Tuple[TrackPoint, ...] = ()
+    elapsed_seconds: float = 0.0
+    update_time_us: float = 0.0
+    edges_per_second: float = 0.0
+    replications: int = 1
+    workers: int = 0
+    sample_size: Optional[int] = None
+    threshold: Optional[float] = None
+    in_stream: Optional[GraphEstimates] = None
+    post_stream: Optional[GraphEstimates] = None
+    counter: Any = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict: specs round-trip, estimate bundles flatten."""
+        out: Dict[str, Any] = {
+            "spec": self.spec.to_dict(),
+            "mode": self.mode,
+            "method": self.spec.method,
+            "edges": self.edges,
+            "estimates": dict(self.estimates),
+            "metrics": {k: _summary_dict(v) for k, v in self.metrics.items()},
+            "elapsed_seconds": self.elapsed_seconds,
+            "update_time_us": self.update_time_us,
+            "edges_per_second": self.edges_per_second,
+            "replications": self.replications,
+            "workers": self.workers,
+            "sample_size": self.sample_size,
+            "threshold": self.threshold,
+        }
+        if self.tracking:
+            out["tracking"] = [
+                {
+                    "position": p.position,
+                    "exact_triangles": p.exact_triangles,
+                    "exact_clustering": p.exact_clustering,
+                    "estimate": p.estimate,
+                    "are": p.are if p.are != float("inf") else None,
+                }
+                for p in self.tracking
+            ]
+        if self.in_stream is not None:
+            out["in_stream"] = _estimates_dict(self.in_stream)
+        if self.post_stream is not None:
+            out["post_stream"] = _estimates_dict(self.post_stream)
+        return out
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("indent", 2)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @property
+    def triangle_estimate(self) -> float:
+        """The method's triangle point estimate, whatever it named it.
+
+        Raises instead of defaulting so a method registered with an
+        unconventional metric set fails loudly in harnesses that compare
+        triangle counts (Table 2) rather than scoring a silent 100% ARE.
+        """
+        for key in ("triangles", "in_stream_triangles"):
+            if key in self.estimates:
+                return self.estimates[key]
+        raise KeyError(
+            f"method {self.spec.method!r} reports no triangle metric; "
+            f"available metrics: {sorted(self.estimates)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Source resolution
+# ----------------------------------------------------------------------
+def _resolve_edges(source: str, graph: Optional[Any]) -> List[Edge]:
+    """The edge population a spec streams, in canonical (pre-shuffle) order.
+
+    Resolution order: an explicitly passed graph/edge sequence wins, then
+    a dataset-registry name, then an edge-list file path.  Graphs resolve
+    to the same repr-sorted order :meth:`EdgeStream.from_graph` shuffles,
+    so seeded permutations are bit-identical to the legacy entry points;
+    files keep their arrival order (the stream seed then permutes it).
+    """
+    if graph is not None:
+        if isinstance(graph, AdjacencyGraph):
+            return EdgeStream.canonical_edges(graph)
+        return list(graph)
+    # Lazy import: repro.experiments.runner imports this module.
+    from repro.experiments.datasets import DATASETS, make_graph
+
+    if source in DATASETS:
+        return EdgeStream.canonical_edges(make_graph(source))
+    if os.path.exists(source):
+        return list(simplify_edges(iter_edge_list(source)))
+    raise ValueError(
+        f"cannot resolve source {source!r}: not a registered dataset "
+        f"and no such file"
+    )
+
+
+def _permute(edges: Sequence[Edge], stream_seed: Optional[int]) -> EdgeStream:
+    """Seeded arrival permutation; ``None`` keeps the source order."""
+    if stream_seed is None:
+        return EdgeStream.from_edges(edges)
+    order = list(edges)
+    random.Random(stream_seed).shuffle(order)
+    return EdgeStream(order)
+
+
+def _resolve_weight(
+    spec: RunSpec, method: MethodSpec, weight_fn: Optional[WeightFunction]
+) -> Optional[WeightFunction]:
+    requested = weight_fn if weight_fn is not None else (
+        get_weight(spec.weight).factory() if spec.weight is not None else None
+    )
+    if requested is not None and not method.uses_weight:
+        raise ValueError(
+            f"method {spec.method!r} does not use a weight function; drop "
+            f"the weight ({spec.weight or weight_fn!r}) or pick a "
+            f"weight-aware method"
+        )
+    return requested
+
+
+def _lazy_file_stream(spec: RunSpec, method: MethodSpec, graph: Optional[Any]):
+    """A lazy edge iterator when nothing forces materialisation, else None.
+
+    A single unpermuted pass of a length-free method over an edge-list
+    file never needs the population in memory — the counter is budget-
+    bounded and the engine consumes any iterable — so ``sample`` on a
+    multi-GB file keeps its streaming behaviour.
+    """
+    if (
+        graph is not None
+        or spec.stream_seed is not None
+        or spec.checkpoints > 0
+        or spec.replications > 1
+        or method.needs_stream_length
+    ):
+        return None
+    from repro.experiments.datasets import DATASETS
+
+    if spec.source in DATASETS or not os.path.exists(spec.source):
+        return None  # datasets materialise anyway; bad paths error later
+    return simplify_edges(iter_edge_list(spec.source))
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run(
+    spec: RunSpec,
+    *,
+    graph: Optional[Any] = None,
+    weight_fn: Optional[WeightFunction] = None,
+    include_post: bool = False,
+) -> RunReport:
+    """Execute one declarative spec and return its uniform report.
+
+    Parameters
+    ----------
+    spec:
+        The experiment description; its ``replications``/``checkpoints``
+        fields select the replicated, tracking or single-pass mode.
+    graph:
+        Optional in-memory :class:`AdjacencyGraph` (or edge sequence)
+        overriding ``spec.source`` resolution.
+    weight_fn:
+        Optional weight-function *instance* overriding ``spec.weight``
+        (programmatic callers with unregistered weights).
+    include_post:
+        For tracking passes of GPS methods: also record the post-stream
+        estimate bundle at every checkpoint (one Algorithm-2 evaluation
+        per mark, so off by default).
+    """
+    method = get_method(spec.method)
+    resolved_weight = _resolve_weight(spec, method, weight_fn)
+
+    lazy = _lazy_file_stream(spec, method, graph)
+    if lazy is not None:
+        counter = method.make(
+            spec.budget, 0, spec.sampler_seed, weight_fn=resolved_weight
+        )
+        stats = StreamEngine(counter).run(lazy)
+        return _finish_report(
+            spec, mode="single", method=method, counter=counter, stats=stats
+        )
+
+    edges = _resolve_edges(spec.source, graph)
+
+    if spec.replications > 1:
+        return _run_replicated(spec, edges, resolved_weight)
+
+    stream = _permute(edges, spec.stream_seed)
+    counter = method.make(
+        spec.budget, len(stream), spec.sampler_seed, weight_fn=resolved_weight
+    )
+    if spec.checkpoints > 0:
+        return _run_tracking(spec, method, counter, stream, include_post)
+    stats = StreamEngine(counter).run(stream)
+    return _finish_report(
+        spec, mode="single", method=method, counter=counter, stats=stats
+    )
+
+
+def replicate(
+    spec: RunSpec,
+    *,
+    graph: Optional[Any] = None,
+    weight_fn: Optional[WeightFunction] = None,
+) -> RunReport:
+    """Force the replicated (error-bar) pass, even for ``replications=1``.
+
+    ``run(spec)`` treats a single replication as an ordinary pass; this
+    entry point always returns a ``mode="replicate"`` report with
+    per-metric summaries (a one-value :class:`MetricSummary` collapses to
+    its point estimate), which is what ``python -m repro replicate -R 1``
+    means.
+    """
+    if spec.stream_seed is None:
+        raise ValueError(
+            "replicated runs need a base stream_seed (replication i "
+            "streams the permutation seeded stream_seed + i)"
+        )
+    if spec.checkpoints > 0:
+        # Mirror the RunSpec R>1 rule: the replicated pass aggregates
+        # final estimates only and would silently drop the schedule.
+        raise ValueError(
+            "checkpoints and replicated execution are mutually exclusive"
+        )
+    method = get_method(spec.method)
+    resolved_weight = _resolve_weight(spec, method, weight_fn)
+    edges = _resolve_edges(spec.source, graph)
+    return _run_replicated(spec, edges, resolved_weight)
+
+
+def _run_replicated(
+    spec: RunSpec, edges: Sequence[Edge], weight_fn: Optional[WeightFunction]
+) -> RunReport:
+    runner = ReplicatedRunner(
+        edges,
+        capacity=spec.budget,
+        weight_fn=weight_fn,
+        replications=spec.replications,
+        max_workers=spec.workers,
+        base_stream_seed=spec.stream_seed,
+        base_sampler_seed=spec.sampler_seed,
+        method=spec.method,
+    )
+    started = time.perf_counter()
+    summary = runner.run()
+    elapsed = time.perf_counter() - started
+    total = len(edges) * spec.replications
+    return RunReport(
+        spec=spec,
+        mode="replicate",
+        edges=len(edges),
+        estimates={name: s.mean for name, s in summary.metrics.items()},
+        metrics=dict(summary.metrics),
+        elapsed_seconds=elapsed,
+        update_time_us=elapsed / max(1, total) * 1e6,
+        edges_per_second=total / elapsed if elapsed > 0 else float("inf"),
+        replications=summary.num_replications,
+        workers=summary.workers,
+    )
+
+
+def _run_tracking(
+    spec: RunSpec,
+    method: MethodSpec,
+    counter: Any,
+    stream: EdgeStream,
+    include_post: bool,
+) -> RunReport:
+    exact = ExactStreamCounter()
+    points: List[TrackPoint] = []
+    is_gps = isinstance(counter, InStreamEstimator)
+    sampler = getattr(counter, "sampler", None)
+
+    def record(position: int) -> None:
+        points.append(
+            TrackPoint(
+                position=position,
+                exact_triangles=exact.triangles,
+                exact_clustering=exact.clustering,
+                estimate=float(counter.triangle_estimate),
+                in_stream=counter.estimates() if is_gps else None,
+                post_stream=(
+                    PostStreamEstimator(sampler).estimate()
+                    if include_post and sampler is not None
+                    else None
+                ),
+            )
+        )
+
+    engine = StreamEngine(counter, companions=(exact,))
+    stats = engine.run(
+        stream,
+        checkpoints=stream.checkpoints(spec.checkpoints),
+        on_checkpoint=record,
+    )
+    return _finish_report(
+        spec, mode="track", method=method, counter=counter, stats=stats,
+        tracking=tuple(points),
+    )
+
+
+def _finish_report(
+    spec: RunSpec,
+    *,
+    mode: str,
+    method: MethodSpec,
+    counter: Any,
+    stats: EngineStats,
+    tracking: Tuple[TrackPoint, ...] = (),
+) -> RunReport:
+    sampler = getattr(counter, "sampler", None)
+    in_stream = counter.estimates() if isinstance(counter, InStreamEstimator) else None
+    post_stream = (
+        PostStreamEstimator(sampler).estimate()
+        if sampler is not None and method.wants_post_stream
+        else None
+    )
+    if method.from_bundles is not None and (
+        in_stream is not None or post_stream is not None
+    ):
+        # Derive metrics from the bundles just computed instead of letting
+        # the extractor re-run Algorithm 2 over the reservoir.
+        estimates = method.from_bundles(in_stream, post_stream)
+    else:
+        estimates = method.extract(counter)
+    return RunReport(
+        spec=spec,
+        mode=mode,
+        edges=stats.edges,
+        estimates=estimates,
+        tracking=tracking,
+        elapsed_seconds=stats.elapsed_seconds,
+        update_time_us=stats.update_time_us,
+        edges_per_second=stats.edges_per_second,
+        sample_size=sampler.sample_size if sampler is not None else None,
+        threshold=sampler.threshold if sampler is not None else None,
+        in_stream=in_stream,
+        post_stream=post_stream,
+        counter=counter,
+    )
+
+
+__all__ = ["RunReport", "TrackPoint", "replicate", "run"]

@@ -1,0 +1,118 @@
+"""Declarative experiment specifications: experiments are data, not code.
+
+A :class:`RunSpec` freezes everything that determines one experiment of
+the paper's protocol (Sec. 6) — stream source, seeded permutation,
+budget-matched method, weight family, checkpoint schedule and
+replication fan-out — into a hashable value object with a lossless JSON
+round trip.  Specs can therefore be stored in files, shipped to workers,
+diffed between runs, and replayed bit-identically; ``run(spec)`` in
+:mod:`repro.api.execution` is the single interpreter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One declarative experiment.
+
+    Attributes
+    ----------
+    source:
+        Where the edges come from: a dataset-registry name
+        (:mod:`repro.experiments.datasets`) or an edge-list file path.
+        Callers holding an in-memory graph pass it to ``run(spec, graph=…)``
+        and the field becomes provenance metadata.
+    method:
+        Registered method name (see ``python -m repro methods``).
+    budget:
+        The paper's common memory budget; each method's registration
+        interprets it (reservoir capacity, probability, instances …).
+    weight:
+        Registered weight name for weight-aware (GPS) methods, or ``None``
+        for the method's default.  Ignored by weight-free baselines.
+    stream_seed:
+        Seed of the stream permutation (paper: streams are seeded random
+        permutations of the edge population).  ``None`` streams the source
+        in its given order — file order for edge lists.
+    sampler_seed:
+        Seed of the method's own randomness.
+    checkpoints:
+        Number of evenly spaced tracking marks; ``0`` disables tracking.
+    replications:
+        Independent ``(stream_seed + i, sampler_seed + i)`` repetitions;
+        values > 1 run the error-bar protocol through the process pool.
+    workers:
+        Process-pool size for replicated runs (``0`` inline, ``None``
+        auto-sized); ignored for single passes.
+    """
+
+    source: str
+    method: str = "gps"
+    budget: int = 1000
+    weight: Optional[str] = None
+    stream_seed: Optional[int] = 0
+    sampler_seed: int = 1
+    checkpoints: int = 0
+    replications: int = 1
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.source, str) or not self.source:
+            raise ValueError("source must be a non-empty string")
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+        if self.checkpoints < 0:
+            raise ValueError("checkpoints must be >= 0")
+        if self.replications < 1:
+            raise ValueError("replications must be >= 1")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 runs inline)")
+        if self.replications > 1 and self.stream_seed is None:
+            raise ValueError(
+                "replicated runs need a base stream_seed (replication i "
+                "streams the permutation seeded stream_seed + i)"
+            )
+        if self.replications > 1 and self.checkpoints > 0:
+            raise ValueError(
+                "checkpoints and replications are mutually exclusive: the "
+                "replicated pass aggregates final estimates only and would "
+                "silently drop the tracking schedule"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe; inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output; unknown keys raise."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunSpec fields: {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes: Any) -> "RunSpec":
+        """A copy with ``changes`` applied (re-runs validation)."""
+        return dataclasses.replace(self, **changes)
+
+
+__all__ = ["RunSpec"]

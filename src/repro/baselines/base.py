@@ -1,8 +1,14 @@
 """Common protocol for streaming triangle counters.
 
-The experiment harness (Tables 2–3) drives every method through this
-interface so that workloads, memory budgets and timing are measured
-identically for GPS and all baselines.
+The experiment harness (Tables 2–3) and the :mod:`repro.api` facade drive
+every method through this interface so that workloads, memory budgets and
+timing are measured identically for GPS and all baselines.
+
+:class:`BatchProcessMixin` supplies the ``process_many`` batched entry
+point the :class:`~repro.engine.stream_engine.StreamEngine` fast path looks
+for: every baseline inherits it, so engine-driven runs feed baselines in
+checkpoint-to-checkpoint batches (one Python call per batch) instead of
+falling back to the per-edge loop.
 """
 
 from __future__ import annotations
@@ -26,7 +32,26 @@ class StreamingTriangleCounter(Protocol):
         ...
 
 
-def drive(counter: StreamingTriangleCounter, edges: Iterable[Tuple[Node, Node]]) -> None:
-    """Feed a whole stream through ``counter``."""
-    for u, v in edges:
-        counter.process(u, v)
+class BatchProcessMixin:
+    """Default batched driving loop for protocol counters.
+
+    ``process_many`` is semantically a plain per-edge loop — it exists so
+    the engine can hand a whole batch across one call boundary with the
+    bound ``process`` method hoisted.  Counters with a genuinely vectorised
+    update (the GPS sampler, :class:`~repro.core.in_stream.InStreamEstimator`)
+    override it; everything else inherits this one.
+    """
+
+    __slots__ = ()
+
+    def process_many(self, edges: Iterable[Tuple[Node, Node]]) -> int:
+        """Feed every edge to :meth:`process`; returns the number consumed."""
+        process = self.process
+        consumed = 0
+        for u, v in edges:
+            process(u, v)
+            consumed += 1
+        return consumed
+
+
+__all__ = ["BatchProcessMixin", "StreamingTriangleCounter"]

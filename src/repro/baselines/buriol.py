@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Set
 
+from repro.baselines.base import BatchProcessMixin
 from repro.graph.edge import Node, is_self_loop
 
 
@@ -41,7 +42,7 @@ class _Instance:
         return self.seen_aw and self.seen_bw
 
 
-class BuriolSampler:
+class BuriolSampler(BatchProcessMixin):
     """Buriol-style estimator array for adjacency streams.
 
     ``nodes`` fixes the candidate universe for the third node (the

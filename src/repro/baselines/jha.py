@@ -34,12 +34,13 @@ import random
 from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.baselines.base import BatchProcessMixin
 from repro.graph.edge import EdgeKey, Node, canonical_edge, is_self_loop
 
 Wedge = Tuple[EdgeKey, EdgeKey, Node]  # (edge1, edge2, centre)
 
 
-class JhaSeshadhriPinar:
+class JhaSeshadhriPinar(BatchProcessMixin):
     """Streaming-Triangles (JSP) transitivity / triangle estimator."""
 
     __slots__ = (

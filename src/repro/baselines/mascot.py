@@ -25,11 +25,12 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional
 
+from repro.baselines.base import BatchProcessMixin
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.edge import Node, is_self_loop
 
 
-class Mascot:
+class Mascot(BatchProcessMixin):
     """MASCOT (count-then-sample, 1/p² weighting).
 
     Tracks both the global estimate and the *local* per-node estimates the
@@ -92,7 +93,7 @@ class Mascot:
         return self._arrivals
 
 
-class MascotBasic:
+class MascotBasic(BatchProcessMixin):
     """MASCOT-C (sample-then-count, 1/p³ weighting)."""
 
     __slots__ = ("_p", "_rng", "_graph", "_arrivals", "_estimate")

@@ -30,10 +30,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.baselines.base import BatchProcessMixin
 from repro.graph.edge import Node, is_self_loop
 
 
-class NeighborhoodSampling:
+class NeighborhoodSampling(BatchProcessMixin):
     """NSAMP with ``r`` vectorised estimator instances (integer node ids).
 
     Node labels must be non-negative integers (the experiment datasets

@@ -11,11 +11,12 @@ from __future__ import annotations
 import random
 from typing import Iterator, List, Optional, Tuple
 
+from repro.baselines.base import BatchProcessMixin
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.edge import EdgeKey, Node, canonical_edge, is_self_loop
 
 
-class ReservoirEdgeSampler:
+class ReservoirEdgeSampler(BatchProcessMixin):
     """Uniform fixed-size edge sample with an adjacency view.
 
     After ``t`` arrivals each seen edge is in the sample with probability

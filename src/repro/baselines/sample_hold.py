@@ -22,11 +22,12 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional
 
+from repro.baselines.base import BatchProcessMixin
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.edge import EdgeKey, Node, canonical_edge, is_self_loop
 
 
-class GraphSampleHold:
+class GraphSampleHold(BatchProcessMixin):
     """gSH(p, q) with HT triangle/edge estimation."""
 
     __slots__ = ("_p", "_q", "_rng", "_graph", "_probs", "_arrivals")

@@ -23,11 +23,12 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from repro.baselines.base import BatchProcessMixin
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.edge import EdgeKey, Node, canonical_edge, is_self_loop
 
 
-class TriestBase:
+class TriestBase(BatchProcessMixin):
     """TRIEST-BASE (insertion-only)."""
 
     __slots__ = ("_capacity", "_rng", "_edges", "_graph", "_arrivals", "_tau")
@@ -92,7 +93,7 @@ class TriestBase:
         return len(self._edges)
 
 
-class TriestImpr:
+class TriestImpr(BatchProcessMixin):
     """TRIEST-IMPR: eager weighted counting, never decremented."""
 
     __slots__ = ("_capacity", "_rng", "_edges", "_graph", "_arrivals", "_estimate")

@@ -1,6 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Production entry points for the common workflows:
+Every stream-driving command is a thin veneer over the declarative
+:mod:`repro.api` facade: the arguments are packed into a
+:class:`~repro.api.spec.RunSpec`, executed by ``repro.api.run`` (one
+engine-driven pass, a tracking pass, or a replicated pass through the
+process pool), and the resulting :class:`~repro.api.execution.RunReport`
+is printed — human-readable by default, machine-readable with ``--json``.
+
+Commands:
 
 * ``stats``      exact triangle/wedge/clustering (and optional 4-node
                  motif census) of an edge-list file — the ground-truth
@@ -12,21 +19,37 @@ Production entry points for the common workflows:
                  checkpoint: triangles/wedges/clustering and, on request,
                  k-cliques, k-stars and the motif census;
 * ``track``      checkpointed real-time tracking of a stream (estimate vs
-                 exact at evenly spaced points);
-* ``replicate``  R independent (stream, sampler) seeded replications fanned
-                 across worker processes; reports mean / variance / 95% CI
-                 of the estimates — the paper's error-bar protocol;
+                 exact at evenly spaced points) for any registered method;
+* ``replicate``  R independent (stream, sampler) seeded replications of
+                 any registered method fanned across worker processes;
+                 reports mean / variance / 95% CI of its estimates — the
+                 paper's error-bar protocol;
+* ``methods``    list the registered stream-sampling methods;
+* ``weights``    list the registered weight functions;
 * ``reproduce``  regenerate the paper's tables and figures.
 
-Edge-list format: two whitespace-separated node ids per line, ``#``/``%``
-comments, optional ``.gz``; extra columns ignored.
+Methods and weights come from the :mod:`repro.api.registry`; anything a
+plugin registers is immediately drivable here.  Edge-list format: two
+whitespace-separated node ids per line, ``#``/``%`` comments, optional
+``.gz``; extra columns ignored.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Optional, Sequence
 
+from repro.api.execution import replicate as run_replicated
+from repro.api.execution import run
+from repro.api.registry import (
+    get_weight,
+    method_names,
+    method_specs,
+    weight_names,
+    weight_specs,
+)
+from repro.api.spec import RunSpec
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.estimates import GraphEstimates
 from repro.core.in_stream import InStreamEstimator
@@ -34,20 +57,10 @@ from repro.core.local import LocalTriangleEstimator
 from repro.core.motifs import MotifCensusEstimator
 from repro.core.post_stream import PostStreamEstimator
 from repro.core.subgraphs import CliqueEstimator, StarEstimator
-from repro.core.weights import TriangleWeight, UniformWeight, WedgeWeight
-from repro.engine.replication import ReplicatedRunner
 from repro.experiments import figure1, figure2, figure3, table1, table2, table3
-from repro.graph.exact import ExactStreamCounter, compute_statistics
-from repro.graph.io import iter_edge_list, read_edge_list
+from repro.graph.exact import compute_statistics
+from repro.graph.io import read_edge_list
 from repro.graph.motifs import count_motifs
-from repro.streams.stream import EdgeStream
-from repro.streams.transforms import simplify_edges
-
-WEIGHTS = {
-    "triangle": TriangleWeight,
-    "uniform": UniformWeight,
-    "wedge": WedgeWeight,
-}
 
 ARTEFACTS = {
     "table1": table1,
@@ -57,6 +70,34 @@ ARTEFACTS = {
     "figure2": figure2,
     "figure3": figure3,
 }
+
+#: Friendly row labels for well-known replication metrics.
+_METRIC_LABELS = {
+    "in_stream_triangles": "triangles in-stream",
+    "post_stream_triangles": "triangles post-stream",
+    "in_stream_wedges": "wedges in-stream",
+    "in_stream_clustering": "clustering in-stream",
+}
+
+
+def _artefact(value: str) -> str:
+    """Argparse ``type`` validating artefact names (zero artefacts = all)."""
+    if value not in ARTEFACTS:
+        choices = ", ".join(sorted(ARTEFACTS))
+        raise argparse.ArgumentTypeError(
+            f"unknown artefact {value!r} (choose from: {choices})"
+        )
+    return value
+
+
+def _add_weight_option(
+    parser: argparse.ArgumentParser, default: Optional[str] = None
+) -> None:
+    parser.add_argument(
+        "--weight", choices=sorted(weight_names()), default=default,
+        help="registered weight function (GPS-family methods only; "
+             "default: the method's own default, triangle for GPS)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,15 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
     sample = commands.add_parser("sample", help="GPS-sample an edge-list stream")
     sample.add_argument("path")
     sample.add_argument("-m", "--capacity", type=int, required=True)
-    sample.add_argument("--weight", choices=sorted(WEIGHTS), default="triangle")
+    _add_weight_option(sample, default="triangle")
     sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--stream-seed", type=int, default=None,
+                        help="permute the stream with this seed "
+                             "(default: keep file order)")
     sample.add_argument("-o", "--output", help="write a resumable checkpoint here")
+    sample.add_argument("--json", action="store_true",
+                        help="emit the RunReport as JSON")
 
     estimate = commands.add_parser(
         "estimate", help="post-stream estimation from a checkpoint"
     )
     estimate.add_argument("checkpoint")
-    estimate.add_argument("--weight", choices=sorted(WEIGHTS), default="triangle")
+    _add_weight_option(estimate, default="triangle")
     estimate.add_argument("--motifs", action="store_true")
     estimate.add_argument("--cliques", type=int, metavar="K",
                           help="also estimate K-clique counts")
@@ -95,29 +141,44 @@ def build_parser() -> argparse.ArgumentParser:
     track = commands.add_parser("track", help="track estimates over a stream")
     track.add_argument("path")
     track.add_argument("-m", "--capacity", type=int, required=True)
+    track.add_argument("--method", choices=sorted(method_names()), default="gps",
+                       help="registered method to track (default: gps)")
     track.add_argument("--checkpoints", type=int, default=10)
-    track.add_argument("--weight", choices=sorted(WEIGHTS), default="triangle")
+    _add_weight_option(track)
     track.add_argument("--seed", type=int, default=0)
+    track.add_argument("--stream-seed", type=int, default=None,
+                       help="permute the stream with this seed "
+                            "(default: keep file order)")
+    track.add_argument("--json", action="store_true",
+                       help="emit the RunReport as JSON")
 
     replicate = commands.add_parser(
         "replicate", help="parallel multi-seed replications with error bars"
     )
     replicate.add_argument("path")
     replicate.add_argument("-m", "--capacity", type=int, required=True)
+    replicate.add_argument("--method", choices=sorted(method_names()),
+                           default="gps",
+                           help="registered method to replicate (default: gps)")
     replicate.add_argument("-R", "--replications", type=int, default=8)
     replicate.add_argument("--workers", type=int, default=None,
                            help="process-pool size (0 runs inline)")
-    replicate.add_argument("--weight", choices=sorted(WEIGHTS), default="triangle")
+    _add_weight_option(replicate)
     replicate.add_argument("--stream-seed", type=int, default=0)
     replicate.add_argument("--sampler-seed", type=int, default=10_000)
+    replicate.add_argument("--json", action="store_true",
+                           help="emit the RunReport as JSON")
+
+    commands.add_parser("methods", help="list registered sampling methods")
+    commands.add_parser("weights", help="list registered weight functions")
 
     reproduce = commands.add_parser(
         "reproduce", help="regenerate the paper's tables and figures"
     )
     reproduce.add_argument(
-        "artefacts", nargs="*", default=sorted(ARTEFACTS),
-        choices=sorted(ARTEFACTS) + [[]],
-        help="subset of artefacts (default: all)",
+        "artefacts", nargs="*", type=_artefact, default=[],
+        metavar="artefact",
+        help=f"subset of {', '.join(sorted(ARTEFACTS))} (default: all)",
     )
     return parser
 
@@ -130,6 +191,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "estimate": _cmd_estimate,
         "track": _cmd_track,
         "replicate": _cmd_replicate,
+        "methods": _cmd_methods,
+        "weights": _cmd_weights,
         "reproduce": _cmd_reproduce,
     }[args.command]
     return handler(args)
@@ -153,20 +216,33 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_sample(args) -> int:
-    estimator = InStreamEstimator(
-        args.capacity, weight_fn=WEIGHTS[args.weight](), seed=args.seed
+    # gps-in-stream, not the shared-sample "gps": sample prints in-stream
+    # estimates only, so the report must not pay an Algorithm-2 pass.
+    spec = RunSpec(
+        source=args.path,
+        method="gps-in-stream",
+        budget=args.capacity,
+        weight=args.weight,
+        stream_seed=args.stream_seed,
+        sampler_seed=args.seed,
     )
-    edges = simplify_edges(iter_edge_list(args.path))
-    estimator.process_stream(edges)
-    _print_estimates("in-stream estimates", estimator.estimates())
+    report = run(spec)
+    if args.json:
+        print(report.to_json())
+    else:
+        _print_estimates("in-stream estimates", report.in_stream)
     if args.output:
-        path = save_checkpoint(estimator, args.output)
-        print(f"checkpoint written to {path}")
+        path = save_checkpoint(report.counter, args.output)
+        # Keep --json stdout machine-readable; the notice goes to stderr.
+        notice_stream = sys.stderr if args.json else sys.stdout
+        print(f"checkpoint written to {path}", file=notice_stream)
     return 0
 
 
 def _cmd_estimate(args) -> int:
-    loaded = load_checkpoint(args.checkpoint, weight_fn=WEIGHTS[args.weight]())
+    loaded = load_checkpoint(
+        args.checkpoint, weight_fn=get_weight(args.weight).factory()
+    )
     sampler = loaded.sampler if isinstance(loaded, InStreamEstimator) else loaded
     estimates = PostStreamEstimator(sampler).estimate()
     _print_estimates("post-stream estimates", estimates)
@@ -188,54 +264,72 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_track(args) -> int:
-    edges = list(simplify_edges(iter_edge_list(args.path)))
-    estimator = InStreamEstimator(
-        args.capacity, weight_fn=WEIGHTS[args.weight](), seed=args.seed
+    spec = RunSpec(
+        source=args.path,
+        method=args.method,
+        budget=args.capacity,
+        weight=args.weight,
+        stream_seed=args.stream_seed,
+        sampler_seed=args.seed,
+        checkpoints=args.checkpoints,
     )
-    exact = ExactStreamCounter()
-    marks = set(EdgeStream.from_edges(edges).checkpoints(args.checkpoints))
+    report = run(spec)
+    if args.json:
+        print(report.to_json())
+        return 0
     print(f"{'t':>10}  {'triangles':>12}  {'estimate':>12}  {'ARE':>8}")
-    t = 0
-    for u, v in edges:
-        estimator.process(u, v)
-        exact.process(u, v)
-        t += 1
-        if t in marks:
-            estimate = estimator.triangle_estimate
-            actual = exact.triangles
-            err = abs(estimate - actual) / actual if actual else 0.0
-            print(f"{t:>10}  {actual:>12}  {estimate:>12.0f}  {err:>8.2%}")
+    for point in report.tracking:
+        err = 0.0 if point.are == float("inf") else point.are
+        print(
+            f"{point.position:>10}  {point.exact_triangles:>12}  "
+            f"{point.estimate:>12.0f}  {err:>8.2%}"
+        )
     return 0
 
 
 def _cmd_replicate(args) -> int:
-    edges = list(simplify_edges(iter_edge_list(args.path)))
-    runner = ReplicatedRunner(
-        edges,
-        capacity=args.capacity,
-        weight_fn=WEIGHTS[args.weight](),
+    spec = RunSpec(
+        source=args.path,
+        method=args.method,
+        budget=args.capacity,
+        weight=args.weight,
+        stream_seed=args.stream_seed,
+        sampler_seed=args.sampler_seed,
         replications=args.replications,
-        max_workers=args.workers,
-        base_stream_seed=args.stream_seed,
-        base_sampler_seed=args.sampler_seed,
+        workers=args.workers,
     )
-    summary = runner.run()
+    report = run_replicated(spec)
+    if args.json:
+        print(report.to_json())
+        return 0
     print(
-        f"{summary.num_replications} replications over {len(edges)} edges "
-        f"(m={args.capacity}, weight={args.weight}, workers={summary.workers})"
+        f"{report.replications} replications over {report.edges} edges "
+        f"(m={args.capacity}, method={args.method}, "
+        f"weight={args.weight or 'default'}, workers={report.workers})"
     )
     print(f"{'metric':<22} {'mean':>14} {'std':>12}  95% CI")
-    for label, stats in (
-        ("triangles in-stream", summary.in_stream_triangles),
-        ("triangles post-stream", summary.post_stream_triangles),
-        ("wedges in-stream", summary.in_stream_wedges),
-        ("clustering in-stream", summary.in_stream_clustering),
-    ):
+    for name, stats in report.metrics.items():
+        label = _METRIC_LABELS.get(name, name)
         std = stats.variance ** 0.5
         print(
             f"{label:<22} {stats.mean:>14.2f} {std:>12.2f}  "
             f"[{stats.ci_low:.2f}, {stats.ci_high:.2f}]"
         )
+    return 0
+
+
+def _cmd_methods(args) -> int:
+    width = max(len(name) for name in method_names())
+    for spec in method_specs():
+        weight_tag = "  [weighted]" if spec.uses_weight else ""
+        print(f"{spec.name:<{width}}  {spec.description}{weight_tag}")
+    return 0
+
+
+def _cmd_weights(args) -> int:
+    width = max(len(name) for name in weight_names())
+    for spec in weight_specs():
+        print(f"{spec.name:<{width}}  {spec.description}")
     return 0
 
 

@@ -1,14 +1,22 @@
-"""Parallel multi-seed replication of GPS experiments.
+"""Parallel multi-seed replication of any registered method.
 
 The paper's error bars come from repeating each experiment over many
 independent ``(stream permutation, sampler uniforms)`` seed pairs.  A
 sequential for-loop over full stream passes is the slowest part of any
 such study, and the replications are embarrassingly parallel — each one
-is a pure function of ``(edges, capacity, weight_fn, stream_seed,
+is a pure function of ``(edges, budget, weight_fn, method, stream_seed,
 sampler_seed)``.  :class:`ReplicatedRunner` fans them out over a
 :class:`concurrent.futures.ProcessPoolExecutor` and aggregates the
 per-replication estimates into mean / variance / normal confidence
 intervals via Welford's algorithm.
+
+Counters come from the :mod:`repro.api.registry` method registry, so the
+same pool replicates GPS *and* every baseline (``method="triest-impr"``
+works exactly like the default shared-sample ``"gps"``); each method's
+registration supplies the budget interpretation and the metric set that
+gets aggregated.  Methods registered by third-party modules are visible
+to forked workers; under a spawn start method the registering module
+must be importable by workers.
 
 Workers receive the *edge list* (always picklable) once, via the pool
 initializer — per-task payloads are just seed pairs — and re-derive the
@@ -25,32 +33,61 @@ import os
 import random
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.in_stream import InStreamEstimator
-from repro.core.post_stream import PostStreamEstimator
 from repro.core.weights import WeightFunction
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.edge import Node
 from repro.stats.confidence import confidence_interval
 from repro.stats.running import RunningMoments
+from repro.streams.stream import EdgeStream
 
 Edge = Tuple[Node, Node]
 SeedPair = Tuple[int, int]
 
+#: The default method: the GPS shared-sample pass whose metric set
+#: (in-stream + post-stream, one reservoir) matches the paper's protocol.
+DEFAULT_METHOD = "gps"
+
+
+def _get_method(name: str):
+    """Lazy registry lookup: repro.api imports this module at load time."""
+    from repro.api.registry import get_method
+
+    return get_method(name)
+
 
 @dataclass(frozen=True)
 class ReplicationResult:
-    """Estimates from one independent ``(stream, sampler)`` seed pair."""
+    """Estimates from one independent ``(stream, sampler)`` seed pair.
+
+    ``metrics`` carries the replicated method's named point estimates
+    (the registry's extractor output); the GPS shared-sample metric names
+    are also readable through the legacy attribute properties.
+    """
 
     stream_seed: int
     sampler_seed: int
-    in_stream_triangles: float
-    post_stream_triangles: float
-    in_stream_wedges: float
-    in_stream_clustering: float
-    sample_size: int
-    threshold: float
+    metrics: Dict[str, float]
+    sample_size: int = 0
+    threshold: float = 0.0
+
+    # Legacy GPS accessors (method="gps" metric names).
+    @property
+    def in_stream_triangles(self) -> float:
+        return self.metrics["in_stream_triangles"]
+
+    @property
+    def post_stream_triangles(self) -> float:
+        return self.metrics["post_stream_triangles"]
+
+    @property
+    def in_stream_wedges(self) -> float:
+        return self.metrics["in_stream_wedges"]
+
+    @property
+    def in_stream_clustering(self) -> float:
+        return self.metrics["in_stream_clustering"]
 
 
 @dataclass(frozen=True)
@@ -84,18 +121,38 @@ class MetricSummary:
 
 @dataclass(frozen=True)
 class ReplicatedSummary:
-    """Aggregated outcome of :meth:`ReplicatedRunner.run`."""
+    """Aggregated outcome of :meth:`ReplicatedRunner.run`.
+
+    ``metrics`` maps each of the method's metric names to its
+    :class:`MetricSummary`; the GPS names are also readable through the
+    legacy attribute properties.
+    """
 
     replications: Tuple[ReplicationResult, ...]
-    in_stream_triangles: MetricSummary
-    post_stream_triangles: MetricSummary
-    in_stream_wedges: MetricSummary
-    in_stream_clustering: MetricSummary
+    metrics: Dict[str, MetricSummary]
     workers: int
+    method: str = DEFAULT_METHOD
 
     @property
     def num_replications(self) -> int:
         return len(self.replications)
+
+    # Legacy GPS accessors (method="gps" metric names).
+    @property
+    def in_stream_triangles(self) -> MetricSummary:
+        return self.metrics["in_stream_triangles"]
+
+    @property
+    def post_stream_triangles(self) -> MetricSummary:
+        return self.metrics["post_stream_triangles"]
+
+    @property
+    def in_stream_wedges(self) -> MetricSummary:
+        return self.metrics["in_stream_wedges"]
+
+    @property
+    def in_stream_clustering(self) -> MetricSummary:
+        return self.metrics["in_stream_clustering"]
 
 
 @dataclass(frozen=True)
@@ -107,24 +164,30 @@ class _ReplicationTask:
     weight_fn: Optional[WeightFunction]
     stream_seed: int
     sampler_seed: int
+    method: str = DEFAULT_METHOD
 
 
 # Shared per-worker state: the edge population is identical across a
 # runner's replications, so it is shipped once per worker (initializer
 # args; free under fork) instead of once per task.
-_WORKER_STATE: Optional[Tuple[Tuple[Edge, ...], int, Optional[WeightFunction]]] = None
+_WORKER_STATE: Optional[
+    Tuple[Tuple[Edge, ...], int, Optional[WeightFunction], str]
+] = None
 
 
 def _pool_initializer(
-    edges: Tuple[Edge, ...], capacity: int, weight_fn: Optional[WeightFunction]
+    edges: Tuple[Edge, ...],
+    capacity: int,
+    weight_fn: Optional[WeightFunction],
+    method: str,
 ) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (edges, capacity, weight_fn)
+    _WORKER_STATE = (edges, capacity, weight_fn, method)
 
 
 def _run_seed_pair(pair: SeedPair) -> ReplicationResult:
     """Worker entry point: task payload is just the seed pair."""
-    edges, capacity, weight_fn = _WORKER_STATE
+    edges, capacity, weight_fn, method = _WORKER_STATE
     return _run_replication(
         _ReplicationTask(
             edges=edges,
@@ -132,34 +195,38 @@ def _run_seed_pair(pair: SeedPair) -> ReplicationResult:
             weight_fn=weight_fn,
             stream_seed=pair[0],
             sampler_seed=pair[1],
+            method=method,
         )
     )
 
 
 def _run_replication(task: _ReplicationTask) -> ReplicationResult:
-    """One full GPS pass; module-level so process pools can pickle it."""
+    """One full pass of the task's method; module-level so pools pickle it."""
     order = list(task.edges)
     random.Random(task.stream_seed).shuffle(order)
-    estimator = InStreamEstimator(
-        task.capacity, weight_fn=task.weight_fn, seed=task.sampler_seed
+    spec = _get_method(task.method)
+    counter = spec.make(
+        task.capacity, len(order), task.sampler_seed, weight_fn=task.weight_fn
     )
-    estimator.process_many(order)
-    sampler = estimator.sampler
-    post = PostStreamEstimator(sampler).estimate()
+    process_many = getattr(counter, "process_many", None)
+    if process_many is not None:
+        process_many(order)
+    else:
+        process = counter.process
+        for u, v in order:
+            process(u, v)
+    sampler = getattr(counter, "sampler", None)
     return ReplicationResult(
         stream_seed=task.stream_seed,
         sampler_seed=task.sampler_seed,
-        in_stream_triangles=estimator.triangle_estimate,
-        post_stream_triangles=post.triangles.value,
-        in_stream_wedges=estimator.wedge_estimate,
-        in_stream_clustering=estimator.clustering_estimate,
-        sample_size=sampler.sample_size,
-        threshold=sampler.threshold,
+        metrics=spec.extract(counter),
+        sample_size=sampler.sample_size if sampler is not None else 0,
+        threshold=sampler.threshold if sampler is not None else 0.0,
     )
 
 
 class ReplicatedRunner:
-    """Fan R independent replications of a GPS run across processes.
+    """Fan R independent replications of one method across processes.
 
     Parameters
     ----------
@@ -168,10 +235,12 @@ class ReplicatedRunner:
         independent random permutation of it.  An explicit edge sequence
         is accepted in place of an :class:`AdjacencyGraph`.
     capacity:
-        GPS reservoir capacity ``m`` for every replication.
+        The common memory budget ``m``; the method's registration
+        interprets it (reservoir capacity, probability, instances …).
     weight_fn:
-        Shared weight function (must be picklable for ``max_workers`` ≥ 1;
-        every weight class in :mod:`repro.core.weights` is).
+        Shared weight function for weight-aware (GPS) methods (must be
+        picklable for ``max_workers`` ≥ 1; every weight class in
+        :mod:`repro.core.weights` is).  Ignored by weight-free baselines.
     replications:
         Number of independent ``(stream_seed, sampler_seed)`` pairs, R.
     max_workers:
@@ -181,16 +250,19 @@ class ReplicatedRunner:
     base_stream_seed / base_sampler_seed:
         Replication ``i`` uses seeds ``(base_stream_seed + i,
         base_sampler_seed + i)``; override ``seed_pairs`` for full control.
+    method:
+        Registered method name (:mod:`repro.api.registry`); the default
+        ``"gps"`` runs the paper's shared-sample GPS pass.
 
     Examples
     --------
     >>> from repro.graph.generators import erdos_renyi_gnm
     >>> runner = ReplicatedRunner(
     ...     erdos_renyi_gnm(30, 60, seed=0), capacity=20,
-    ...     replications=3, max_workers=0,
+    ...     replications=3, max_workers=0, method="triest-impr",
     ... )
     >>> summary = runner.run()
-    >>> summary.num_replications
+    >>> summary.metrics["triangles"].count
     3
     """
 
@@ -200,6 +272,7 @@ class ReplicatedRunner:
         "_weight_fn",
         "_seed_pairs",
         "_max_workers",
+        "_method",
     )
 
     def __init__(
@@ -212,18 +285,21 @@ class ReplicatedRunner:
         base_stream_seed: int = 0,
         base_sampler_seed: int = 10_000,
         seed_pairs: Optional[Sequence[SeedPair]] = None,
+        method: str = DEFAULT_METHOD,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        _get_method(method)  # fail fast on unknown names
         if isinstance(graph, AdjacencyGraph):
             # Same canonical order EdgeStream.from_graph shuffles, so a
             # replication with stream_seed s reproduces that exact stream.
-            edges = sorted(graph.edges(), key=repr)
+            edges = EdgeStream.canonical_edges(graph)
         else:
             edges = list(graph)
         self._edges: Tuple[Edge, ...] = tuple(edges)
         self._capacity = capacity
         self._weight_fn = weight_fn
+        self._method = method
         if seed_pairs is not None:
             pairs = [(int(s), int(t)) for s, t in seed_pairs]
         else:
@@ -252,6 +328,10 @@ class ReplicatedRunner:
     def max_workers(self) -> int:
         return self._max_workers
 
+    @property
+    def method(self) -> str:
+        return self._method
+
     def run(self) -> ReplicatedSummary:
         """Execute all replications and aggregate their estimates."""
         pairs = self._seed_pairs
@@ -264,6 +344,7 @@ class ReplicatedRunner:
                         weight_fn=self._weight_fn,
                         stream_seed=stream_seed,
                         sampler_seed=sampler_seed,
+                        method=self._method,
                     )
                 )
                 for stream_seed, sampler_seed in pairs
@@ -274,28 +355,24 @@ class ReplicatedRunner:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_pool_initializer,
-                initargs=(self._edges, self._capacity, self._weight_fn),
+                initargs=(self._edges, self._capacity, self._weight_fn,
+                          self._method),
             ) as pool:
                 results = list(pool.map(_run_seed_pair, pairs))
+        metric_names = list(results[0].metrics)
         return ReplicatedSummary(
             replications=tuple(results),
-            in_stream_triangles=MetricSummary.from_values(
-                [r.in_stream_triangles for r in results]
-            ),
-            post_stream_triangles=MetricSummary.from_values(
-                [r.post_stream_triangles for r in results]
-            ),
-            in_stream_wedges=MetricSummary.from_values(
-                [r.in_stream_wedges for r in results]
-            ),
-            in_stream_clustering=MetricSummary.from_values(
-                [r.in_stream_clustering for r in results]
-            ),
+            metrics={
+                name: MetricSummary.from_values([r.metrics[name] for r in results])
+                for name in metric_names
+            },
             workers=workers,
+            method=self._method,
         )
 
 
 __all__ = [
+    "DEFAULT_METHOD",
     "MetricSummary",
     "ReplicatedRunner",
     "ReplicatedSummary",

@@ -12,9 +12,10 @@ import argparse
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.datasets import FIGURE1_DATASETS, get_statistics, make_graph
+from repro.api.execution import run as run_spec
+from repro.api.spec import RunSpec
+from repro.experiments.datasets import FIGURE1_DATASETS, get_statistics
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_gps
 
 DEFAULT_CAPACITY = 8000
 
@@ -39,22 +40,22 @@ def build_figure1(
 ) -> List[Figure1Point]:
     points: List[Figure1Point] = []
     for dataset in datasets:
-        graph = make_graph(dataset)
         exact = get_statistics(dataset)
-        result = run_gps(
-            graph,
-            exact,
-            capacity=min(capacity, exact.num_edges),
-            stream_seed=stream_seed,
-            sampler_seed=sampler_seed,
-            dataset=dataset,
+        report = run_spec(
+            RunSpec(
+                source=dataset,
+                method="gps",
+                budget=min(capacity, exact.num_edges),
+                stream_seed=stream_seed,
+                sampler_seed=sampler_seed,
+            )
         )
         points.append(
             Figure1Point(
                 dataset=dataset,
-                triangle_ratio=result.in_stream.triangles.value / exact.triangles,
-                wedge_ratio=result.in_stream.wedges.value / exact.wedges,
-                fraction=result.sample_fraction,
+                triangle_ratio=report.in_stream.triangles.value / exact.triangles,
+                wedge_ratio=report.in_stream.wedges.value / exact.wedges,
+                fraction=report.sample_size / max(1, exact.num_edges),
             )
         )
     return points

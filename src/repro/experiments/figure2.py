@@ -14,9 +14,10 @@ import argparse
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.datasets import FIGURE2_DATASETS, get_statistics, make_graph
+from repro.api.execution import run as run_spec
+from repro.api.spec import RunSpec
+from repro.experiments.datasets import FIGURE2_DATASETS, get_statistics
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_gps
 
 DEFAULT_CAPACITIES = (500, 1000, 2000, 4000, 8000, 16000)
 
@@ -43,26 +44,26 @@ def build_figure2(
 ) -> List[Figure2Point]:
     points: List[Figure2Point] = []
     for dataset in datasets:
-        graph = make_graph(dataset)
         exact = get_statistics(dataset)
         for capacity in capacities:
             if capacity > exact.num_edges:
                 continue
-            result = run_gps(
-                graph,
-                exact,
-                capacity=capacity,
-                stream_seed=stream_seed,
-                sampler_seed=sampler_seed,
-                dataset=dataset,
+            report = run_spec(
+                RunSpec(
+                    source=dataset,
+                    method="gps",
+                    budget=capacity,
+                    stream_seed=stream_seed,
+                    sampler_seed=sampler_seed,
+                )
             )
-            estimate = result.in_stream.triangles
+            estimate = report.in_stream.triangles
             lb, ub = estimate.confidence_bounds()
             points.append(
                 Figure2Point(
                     dataset=dataset,
                     capacity=capacity,
-                    fraction=result.sample_fraction,
+                    fraction=report.sample_size / max(1, exact.num_edges),
                     ratio=estimate.value / exact.triangles,
                     lower_ratio=lb / exact.triangles,
                     upper_ratio=ub / exact.triangles,

@@ -1,4 +1,4 @@
-"""Experiment orchestration: single-configuration runs and tracking.
+"""Experiment orchestration: thin shims over the :mod:`repro.api` facade.
 
 Implements the paper's experimental protocol (Sec. 6):
 
@@ -7,15 +7,17 @@ Implements the paper's experimental protocol (Sec. 6):
   one :class:`~repro.core.in_stream.InStreamEstimator` pass supplies both
   (post-stream estimates are computed from its reservoir), exactly the
   "same set of edges with the same random seeds" setup;
-* baselines are driven through the shared
-  :class:`~repro.baselines.base.StreamingTriangleCounter` protocol with
-  matched memory budgets;
+* baselines are resolved through the :mod:`repro.api.registry` method
+  registry with matched memory budgets;
 * tracking runs record estimates at fixed checkpoints alongside exact
   prefix counts from the incremental counter.
 
-All stream driving goes through :class:`repro.engine.StreamEngine`, so
-every run here benefits from the batched ``process_many`` fast path and
-reports wall-clock throughput consistently.
+Everything here delegates to ``repro.api.run(spec)`` — the functions are
+kept as the historical call-sites (``run_gps``/``run_baseline``/
+``track_gps``) so existing imports and result dataclasses keep working,
+while each run executes through the declarative facade and thus the
+batched :class:`repro.engine.StreamEngine` path.  New code should build
+:class:`~repro.api.spec.RunSpec` values directly.
 """
 
 from __future__ import annotations
@@ -23,21 +25,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.baselines.jha import JhaSeshadhriPinar
-from repro.baselines.mascot import Mascot, MascotBasic
-from repro.baselines.neighborhood import NeighborhoodSampling
-from repro.baselines.sample_hold import GraphSampleHold
-from repro.baselines.triest import TriestBase, TriestImpr
+from repro.api.execution import run as run_spec
+from repro.api.registry import baseline_method_names
+from repro.api.spec import RunSpec
 from repro.core.estimates import GraphEstimates
-from repro.core.in_stream import InStreamEstimator
-from repro.core.post_stream import PostStreamEstimator
-from repro.core.priority_sampler import GraphPrioritySampler
 from repro.core.weights import WeightFunction
 from repro.engine.stream_engine import StreamEngine
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.exact import ExactStreamCounter, GraphStatistics
 from repro.stats.metrics import absolute_relative_error
 from repro.streams.stream import EdgeStream
+
+#: Provenance marker for specs executed against an in-memory graph.
+_IN_MEMORY = "<in-memory>"
 
 
 @dataclass(frozen=True)
@@ -66,17 +66,20 @@ def run_gps(
     dataset: Optional[str] = None,
 ) -> GpsRunResult:
     """One full GPS pass; returns both estimation flavours on one sample."""
-    stream = EdgeStream.from_graph(graph, seed=stream_seed)
-    estimator = InStreamEstimator(capacity, weight_fn=weight_fn, seed=sampler_seed)
-    stats = StreamEngine(estimator).run(stream)
-    in_stream = estimator.estimates()
-    post_stream = PostStreamEstimator(estimator.sampler).estimate()
+    spec = RunSpec(
+        source=dataset or _IN_MEMORY,
+        method="gps",
+        budget=capacity,
+        stream_seed=stream_seed,
+        sampler_seed=sampler_seed,
+    )
+    report = run_spec(spec, graph=graph, weight_fn=weight_fn)
     return GpsRunResult(
         capacity=capacity,
         exact=exact,
-        in_stream=in_stream,
-        post_stream=post_stream,
-        update_time_us=stats.update_time_us,
+        in_stream=report.in_stream,
+        post_stream=report.post_stream,
+        update_time_us=report.update_time_us,
         dataset=dataset,
     )
 
@@ -99,17 +102,13 @@ class BaselineRunResult:
         return absolute_relative_error(self.estimate, self.actual)
 
 
-BASELINE_METHODS = (
-    "gps-post",
-    "gps-in-stream",
-    "triest",
-    "triest-impr",
-    "mascot",
-    "mascot-c",
-    "nsamp",
-    "jsp",
-    "gsh",
-)
+def __getattr__(name: str):
+    # Live view of the registry (minus the shared-sample ``gps``
+    # meta-entry), so methods registered after import are still visible
+    # to consumers reading ``runner.BASELINE_METHODS``.
+    if name == "BASELINE_METHODS":
+        return baseline_method_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_baseline(
@@ -120,87 +119,34 @@ def run_baseline(
     stream_seed: int = 0,
     seed: int = 1,
 ) -> BaselineRunResult:
-    """Drive one method over one stream with a ``budget``-edge memory.
+    """Drive one registered method over one stream with a common budget.
 
-    ``budget`` is interpreted per method the way the paper matches them:
-    reservoir capacity (GPS/TRIEST), estimator instances (NSAMP), expected
-    sample size (MASCOT/gSH: probability = budget/|K|), split reservoirs
-    (JSP: half edges, half wedges).
+    ``budget`` is interpreted per method by its registry entry, the way
+    the paper matches them: reservoir capacity (GPS/TRIEST), estimator
+    instances (NSAMP/Buriol), expected sample size (MASCOT/gSH:
+    probability = budget/|K|), split reservoirs (JSP: half edges, half
+    wedges).
 
-    ``update_time_us`` reflects each method's best available driving path:
-    GPS goes through its batched ``process_many`` fast path, baselines
-    through the per-edge loop (they expose no batched entry point) — i.e.
-    it measures implementations, not a call-overhead-matched protocol.
+    ``update_time_us`` reflects each method's engine-driven pass through
+    its ``process_many`` batch path (baselines inherit the default batch
+    mixin); it measures implementations, not a call-overhead-matched
+    protocol.
     """
-    stream = EdgeStream.from_graph(graph, seed=stream_seed)
-    counter, memory = _make_counter(method, budget, len(stream), exact, seed)
-    stats = StreamEngine(counter).run(stream)
-    if method == "gps-post":
-        estimate = PostStreamEstimator(counter.sampler).estimate().triangles.value
-    else:
-        estimate = counter.triangle_estimate
+    spec = RunSpec(
+        source=_IN_MEMORY,
+        method=method,
+        budget=budget,
+        stream_seed=stream_seed,
+        sampler_seed=seed,
+    )
+    report = run_spec(spec, graph=graph)
     return BaselineRunResult(
         method=method,
-        estimate=estimate,
+        estimate=report.triangle_estimate,
         actual=exact.triangles,
-        update_time_us=stats.update_time_us,
-        memory_edges=memory,
+        update_time_us=report.update_time_us,
+        memory_edges=budget,
     )
-
-
-class _GpsCounterAdapter(InStreamEstimator):
-    """InStreamEstimator already satisfies the counter protocol."""
-
-
-def _make_counter(
-    method: str,
-    budget: int,
-    stream_length: int,
-    exact: GraphStatistics,
-    seed: int,
-):
-    probability = min(1.0, budget / max(1, stream_length))
-    if method == "gps-post":
-        sampler = GraphPrioritySampler(budget, seed=seed)
-        return _SamplerAdapter(sampler), budget
-    if method == "gps-in-stream":
-        return _GpsCounterAdapter(budget, seed=seed), budget
-    if method == "triest":
-        return TriestBase(budget, seed=seed), budget
-    if method == "triest-impr":
-        return TriestImpr(budget, seed=seed), budget
-    if method == "mascot":
-        return Mascot(probability, seed=seed), budget
-    if method == "mascot-c":
-        return MascotBasic(probability, seed=seed), budget
-    if method == "nsamp":
-        return NeighborhoodSampling(budget, seed=seed), budget
-    if method == "jsp":
-        half = max(2, budget // 2)
-        return JhaSeshadhriPinar(half, half, seed=seed), budget
-    if method == "gsh":
-        # Hold-everything-adjacent explodes memory; use q = 2p capped at 1.
-        return GraphSampleHold(probability, min(1.0, 2 * probability), seed=seed), budget
-    raise ValueError(f"unknown method {method!r}; known: {BASELINE_METHODS}")
-
-
-class _SamplerAdapter:
-    """Expose a bare GPS sampler through the counter protocol."""
-
-    __slots__ = ("sampler",)
-
-    def __init__(self, sampler: GraphPrioritySampler) -> None:
-        self.sampler = sampler
-
-    def process(self, u, v) -> None:
-        self.sampler.process(u, v)
-
-    def process_many(self, edges) -> int:
-        return self.sampler.process_many(edges)
-
-    @property
-    def triangle_estimate(self) -> float:
-        return PostStreamEstimator(self.sampler).estimate().triangles.value
 
 
 # ----------------------------------------------------------------------
@@ -239,23 +185,25 @@ def track_gps(
     Exact prefix counts come from the O(min-degree) incremental counter, so
     ground truth is available at every checkpoint without recounting.
     """
-    stream = EdgeStream.from_graph(graph, seed=stream_seed)
-    estimator = InStreamEstimator(capacity, weight_fn=weight_fn, seed=sampler_seed)
-    exact = ExactStreamCounter()
+    spec = RunSpec(
+        source=_IN_MEMORY,
+        method="gps",
+        budget=capacity,
+        stream_seed=stream_seed,
+        sampler_seed=sampler_seed,
+        checkpoints=num_checkpoints,
+    )
+    report = run_spec(
+        spec, graph=graph, weight_fn=weight_fn, include_post=include_post
+    )
     series = TrackedSeries()
-    post = PostStreamEstimator(estimator.sampler)
-
-    def record(t: int) -> None:
-        series.checkpoints.append(t)
-        series.exact_triangles.append(exact.triangles)
-        series.exact_clustering.append(exact.clustering)
-        series.in_stream.append(estimator.estimates())
+    for point in report.tracking:
+        series.checkpoints.append(point.position)
+        series.exact_triangles.append(point.exact_triangles)
+        series.exact_clustering.append(point.exact_clustering)
+        series.in_stream.append(point.in_stream)
         if include_post:
-            series.post_stream.append(post.estimate())
-
-    engine = StreamEngine(estimator, companions=(exact,))
-    engine.run(stream, checkpoints=stream.checkpoints(num_checkpoints),
-               on_checkpoint=record)
+            series.post_stream.append(point.post_stream)
     return series
 
 
@@ -265,7 +213,13 @@ def track_counter(
     num_checkpoints: int = 20,
     stream_seed: int = 0,
 ) -> tuple:
-    """Track any protocol counter; returns (checkpoints, exact, estimates)."""
+    """Track an already-instantiated protocol counter over a stream.
+
+    Returns ``(checkpoints, exact, estimates)``.  For *registered*
+    methods, prefer a tracking :class:`~repro.api.spec.RunSpec`
+    (``checkpoints > 0``) — this helper remains for ad-hoc counters that
+    bypass the registry.
+    """
     stream = EdgeStream.from_graph(graph, seed=stream_seed)
     exact = ExactStreamCounter()
     checkpoints: List[int] = []

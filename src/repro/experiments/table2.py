@@ -20,9 +20,10 @@ import argparse
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.datasets import TABLE2_DATASETS, get_statistics, make_graph
+from repro.api.execution import run as run_spec
+from repro.api.spec import RunSpec
+from repro.experiments.datasets import TABLE2_DATASETS, get_statistics
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_baseline
 from repro.stats.metrics import absolute_relative_error
 from repro.stats.running import RunningMoments
 
@@ -68,22 +69,22 @@ def build_table2(
     """ARE of the mean estimate over ``runs`` (paper's |E[X̂]−X|/X) + µs/edge."""
     rows: List[Table2Row] = []
     for dataset in datasets:
-        graph = make_graph(dataset)
         exact = get_statistics(dataset)
         for method in methods:
             estimates = RunningMoments()
             times = RunningMoments()
             for run in range(runs):
-                result = run_baseline(
-                    method,
-                    graph,
-                    exact,
-                    budget=budget,
-                    stream_seed=base_seed + run,
-                    seed=base_seed + 100 + run,
+                report = run_spec(
+                    RunSpec(
+                        source=dataset,
+                        method=method,
+                        budget=budget,
+                        stream_seed=base_seed + run,
+                        sampler_seed=base_seed + 100 + run,
+                    )
                 )
-                estimates.add(result.estimate)
-                times.add(result.update_time_us)
+                estimates.add(report.triangle_estimate)
+                times.add(report.update_time_us)
             rows.append(
                 Table2Row(
                     dataset=dataset,

@@ -15,10 +15,10 @@ import argparse
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.triest import TriestBase, TriestImpr
-from repro.experiments.datasets import TABLE3_DATASETS, get_statistics, make_graph
+from repro.api.execution import run as run_spec
+from repro.api.spec import RunSpec
+from repro.experiments.datasets import TABLE3_DATASETS, get_statistics
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import track_counter, track_gps
 from repro.stats.metrics import (
     max_absolute_relative_error,
     mean_absolute_relative_error,
@@ -76,7 +76,6 @@ def build_table3(
     """
     rows: List[Table3Row] = []
     for dataset in datasets:
-        graph = make_graph(dataset)
         get_statistics(dataset)  # warm the cache; ground truth is per-prefix
         mare_sums: Dict[str, float] = {m: 0.0 for m in METHOD_ORDER}
         max_sums: Dict[str, float] = {m: 0.0 for m in METHOD_ORDER}
@@ -86,28 +85,31 @@ def build_table3(
             run_stream_seed = stream_seed + run
             run_seed = seed + run
 
-            gps = track_gps(
-                graph,
-                capacity=capacity,
-                num_checkpoints=num_checkpoints,
-                stream_seed=run_stream_seed,
-                sampler_seed=run_seed,
-            )
-            exact = [float(x) for x in gps.exact_triangles]
-            series["gps-in-stream"] = (exact, gps.in_stream_triangles)
-            series["gps-post"] = (exact, gps.post_stream_triangles)
-
-            for method, factory in (
-                ("triest", lambda: TriestBase(capacity, seed=run_seed)),
-                ("triest-impr", lambda: TriestImpr(capacity, seed=run_seed)),
-            ):
-                _marks, exact_b, estimates = track_counter(
-                    factory(),
-                    graph,
-                    num_checkpoints=num_checkpoints,
+            def tracking_spec(method: str) -> RunSpec:
+                return RunSpec(
+                    source=dataset,
+                    method=method,
+                    budget=capacity,
                     stream_seed=run_stream_seed,
+                    sampler_seed=run_seed,
+                    checkpoints=num_checkpoints,
                 )
-                series[method] = ([float(x) for x in exact_b], estimates)
+
+            gps = run_spec(tracking_spec("gps"), include_post=True)
+            exact = [float(p.exact_triangles) for p in gps.tracking]
+            series["gps-in-stream"] = (
+                exact, [p.in_stream.triangles.value for p in gps.tracking]
+            )
+            series["gps-post"] = (
+                exact, [p.post_stream.triangles.value for p in gps.tracking]
+            )
+
+            for method in ("triest", "triest-impr"):
+                report = run_spec(tracking_spec(method))
+                series[method] = (
+                    [float(p.exact_triangles) for p in report.tracking],
+                    [p.estimate for p in report.tracking],
+                )
 
             for method in METHOD_ORDER:
                 actuals, estimates = series[method]

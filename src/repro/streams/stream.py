@@ -28,6 +28,17 @@ class EdgeStream:
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @staticmethod
+    def canonical_edges(graph: AdjacencyGraph) -> List[Tuple[Node, Node]]:
+        """``graph``'s edge set in the canonical pre-permutation order.
+
+        This ordering is the contract every seeded stream shares: a
+        permutation with seed ``s`` of the canonical order is *the*
+        stream ``(graph, s)`` denotes, wherever it is rebuilt (here, in
+        replication workers, in the :mod:`repro.api` executor).
+        """
+        return sorted(graph.edges(), key=repr)
+
     @classmethod
     def from_graph(
         cls, graph: AdjacencyGraph, seed: Optional[int] = None
@@ -37,7 +48,7 @@ class EdgeStream:
         The permutation is drawn from ``random.Random(seed)``; the same
         seed always yields the same arrival order.
         """
-        edges = sorted(graph.edges(), key=repr)
+        edges = cls.canonical_edges(graph)
         random.Random(seed).shuffle(edges)
         return cls(edges)
 

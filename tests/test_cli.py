@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -95,6 +97,13 @@ class TestReproduce:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["reproduce", "table9"])
 
+    def test_zero_artefacts_accepted(self):
+        from repro.cli import ARTEFACTS, build_parser
+
+        args = build_parser().parse_args(["reproduce"])
+        assert args.artefacts == []  # handler expands [] to all artefacts
+        assert (args.artefacts or sorted(ARTEFACTS)) == sorted(ARTEFACTS)
+
 
 class TestParser:
     def test_requires_command(self):
@@ -123,3 +132,81 @@ class TestReplicate:
         ]) == 0
         out = capsys.readouterr().out
         assert "workers=2" in out
+
+    def test_replicate_any_registered_baseline(self, edge_file, capsys):
+        assert main([
+            "replicate", edge_file, "-m", "100", "-R", "3", "--workers", "0",
+            "--method", "triest-impr",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 replications" in out
+        assert "method=triest-impr" in out
+        assert "triangles" in out
+        assert "95% CI" in out
+
+    def test_replicate_single_replication_keeps_error_bar_shape(
+        self, edge_file, capsys
+    ):
+        assert main([
+            "replicate", edge_file, "-m", "100", "-R", "1", "--workers", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 replications" in out
+        assert "triangles in-stream" in out  # metric rows still printed
+
+    def test_replicate_json_report_parses(self, edge_file, capsys):
+        assert main([
+            "replicate", edge_file, "-m", "100", "-R", "2", "--workers", "0",
+            "--method", "triest", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "replicate"
+        assert payload["spec"]["method"] == "triest"
+        assert payload["metrics"]["triangles"]["count"] == 2
+
+
+class TestDeclarativeSurface:
+    def test_methods_listing(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("gps", "triest", "mascot", "nsamp"):
+            assert name in out
+
+    def test_weights_listing(self, capsys):
+        assert main(["weights"]) == 0
+        out = capsys.readouterr().out
+        for name in ("triangle", "uniform", "wedge"):
+            assert name in out
+
+    def test_sample_json_report(self, edge_file, capsys):
+        assert main(["sample", edge_file, "-m", "150", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "single"
+        assert payload["spec"]["source"] == edge_file
+        assert payload["in_stream"]["triangles"]["value"] >= 0.0
+
+    def test_sample_json_with_checkpoint_keeps_stdout_parseable(
+        self, edge_file, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "json_ckpt.json")
+        assert main(["sample", edge_file, "-m", "120", "--json", "-o", ckpt]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # notice must not corrupt the JSON stream
+        assert "checkpoint written" in captured.err
+
+    def test_track_json_report(self, edge_file, capsys):
+        assert main([
+            "track", edge_file, "-m", "150", "--checkpoints", "3", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "track"
+        assert len(payload["tracking"]) == 3
+
+    def test_track_baseline_method(self, edge_file, capsys):
+        assert main([
+            "track", edge_file, "-m", "150", "--checkpoints", "4",
+            "--method", "triest-impr",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 5  # header + 4 checkpoints

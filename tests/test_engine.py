@@ -204,6 +204,57 @@ class TestReplicatedRunner:
         assert a == b
 
 
+class TestReplicatedBaselines:
+    """Any registered method fans through the same pool (PR 2 tentpole)."""
+
+    def test_triest_through_pool(self, engine_graph):
+        summary = ReplicatedRunner(
+            engine_graph, capacity=100, replications=4, max_workers=2,
+            method="triest",
+        ).run()
+        assert summary.method == "triest"
+        assert set(summary.metrics) == {"triangles"}
+        stats = summary.metrics["triangles"]
+        assert stats.count == 4
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_baseline_pool_matches_inline(self, engine_graph):
+        kwargs = dict(capacity=120, replications=3, method="triest-impr")
+        pooled = ReplicatedRunner(engine_graph, max_workers=2, **kwargs).run()
+        inline = ReplicatedRunner(engine_graph, max_workers=0, **kwargs).run()
+        assert [r.metrics for r in pooled.replications] == [
+            r.metrics for r in inline.replications
+        ]
+
+    def test_baseline_replication_matches_direct_pass(self, engine_graph):
+        """Replication i of a baseline runs exactly the seeded stream."""
+        summary = ReplicatedRunner(
+            engine_graph, capacity=90, replications=1, max_workers=0,
+            base_stream_seed=6, base_sampler_seed=42, method="triest-impr",
+        ).run()
+        direct = TriestImpr(90, seed=42)
+        for u, v in EdgeStream.from_graph(engine_graph, seed=6):
+            direct.process(u, v)
+        assert summary.replications[0].metrics["triangles"] == (
+            direct.triangle_estimate
+        )
+
+    def test_unknown_method_rejected_up_front(self, engine_graph):
+        with pytest.raises(ValueError, match="unknown method"):
+            ReplicatedRunner(engine_graph, capacity=10, method="frobnicate")
+
+    def test_gps_legacy_accessors_still_work(self, engine_graph):
+        summary = ReplicatedRunner(
+            engine_graph, capacity=80, replications=2, max_workers=0
+        ).run()
+        assert summary.method == "gps"
+        assert summary.in_stream_triangles.mean == (
+            summary.metrics["in_stream_triangles"].mean
+        )
+        first = summary.replications[0]
+        assert first.in_stream_triangles == first.metrics["in_stream_triangles"]
+
+
 class TestMetricSummary:
     def test_single_value_collapses(self):
         summary = MetricSummary.from_values([5.0])

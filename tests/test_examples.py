@@ -64,6 +64,18 @@ class TestExamplesRun:
         out = capsys.readouterr().out
         assert "attribute-weighted" in out
 
+    def test_declarative_experiment(self, capsys):
+        module = load_example("declarative_experiment")
+        code = module.main(
+            ["--nodes", "400", "--budget", "300", "--replications", "3",
+             "--workers", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "single GPS pass" in out
+        assert "replicated triest-impr" in out
+        assert "report JSON keys" in out
+
     def test_motif_census(self, capsys):
         module = load_example("motif_census")
         assert module.main(["--nodes", "300", "--capacity", "500"]) == 0
@@ -80,6 +92,7 @@ class TestExamplesRun:
             "baseline_comparison.py",
             "attribute_weighted_sampling.py",
             "motif_census.py",
+            "declarative_experiment.py",
         } <= names
 
 

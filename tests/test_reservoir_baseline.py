@@ -7,7 +7,7 @@ from collections import Counter
 
 import pytest
 
-from repro.baselines.base import StreamingTriangleCounter, drive
+from repro.baselines.base import BatchProcessMixin, StreamingTriangleCounter
 from repro.baselines.mascot import Mascot
 from repro.baselines.neighborhood import NeighborhoodSampling
 from repro.baselines.reservoir import ReservoirEdgeSampler
@@ -81,5 +81,17 @@ class TestCounterProtocol:
     def test_satisfies_protocol(self, factory, k4_graph):
         counter = factory()
         assert isinstance(counter, StreamingTriangleCounter)
-        drive(counter, k4_graph.edges())
+        # Every counter (mixin-inherited or hand-vectorised) batches.
+        consumed = counter.process_many(k4_graph.edges())
+        assert consumed == k4_graph.num_edges
         assert counter.triangle_estimate >= 0.0
+
+    def test_baselines_inherit_batch_mixin(self):
+        for factory in (
+            lambda: TriestBase(10, seed=0),
+            lambda: TriestImpr(10, seed=0),
+            lambda: Mascot(0.5, seed=0),
+            lambda: NeighborhoodSampling(10, seed=0),
+            lambda: ReservoirEdgeSampler(10, seed=0),
+        ):
+            assert isinstance(factory(), BatchProcessMixin)
