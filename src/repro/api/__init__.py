@@ -14,13 +14,23 @@ bars.  This package expresses that shape once, declaratively:
 * :mod:`repro.api.execution` — ``run(spec) -> RunReport`` dispatching a
   spec through single, tracking or replicated passes; any registered
   method replicates across the process pool.
+* :mod:`repro.api.sweep` — :class:`SweepSpec`, a declarative grid of
+  ``RunSpec``\\ s (methods × budgets × weights × sources × seeds);
+  ``run_sweep(spec) -> SweepReport`` executes it over a shared process
+  pool with cached ground truth and per-cell error summaries.
+* :mod:`repro.api.ground_truth` — the content-addressed cache of exact
+  statistics (and sweep cell reports) behind ``--resume``.
 
 Quick start::
 
-    from repro.api import RunSpec, run
+    from repro.api import RunSpec, SweepSpec, run, run_sweep
     report = run(RunSpec(source="infra-roadNet-CA", method="triest",
                          budget=2000, replications=8))
     print(report.metrics["triangles"].mean, report.to_json())
+    grid = run_sweep(SweepSpec(sources=("infra-roadNet-CA",),
+                               methods=("triest", "gps-post"),
+                               budgets=(1000, 2000), runs=4))
+    print(grid.error_matrix("infra-roadNet-CA"))
 
 The CLI (``python -m repro``), the experiment harnesses
 (:mod:`repro.experiments`) and the examples all route through this
@@ -28,6 +38,16 @@ facade; ``python -m repro methods`` lists what is registered.
 """
 
 from repro.api.execution import RunReport, TrackPoint, replicate, run
+from repro.api.ground_truth import GroundTruthCache
+from repro.api.sweep import (
+    ANY,
+    CellKey,
+    CellResult,
+    SweepCell,
+    SweepReport,
+    SweepSpec,
+    run_sweep,
+)
 from repro.api.registry import (
     GpsPostStreamAdapter,
     MethodSpec,
@@ -45,10 +65,17 @@ from repro.api.registry import (
 from repro.api.spec import RunSpec
 
 __all__ = [
+    "ANY",
+    "CellKey",
+    "CellResult",
     "GpsPostStreamAdapter",
+    "GroundTruthCache",
     "MethodSpec",
     "RunReport",
     "RunSpec",
+    "SweepCell",
+    "SweepReport",
+    "SweepSpec",
     "TrackPoint",
     "WeightSpec",
     "baseline_method_names",
@@ -60,6 +87,7 @@ __all__ = [
     "register_weight",
     "replicate",
     "run",
+    "run_sweep",
     "weight_names",
     "weight_specs",
 ]

@@ -84,17 +84,6 @@ def _estimates_dict(estimates: GraphEstimates) -> Dict[str, Any]:
     return out
 
 
-def _summary_dict(summary: MetricSummary) -> Dict[str, float]:
-    return {
-        "mean": summary.mean,
-        "variance": summary.variance,
-        "std_error": summary.std_error,
-        "ci_low": summary.ci_low,
-        "ci_high": summary.ci_high,
-        "count": summary.count,
-    }
-
-
 @dataclass(frozen=True)
 class RunReport:
     """Uniform outcome of ``run(spec)`` across modes and methods.
@@ -132,14 +121,23 @@ class RunReport:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict: specs round-trip, estimate bundles flatten."""
+        """JSON-safe dict: specs round-trip, estimate bundles flatten.
+
+        Example
+        -------
+        >>> from repro.api import RunSpec
+        >>> report = RunReport(spec=RunSpec(source="a.txt"), mode="single",
+        ...                    edges=3, estimates={"triangles": 1.0})
+        >>> report.to_dict()["estimates"]
+        {'triangles': 1.0}
+        """
         out: Dict[str, Any] = {
             "spec": self.spec.to_dict(),
             "mode": self.mode,
             "method": self.spec.method,
             "edges": self.edges,
             "estimates": dict(self.estimates),
-            "metrics": {k: _summary_dict(v) for k, v in self.metrics.items()},
+            "metrics": {k: v.to_dict() for k, v in self.metrics.items()},
             "elapsed_seconds": self.elapsed_seconds,
             "update_time_us": self.update_time_us,
             "edges_per_second": self.edges_per_second,
@@ -166,8 +164,55 @@ class RunReport:
         return out
 
     def to_json(self, **kwargs: Any) -> str:
+        """The report as JSON text (what ``--json`` prints on the CLI)."""
         kwargs.setdefault("indent", 2)
         return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output (cache replay).
+
+        Scalar fields, the spec, per-metric summaries and the tracking
+        series round-trip; the live estimate-bundle objects
+        (``in_stream``/``post_stream``) and the counter do not survive
+        JSON flattening and come back as ``None``.  This is what the
+        sweep cell cache replays on ``--resume``, where only the metric
+        payload feeds aggregation.
+
+        Example
+        -------
+        >>> from repro.api import RunSpec
+        >>> report = RunReport(spec=RunSpec(source="a.txt"), mode="single",
+        ...                    edges=3, estimates={"triangles": 1.0})
+        >>> RunReport.from_dict(report.to_dict()).estimates
+        {'triangles': 1.0}
+        """
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            mode=data["mode"],
+            edges=data["edges"],
+            estimates=dict(data["estimates"]),
+            metrics={
+                name: MetricSummary(**summary)
+                for name, summary in data.get("metrics", {}).items()
+            },
+            tracking=tuple(
+                TrackPoint(
+                    position=row["position"],
+                    exact_triangles=row["exact_triangles"],
+                    exact_clustering=row["exact_clustering"],
+                    estimate=row["estimate"],
+                )
+                for row in data.get("tracking", ())
+            ),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            update_time_us=data.get("update_time_us", 0.0),
+            edges_per_second=data.get("edges_per_second", 0.0),
+            replications=data.get("replications", 1),
+            workers=data.get("workers", 0),
+            sample_size=data.get("sample_size"),
+            threshold=data.get("threshold"),
+        )
 
     @property
     def triangle_estimate(self) -> float:
@@ -289,6 +334,14 @@ def run(
         For tracking passes of GPS methods: also record the post-stream
         estimate bundle at every checkpoint (one Algorithm-2 evaluation
         per mark, so off by default).
+
+    Example
+    -------
+    >>> from repro.api import RunSpec, run
+    >>> report = run(RunSpec(source="infra-roadNet-CA", method="triest",
+    ...                      budget=2000))
+    >>> report.mode, sorted(report.estimates)
+    ('single', ['triangles'])
     """
     method = get_method(spec.method)
     resolved_weight = _resolve_weight(spec, method, weight_fn)
@@ -333,6 +386,15 @@ def replicate(
     per-metric summaries (a one-value :class:`MetricSummary` collapses to
     its point estimate), which is what ``python -m repro replicate -R 1``
     means.
+
+    Example
+    -------
+    >>> from repro.api import RunSpec, replicate
+    >>> report = replicate(RunSpec(source="infra-roadNet-CA",
+    ...                            method="triest", budget=2000,
+    ...                            replications=4, workers=0))
+    >>> report.mode, report.metrics["triangles"].count
+    ('replicate', 4)
     """
     if spec.stream_seed is None:
         raise ValueError(

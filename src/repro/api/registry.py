@@ -147,6 +147,16 @@ def register_method(
     ``(budget, stream_length, seed) -> counter``.  Registration is global
     and name-keyed; duplicate names are rejected so two modules cannot
     silently shadow each other's methods.
+
+    Example
+    -------
+    >>> @register_method("my-reservoir", description="toy example")
+    ... def _make(budget, stream_length, seed):
+    ...     return TriestBase(budget, seed=seed)      # doctest: +SKIP
+
+    The new name is immediately valid everywhere: ``RunSpec
+    (method="my-reservoir")``, ``SweepSpec(methods=("my-reservoir",))``,
+    ``python -m repro replicate --method my-reservoir`` …
     """
 
     def decorate(factory: MethodFactory) -> MethodFactory:
@@ -170,7 +180,17 @@ def register_method(
 def register_weight(
     name: str, *, description: str = ""
 ) -> Callable[[Callable[[], WeightFunction]], Callable[[], WeightFunction]]:
-    """Decorator registering a zero-argument weight-function factory."""
+    """Decorator registering a zero-argument weight-function factory.
+
+    Example
+    -------
+    >>> @register_weight("unit", description="constant weight")
+    ... class UnitWeight(UniformWeight):
+    ...     pass                                       # doctest: +SKIP
+
+    The name then resolves anywhere a weight is named: ``--weight unit``,
+    ``RunSpec(weight="unit")``, ``SweepSpec(weights=("unit",))``.
+    """
 
     def decorate(factory: Callable[[], WeightFunction]):
         if name in _WEIGHTS:
@@ -182,7 +202,13 @@ def register_weight(
 
 
 def get_method(name: str) -> MethodSpec:
-    """Look a method up by name; unknown names raise with the known set."""
+    """Look a method up by name; unknown names raise with the known set.
+
+    Example
+    -------
+    >>> get_method("triest").uses_weight
+    False
+    """
     try:
         return _METHODS[name]
     except KeyError:
@@ -191,7 +217,13 @@ def get_method(name: str) -> MethodSpec:
 
 
 def get_weight(name: str) -> WeightSpec:
-    """Look a weight up by name; unknown names raise with the known set."""
+    """Look a weight up by name; unknown names raise with the known set.
+
+    Example
+    -------
+    >>> get_weight("uniform").name
+    'uniform'
+    """
     try:
         return _WEIGHTS[name]
     except KeyError:
@@ -200,21 +232,118 @@ def get_weight(name: str) -> WeightSpec:
 
 
 def method_names() -> Tuple[str, ...]:
-    """Registered method names in registration order."""
+    """Registered method names in registration order.
+
+    Example
+    -------
+    >>> "gps" in method_names() and "triest" in method_names()
+    True
+    """
     return tuple(_METHODS)
 
 
 def weight_names() -> Tuple[str, ...]:
-    """Registered weight names in registration order."""
+    """Registered weight names in registration order.
+
+    Example
+    -------
+    >>> weight_names()
+    ('triangle', 'uniform', 'wedge')
+    """
     return tuple(_WEIGHTS)
 
 
 def method_specs() -> Tuple[MethodSpec, ...]:
+    """Registered :class:`MethodSpec` values in registration order.
+
+    Example
+    -------
+    >>> [s.name for s in method_specs()][:2]
+    ['gps', 'gps-post']
+    """
     return tuple(_METHODS.values())
 
 
 def weight_specs() -> Tuple[WeightSpec, ...]:
+    """Registered :class:`WeightSpec` values in registration order.
+
+    Example
+    -------
+    >>> [s.name for s in weight_specs()]
+    ['triangle', 'uniform', 'wedge']
+    """
     return tuple(_WEIGHTS.values())
+
+
+def _markdown_escape(text: str) -> str:
+    return text.replace("|", "\\|").replace("\n", " ")
+
+
+def registry_markdown() -> str:
+    """The method/weight catalog as Markdown, generated from the registry.
+
+    This is the single source of ``docs/methods.md``:
+    ``python -m repro methods --markdown`` emits it, a test (and a CI
+    step) fails when the checked-in file drifts from the registry, so
+    registering a method *is* documenting it.
+
+    Example
+    -------
+    >>> "| gps " in registry_markdown()
+    True
+    """
+    lines = [
+        "# Method & weight catalog",
+        "",
+        "<!-- GENERATED FILE - DO NOT EDIT. -->",
+        "<!-- Regenerate with: python -m repro methods --markdown > docs/methods.md -->",
+        "",
+        "Every method and weight the harness can drive, straight from the",
+        "`repro.api.registry`. A registration carries the method's *budget*",
+        "*interpretation* — how the paper's common memory budget `m` maps to",
+        "its own parameterisation — so every entry below is runnable from",
+        "`RunSpec`/`SweepSpec`, the CLI, and the replication pool with a",
+        "matched budget.",
+        "",
+        "## Stream-sampling methods",
+        "",
+        "| name | weighted | budget ÷ stream length | description |",
+        "|---|---|---|---|",
+    ]
+    for spec in method_specs():
+        lines.append(
+            "| {name} | {weighted} | {length} | {description} |".format(
+                name=spec.name,
+                weighted="yes" if spec.uses_weight else "no",
+                length="yes" if spec.needs_stream_length else "no",
+                description=_markdown_escape(spec.description),
+            )
+        )
+    lines += [
+        "",
+        "`weighted` methods accept a `--weight` / `RunSpec.weight` from the",
+        "table below; `budget ÷ stream length` marks probability-matched",
+        "methods (`p = m/|K|`), which need the stream length up front and",
+        "therefore cannot run over lazy file streams of unknown size.",
+        "",
+        "## Weight functions (GPS family)",
+        "",
+        "| name | description |",
+        "|---|---|",
+    ]
+    for spec in weight_specs():
+        lines.append(
+            f"| {spec.name} | {_markdown_escape(spec.description)} |"
+        )
+    lines += [
+        "",
+        "Register your own with `@register_method(...)` /",
+        "`@register_weight(...)` (see `docs/architecture.md`); it appears",
+        "here, in `python -m repro methods`, and in every entry point at",
+        "once.",
+        "",
+    ]
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------
@@ -407,10 +536,18 @@ def _make_buriol(budget, stream_length, seed):
     return BuriolSampler(budget, seed=seed)
 
 
-#: Registry-derived method set driven by the Table 2/3 harnesses — every
-#: registered method except the shared-sample ``gps`` meta-entry (which
-#: reports both flavours at once and is exercised via ``run_gps``).
 def baseline_method_names() -> Tuple[str, ...]:
+    """Registry-derived method set the comparison harnesses iterate.
+
+    Every registered method except the shared-sample ``gps`` meta-entry
+    (which reports both estimation flavours at once and is exercised via
+    ``run_gps``/its own sweep cells).
+
+    Example
+    -------
+    >>> "gps" not in baseline_method_names()
+    True
+    """
     return tuple(name for name in _METHODS if name != "gps")
 
 
@@ -425,6 +562,7 @@ __all__ = [
     "method_specs",
     "register_method",
     "register_weight",
+    "registry_markdown",
     "weight_names",
     "weight_specs",
 ]

@@ -89,10 +89,24 @@ class RunSpec:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON-safe; inverse of :meth:`from_dict`)."""
+        """Plain-dict form (JSON-safe; inverse of :meth:`from_dict`).
+
+        Example
+        -------
+        >>> RunSpec(source="graph.txt").to_dict()["method"]
+        'gps'
+        """
         return asdict(self)
 
     def to_json(self, **kwargs: Any) -> str:
+        """JSON text form; :meth:`from_json` inverts it losslessly.
+
+        Example
+        -------
+        >>> spec = RunSpec(source="graph.txt", budget=500)
+        >>> RunSpec.from_json(spec.to_json()) == spec
+        True
+        """
         return json.dumps(self.to_dict(), **kwargs)
 
     @classmethod
@@ -108,10 +122,17 @@ class RunSpec:
 
     @classmethod
     def from_json(cls, text: str) -> "RunSpec":
+        """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
 
     def replace(self, **changes: Any) -> "RunSpec":
-        """A copy with ``changes`` applied (re-runs validation)."""
+        """A copy with ``changes`` applied (re-runs validation).
+
+        Example
+        -------
+        >>> RunSpec(source="graph.txt").replace(budget=4000).budget
+        4000
+        """
         return dataclasses.replace(self, **changes)
 
 

@@ -24,7 +24,13 @@ Commands:
                  any registered method fanned across worker processes;
                  reports mean / variance / 95% CI of its estimates — the
                  paper's error-bar protocol;
-* ``methods``    list the registered stream-sampling methods;
+* ``sweep``      a whole evaluation grid (sources × methods × budgets ×
+                 weights × seeds) in one command: cells fan across a
+                 shared process pool, exact ground truth is cached
+                 content-addressed, ``--resume`` skips already-computed
+                 cells; per-cell error summaries, CSV/JSON export;
+* ``methods``    list the registered stream-sampling methods
+                 (``--markdown`` emits the ``docs/methods.md`` catalog);
 * ``weights``    list the registered weight functions;
 * ``reproduce``  regenerate the paper's tables and figures.
 
@@ -46,10 +52,12 @@ from repro.api.registry import (
     get_weight,
     method_names,
     method_specs,
+    registry_markdown,
     weight_names,
     weight_specs,
 )
 from repro.api.spec import RunSpec
+from repro.api.sweep import BUDGET_POLICIES, SweepSpec, run_sweep
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.estimates import GraphEstimates
 from repro.core.in_stream import InStreamEstimator
@@ -169,7 +177,60 @@ def build_parser() -> argparse.ArgumentParser:
     replicate.add_argument("--json", action="store_true",
                            help="emit the RunReport as JSON")
 
-    commands.add_parser("methods", help="list registered sampling methods")
+    sweep = commands.add_parser(
+        "sweep", help="run a whole method × budget × source grid"
+    )
+    sweep.add_argument("--spec", metavar="FILE",
+                       help="load the grid from a SweepSpec JSON file "
+                            "(grid flags are then rejected)")
+    sweep.add_argument("--source", nargs="+", default=None,
+                       help="dataset names and/or edge-list paths")
+    sweep.add_argument("--method", nargs="+", default=None,
+                       help="registered methods (default: gps)")
+    sweep.add_argument("-m", "--budget", nargs="+", type=int, default=None,
+                       help="memory budgets (default: 1000)")
+    sweep.add_argument("--weight", nargs="+", default=None,
+                       choices=sorted(weight_names()),
+                       help="weights for weight-aware methods "
+                            "(default: each method's own default)")
+    # Defaults are applied when the SweepSpec is built, not here: None
+    # means "not passed", which lets --spec reject any explicit flag —
+    # even one spelled at its default value.
+    sweep.add_argument("--runs", type=int, default=None,
+                       help="seed replications per cell (default: 1)")
+    sweep.add_argument("--stream-seed", type=int, default=None,
+                       help="base stream seed (default: 0)")
+    sweep.add_argument("--sampler-seed", type=int, default=None,
+                       help="base sampler seed (default: 1)")
+    sweep.add_argument("--checkpoints", type=int, default=None,
+                       help="tracking marks per run (default: 0, disabled)")
+    sweep.add_argument("--budget-policy", choices=BUDGET_POLICIES,
+                       default=None,
+                       help="what to do with budgets beyond a source's "
+                            "edge count (default: keep)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="shared process-pool size (0 runs inline)")
+    sweep.add_argument("--cache", metavar="DIR", default=".repro-cache",
+                       help="ground-truth/cell cache directory "
+                            "(default: .repro-cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="keep everything in memory; nothing on disk")
+    sweep.add_argument("--resume", action="store_true",
+                       help="reuse cached cell reports instead of "
+                            "re-executing them (trusts the cache: clear "
+                            "the cache dir after editing estimator code)")
+    sweep.add_argument("--save-spec", metavar="FILE",
+                       help="also write the expanded SweepSpec JSON here")
+    sweep.add_argument("--csv", metavar="FILE",
+                       help="write the per-cell CSV matrix here")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the SweepReport as JSON")
+
+    methods = commands.add_parser(
+        "methods", help="list registered sampling methods"
+    )
+    methods.add_argument("--markdown", action="store_true",
+                         help="emit the docs/methods.md catalog instead")
     commands.add_parser("weights", help="list registered weight functions")
 
     reproduce = commands.add_parser(
@@ -191,6 +252,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "estimate": _cmd_estimate,
         "track": _cmd_track,
         "replicate": _cmd_replicate,
+        "sweep": _cmd_sweep,
         "methods": _cmd_methods,
         "weights": _cmd_weights,
         "reproduce": _cmd_reproduce,
@@ -318,7 +380,124 @@ def _cmd_replicate(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments.reporting import format_table
+
+    if args.resume and args.no_cache:
+        print("sweep: --resume needs the cache that --no-cache disables; "
+              "drop one of them", file=sys.stderr)
+        return 2
+    if args.spec:
+        # Every grid/execution field lives in the spec file; a flag
+        # passed alongside it would be silently ignored, so reject any
+        # explicitly-given one loudly (all parser defaults are None).
+        overridden = [
+            flag
+            for flag, value in (
+                ("--source", args.source),
+                ("--method", args.method),
+                ("--budget", args.budget),
+                ("--weight", args.weight),
+                ("--runs", args.runs),
+                ("--stream-seed", args.stream_seed),
+                ("--sampler-seed", args.sampler_seed),
+                ("--checkpoints", args.checkpoints),
+                ("--budget-policy", args.budget_policy),
+                ("--workers", args.workers),
+            )
+            if value is not None
+        ]
+        if overridden:
+            print(f"sweep: --spec and {', '.join(overridden)} are "
+                  f"mutually exclusive — edit the spec file instead",
+                  file=sys.stderr)
+            return 2
+        spec = SweepSpec.from_json(Path(args.spec).read_text())
+    else:
+        if not args.source:
+            print("sweep: --source is required (or load a grid with "
+                  "--spec FILE)", file=sys.stderr)
+            return 2
+        spec = SweepSpec(
+            sources=tuple(args.source),
+            methods=tuple(args.method) if args.method else ("gps",),
+            budgets=tuple(args.budget) if args.budget else (1000,),
+            weights=tuple(args.weight) if args.weight else (None,),
+            runs=args.runs if args.runs is not None else 1,
+            base_stream_seed=args.stream_seed
+            if args.stream_seed is not None else 0,
+            base_sampler_seed=args.sampler_seed
+            if args.sampler_seed is not None else 1,
+            checkpoints=args.checkpoints
+            if args.checkpoints is not None else 0,
+            budget_policy=args.budget_policy or "keep",
+            workers=args.workers,
+        )
+    if args.save_spec:
+        Path(args.save_spec).write_text(spec.to_json(indent=2) + "\n")
+
+    report = run_sweep(
+        spec,
+        cache_dir=None if args.no_cache else args.cache,
+        resume=args.resume,
+    )
+
+    notice_stream = sys.stderr if args.json else sys.stdout
+    if args.csv:
+        Path(args.csv).write_text(report.to_csv())
+        print(f"cell matrix written to {args.csv}", file=notice_stream)
+    if args.json:
+        print(report.to_json())
+        return 0
+
+    body = []
+    for cell in report.cells:
+        tri = cell.triangles
+        body.append([
+            cell.key.source,
+            cell.key.method,
+            cell.key.budget,
+            cell.key.weight or "-",
+            cell.runs,
+            "-" if tri is None else f"{tri.mean:.1f}",
+            "-" if tri is None else f"[{tri.ci_low:.1f}, {tri.ci_high:.1f}]",
+            "-" if cell.relative_error is None
+            else f"{cell.relative_error:.4f}",
+            f"{cell.update_time.mean:.2f}",
+            f"{cell.cached_runs}/{cell.runs}",
+        ])
+    print(format_table(
+        headers=["source", "method", "m", "weight", "runs",
+                 "triangles (mean)", "95% CI", "ARE", "µs/edge", "cached"],
+        rows=body,
+        title=f"sweep — {len(report.cells)} cells in "
+              f"{report.elapsed_seconds:.2f}s "
+              f"(workers={report.workers})",
+        align_left=(0, 1, 3),
+    ))
+    print(f"ground truth: {report.ground_truth_hits} cache hit(s), "
+          f"{report.ground_truth_misses} exact recount(s)")
+    print(f"cell reports: {report.cell_cache_hits} reused from cache, "
+          f"{report.cell_cache_misses} executed")
+    if report.skipped:
+        names = ", ".join(
+            f"{k.source}:{k.method}"
+            + (f"[{k.weight}]" if k.weight else "")
+            + f"@{k.budget}"
+            for k in report.skipped
+        )
+        print(f"skipped (budget > |K|): {names}")
+    if report.cache_dir:
+        print(f"cache directory: {report.cache_dir}")
+    return 0
+
+
 def _cmd_methods(args) -> int:
+    if args.markdown:
+        sys.stdout.write(registry_markdown())
+        return 0
     width = max(len(name) for name in method_names())
     for spec in method_specs():
         weight_tag = "  [weighted]" if spec.uses_weight else ""

@@ -25,6 +25,12 @@ stream permutation locally, so replication ``i`` sees exactly the stream
 ``max_workers=0`` runs everything inline in the calling process — the
 results are identical (each replication is deterministic given its seed
 pair), which the test suite exploits.
+
+This pool parallelises *within one configuration* (R replications of a
+single ``(source, method, budget, weight)``).  Grids of configurations
+are the :mod:`repro.api.sweep` layer's job: its shared pool
+parallelises *across cells*, and its expanded specs always carry
+``replications=1``, so the two pools never nest.
 """
 
 from __future__ import annotations
@@ -100,6 +106,23 @@ class MetricSummary:
     ci_low: float
     ci_high: float
     count: int
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe form; ``MetricSummary(**d)`` inverts it.
+
+        The one serialiser every report layer shares
+        (:class:`~repro.api.execution.RunReport`,
+        :class:`~repro.api.sweep.CellResult`), so the JSON schema cannot
+        fork between them.
+        """
+        return {
+            "mean": self.mean,
+            "variance": self.variance,
+            "std_error": self.std_error,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "count": self.count,
+        }
 
     @classmethod
     def from_values(

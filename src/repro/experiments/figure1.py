@@ -12,9 +12,8 @@ import argparse
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.api.execution import run as run_spec
-from repro.api.spec import RunSpec
-from repro.experiments.datasets import FIGURE1_DATASETS, get_statistics
+from repro.api.sweep import SweepSpec, run_sweep
+from repro.experiments.datasets import FIGURE1_DATASETS
 from repro.experiments.reporting import format_table
 
 DEFAULT_CAPACITY = 8000
@@ -38,21 +37,26 @@ def build_figure1(
     stream_seed: int = 0,
     sampler_seed: int = 1,
 ) -> List[Figure1Point]:
-    points: List[Figure1Point] = []
-    for dataset in datasets:
-        exact = get_statistics(dataset)
-        report = run_spec(
-            RunSpec(
-                source=dataset,
-                method="gps",
-                budget=min(capacity, exact.num_edges),
-                stream_seed=stream_seed,
-                sampler_seed=sampler_seed,
-            )
+    """One GPS cell per dataset; ``budget_policy="clip"`` caps the budget
+    at each graph's edge count the way the hand-rolled loop used to."""
+    sweep = run_sweep(
+        SweepSpec(
+            sources=tuple(datasets),
+            methods=("gps",),
+            budgets=(capacity,),
+            base_stream_seed=stream_seed,
+            base_sampler_seed=sampler_seed,
+            budget_policy="clip",
+            workers=0,
         )
+    )
+    points: List[Figure1Point] = []
+    for cell in sweep.cells:
+        exact = cell.ground_truth
+        report = cell.reports[0]
         points.append(
             Figure1Point(
-                dataset=dataset,
+                dataset=cell.key.source,
                 triangle_ratio=report.in_stream.triangles.value / exact.triangles,
                 wedge_ratio=report.in_stream.wedges.value / exact.wedges,
                 fraction=report.sample_size / max(1, exact.num_edges),

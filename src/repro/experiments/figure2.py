@@ -14,9 +14,8 @@ import argparse
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.api.execution import run as run_spec
-from repro.api.spec import RunSpec
-from repro.experiments.datasets import FIGURE2_DATASETS, get_statistics
+from repro.api.sweep import SweepSpec, run_sweep
+from repro.experiments.datasets import FIGURE2_DATASETS
 from repro.experiments.reporting import format_table
 
 DEFAULT_CAPACITIES = (500, 1000, 2000, 4000, 8000, 16000)
@@ -42,33 +41,35 @@ def build_figure2(
     stream_seed: int = 0,
     sampler_seed: int = 1,
 ) -> List[Figure2Point]:
+    """One GPS cell per (dataset, capacity); ``budget_policy="skip"``
+    drops capacities beyond a graph's edge count, as the panels do."""
+    sweep = run_sweep(
+        SweepSpec(
+            sources=tuple(datasets),
+            methods=("gps",),
+            budgets=tuple(capacities),
+            base_stream_seed=stream_seed,
+            base_sampler_seed=sampler_seed,
+            budget_policy="skip",
+            workers=0,
+        )
+    )
     points: List[Figure2Point] = []
-    for dataset in datasets:
-        exact = get_statistics(dataset)
-        for capacity in capacities:
-            if capacity > exact.num_edges:
-                continue
-            report = run_spec(
-                RunSpec(
-                    source=dataset,
-                    method="gps",
-                    budget=capacity,
-                    stream_seed=stream_seed,
-                    sampler_seed=sampler_seed,
-                )
+    for cell in sweep.cells:
+        exact = cell.ground_truth
+        report = cell.reports[0]
+        estimate = report.in_stream.triangles
+        lb, ub = estimate.confidence_bounds()
+        points.append(
+            Figure2Point(
+                dataset=cell.key.source,
+                capacity=cell.key.budget,
+                fraction=report.sample_size / max(1, exact.num_edges),
+                ratio=estimate.value / exact.triangles,
+                lower_ratio=lb / exact.triangles,
+                upper_ratio=ub / exact.triangles,
             )
-            estimate = report.in_stream.triangles
-            lb, ub = estimate.confidence_bounds()
-            points.append(
-                Figure2Point(
-                    dataset=dataset,
-                    capacity=capacity,
-                    fraction=report.sample_size / max(1, exact.num_edges),
-                    ratio=estimate.value / exact.triangles,
-                    lower_ratio=lb / exact.triangles,
-                    upper_ratio=ub / exact.triangles,
-                )
-            )
+        )
     return points
 
 

@@ -12,12 +12,16 @@ Implements the paper's experimental protocol (Sec. 6):
 * tracking runs record estimates at fixed checkpoints alongside exact
   prefix counts from the incremental counter.
 
-Everything here delegates to ``repro.api.run(spec)`` — the functions are
-kept as the historical call-sites (``run_gps``/``run_baseline``/
-``track_gps``) so existing imports and result dataclasses keep working,
-while each run executes through the declarative facade and thus the
-batched :class:`repro.engine.StreamEngine` path.  New code should build
-:class:`~repro.api.spec.RunSpec` values directly.
+``run_gps``/``run_baseline``/``track_gps`` delegate to
+``repro.api.run(spec)`` — they are kept as the historical call-sites so
+existing imports and result dataclasses keep working, while each run
+executes through the declarative facade and thus the batched
+:class:`repro.engine.StreamEngine` path.  (The one exception is
+:func:`track_counter`, which drives an *ad-hoc*, unregistered counter
+through the engine directly.)  New code should build
+:class:`~repro.api.spec.RunSpec` values — or, for whole grids,
+:class:`~repro.api.sweep.SweepSpec` values, which is how the table and
+figure harnesses run since the sweep layer landed.
 """
 
 from __future__ import annotations

@@ -18,14 +18,12 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
+from math import sqrt
 from typing import List, Optional, Sequence
 
-from repro.api.execution import run as run_spec
-from repro.api.spec import RunSpec
-from repro.experiments.datasets import TABLE2_DATASETS, get_statistics
+from repro.api.sweep import SweepSpec, run_sweep
+from repro.experiments.datasets import TABLE2_DATASETS
 from repro.experiments.reporting import format_table
-from repro.stats.metrics import absolute_relative_error
-from repro.stats.running import RunningMoments
 
 DEFAULT_BUDGET = 2000
 DEFAULT_METHODS = ("nsamp", "triest", "mascot", "gps-post", "gps-in-stream")
@@ -66,37 +64,37 @@ def build_table2(
     runs: int = DEFAULT_RUNS,
     base_seed: int = 0,
 ) -> List[Table2Row]:
-    """ARE of the mean estimate over ``runs`` (paper's |E[X̂]−X|/X) + µs/edge."""
-    rows: List[Table2Row] = []
-    for dataset in datasets:
-        exact = get_statistics(dataset)
-        for method in methods:
-            estimates = RunningMoments()
-            times = RunningMoments()
-            for run in range(runs):
-                report = run_spec(
-                    RunSpec(
-                        source=dataset,
-                        method=method,
-                        budget=budget,
-                        stream_seed=base_seed + run,
-                        sampler_seed=base_seed + 100 + run,
-                    )
-                )
-                estimates.add(report.triangle_estimate)
-                times.add(report.update_time_us)
-            rows.append(
-                Table2Row(
-                    dataset=dataset,
-                    method=method,
-                    are=absolute_relative_error(estimates.mean, exact.triangles),
-                    rel_std=estimates.std / max(1, exact.triangles),
-                    update_time_us=times.mean,
-                    paper_are=PAPER_ARE.get((dataset, method)),
-                    runs=runs,
-                )
-            )
-    return rows
+    """ARE of the mean estimate over ``runs`` (paper's |E[X̂]−X|/X) + µs/edge.
+
+    The whole table is one :class:`~repro.api.sweep.SweepSpec` grid —
+    datasets × methods at a common budget, ``runs`` seed replications per
+    cell — so ground truth is resolved once per dataset and every cell's
+    ARE/σ comes from the sweep's per-cell summaries.
+    """
+    report = run_sweep(
+        SweepSpec(
+            sources=tuple(datasets),
+            methods=tuple(methods),
+            budgets=(budget,),
+            runs=runs,
+            base_stream_seed=base_seed,
+            base_sampler_seed=base_seed + 100,
+            workers=0,
+        )
+    )
+    return [
+        Table2Row(
+            dataset=cell.key.source,
+            method=cell.key.method,
+            are=cell.relative_error,
+            rel_std=sqrt(cell.triangles.variance)
+            / max(1, cell.ground_truth.triangles),
+            update_time_us=cell.update_time.mean,
+            paper_are=PAPER_ARE.get((cell.key.source, cell.key.method)),
+            runs=cell.runs,
+        )
+        for cell in report.cells
+    ]
 
 
 def format_table2(rows: Sequence[Table2Row]) -> str:

@@ -15,9 +15,8 @@ import argparse
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.api.execution import run as run_spec
-from repro.api.spec import RunSpec
-from repro.experiments.datasets import TABLE3_DATASETS, get_statistics
+from repro.api.sweep import SweepSpec, run_sweep
+from repro.experiments.datasets import TABLE3_DATASETS
 from repro.experiments.reporting import format_table
 from repro.stats.metrics import (
     max_absolute_relative_error,
@@ -73,29 +72,33 @@ def build_table3(
     averaged over ``runs`` independent stream orders / sampler seeds (the
     paper reports a single tracked run on graphs large enough that one
     run is already concentrated).
+
+    One tracking :class:`~repro.api.sweep.SweepSpec` covers the whole
+    table: the shared-sample ``gps`` cell supplies *both* GPS rows
+    (in-stream and post-stream series come from the same reservoir,
+    ``include_post=True``), the TRIEST variants get their own cells.
     """
+    sweep = run_sweep(
+        SweepSpec(
+            sources=tuple(datasets),
+            methods=("gps", "triest", "triest-impr"),
+            budgets=(capacity,),
+            runs=runs,
+            base_stream_seed=stream_seed,
+            base_sampler_seed=seed,
+            checkpoints=num_checkpoints,
+            include_post=True,
+            workers=0,
+        )
+    )
     rows: List[Table3Row] = []
     for dataset in datasets:
-        get_statistics(dataset)  # warm the cache; ground truth is per-prefix
         mare_sums: Dict[str, float] = {m: 0.0 for m in METHOD_ORDER}
         max_sums: Dict[str, float] = {m: 0.0 for m in METHOD_ORDER}
 
         for run in range(runs):
             series: Dict[str, tuple] = {}
-            run_stream_seed = stream_seed + run
-            run_seed = seed + run
-
-            def tracking_spec(method: str) -> RunSpec:
-                return RunSpec(
-                    source=dataset,
-                    method=method,
-                    budget=capacity,
-                    stream_seed=run_stream_seed,
-                    sampler_seed=run_seed,
-                    checkpoints=num_checkpoints,
-                )
-
-            gps = run_spec(tracking_spec("gps"), include_post=True)
+            gps = sweep.cell(dataset, "gps").reports[run]
             exact = [float(p.exact_triangles) for p in gps.tracking]
             series["gps-in-stream"] = (
                 exact, [p.in_stream.triangles.value for p in gps.tracking]
@@ -105,7 +108,7 @@ def build_table3(
             )
 
             for method in ("triest", "triest-impr"):
-                report = run_spec(tracking_spec(method))
+                report = sweep.cell(dataset, method).reports[run]
                 series[method] = (
                     [float(p.exact_triangles) for p in report.tracking],
                     [p.estimate for p in report.tracking],

@@ -1,0 +1,39 @@
+"""The docstring examples in repro.api are executable and must stay true.
+
+Every public function in the facade carries an ``Example`` block; these
+are documentation first, but several pin concrete registry state
+(weight names, content hashes), so they drift silently unless executed.
+Running them here puts them in the tier-1 suite without turning on
+``--doctest-modules`` for the whole tree.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.api.execution
+import repro.api.ground_truth
+import repro.api.registry
+import repro.api.spec
+import repro.api.sweep
+import repro.engine.replication
+
+MODULES = [
+    repro.api.execution,
+    repro.api.ground_truth,
+    repro.api.registry,
+    repro.api.spec,
+    repro.api.sweep,
+    repro.engine.replication,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests_pass(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

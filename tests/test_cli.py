@@ -210,3 +210,100 @@ class TestDeclarativeSurface:
         out = capsys.readouterr().out
         lines = [line for line in out.splitlines() if line.strip()]
         assert len(lines) == 5  # header + 4 checkpoints
+
+
+class TestSweepCommand:
+    def test_grid_flags_human_table(self, edge_file, tmp_path, capsys):
+        assert main([
+            "sweep", "--source", edge_file, "--method", "triest",
+            "gps-in-stream", "-m", "100", "150", "--runs", "2",
+            "--workers", "0", "--cache", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        assert "ground truth: 0 cache hit(s), 1 exact recount(s)" in out
+        assert "cell reports: 0 reused from cache, 8 executed" in out
+
+    def test_resume_reuses_cache(self, edge_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "sweep", "--source", edge_file, "--method", "triest",
+            "-m", "100", "--runs", "2", "--workers", "0", "--cache", cache,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "ground truth: 1 cache hit(s), 0 exact recount(s)" in out
+        assert "cell reports: 2 reused from cache, 0 executed" in out
+
+    def test_json_report_parses(self, edge_file, tmp_path, capsys):
+        assert main([
+            "sweep", "--source", edge_file, "--method", "triest",
+            "-m", "100", "--workers", "0", "--no-cache", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["sources"] == [edge_file]
+        assert len(payload["cells"]) == 1
+        assert payload["cells"][0]["metrics"]["triangles"]["count"] == 1
+        assert payload["cache"]["cell_misses"] == 1
+
+    def test_csv_export(self, edge_file, tmp_path, capsys):
+        csv_path = tmp_path / "cells.csv"
+        assert main([
+            "sweep", "--source", edge_file, "--method", "triest",
+            "-m", "100", "150", "--workers", "0", "--no-cache",
+            "--csv", str(csv_path),
+        ]) == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("source,method,budget")
+        assert len(lines) == 3
+
+    def test_spec_file_round_trip(self, edge_file, tmp_path, capsys):
+        spec_path = tmp_path / "grid.json"
+        assert main([
+            "sweep", "--source", edge_file, "--method", "triest",
+            "-m", "100", "--workers", "0", "--no-cache",
+            "--save-spec", str(spec_path),
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main([
+            "sweep", "--spec", str(spec_path), "--no-cache",
+        ]) == 0
+        second = capsys.readouterr().out
+        # identical grid, identical estimates (timing columns aside):
+        # drop the µs/edge and cached columns from the first data row
+        row_a = first.splitlines()[4].split()
+        row_b = second.splitlines()[4].split()
+        assert row_a[:-2] == row_b[:-2]
+        assert row_a[:2] == [edge_file, "triest"]
+
+    def test_spec_and_grid_flags_conflict(self, tmp_path, capsys):
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text('{"sources": ["x.txt"]}')
+        assert main([
+            "sweep", "--spec", str(spec_path), "--source", "x.txt",
+        ]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_source_required_without_spec(self, capsys):
+        assert main(["sweep", "--runs", "2"]) == 2
+        assert "--source is required" in capsys.readouterr().err
+
+    def test_spec_rejects_flags_even_at_default_values(self, tmp_path, capsys):
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text('{"sources": ["x.txt"], "runs": 3}')
+        # --runs 1 matches the built-in default but contradicts the spec
+        # file; it must be rejected, not silently ignored.
+        assert main(["sweep", "--spec", str(spec_path), "--runs", "1"]) == 2
+        assert "--runs" in capsys.readouterr().err
+        assert main([
+            "sweep", "--spec", str(spec_path), "--budget-policy", "keep",
+        ]) == 2
+        assert "--budget-policy" in capsys.readouterr().err
+
+    def test_resume_conflicts_with_no_cache(self, edge_file, capsys):
+        assert main([
+            "sweep", "--source", edge_file, "--resume", "--no-cache",
+        ]) == 2
+        assert "--no-cache" in capsys.readouterr().err
