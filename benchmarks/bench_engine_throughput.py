@@ -1,145 +1,29 @@
-"""Edges/sec micro-benchmark: fused GPS update vs the pre-fix path.
+"""Shim: the engine benchmark now lives in ``python -m repro bench engine``.
 
-The pre-fix ``GPSUpdate`` paid two O(log m) heap operations (push, then
-pop) plus a full adjacency add/remove round-trip on *every* overflow
-arrival — even for edges that bounce straight out.  The fused update does
-one ``pushpop`` and only touches the adjacency structure when the sample
-actually changes.  This script measures both implementations driving the
-same streams under uniform and triangle weights and writes the results to
-``BENCH_engine.json`` at the repo root, so later PRs have a throughput
-trajectory to compare against.
-
-Run standalone (not under pytest)::
+Kept so existing invocations (CI, docs, muscle memory) keep working::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--smoke]
+
+is equivalent to::
+
+    PYTHONPATH=src python -m repro bench engine [--quick]
+
+and writes the same ``BENCH_engine.json`` (compact core vs the object
+reference core, uniform + triangle weights, shared-seed identity
+asserted before timing).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import time
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple
 
-from repro.core.priority_sampler import GraphPrioritySampler
-from repro.core.records import EdgeRecord
-from repro.core.weights import TriangleWeight, UniformWeight
-from repro.graph.generators import chung_lu
-from repro.streams.stream import EdgeStream
+from repro.bench import DEFAULT_OUTPUTS, run_target
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
-
-
-class ReferencePrioritySampler(GraphPrioritySampler):
-    """The pre-fix update loop, kept as the benchmark baseline.
-
-    Identical sampling distribution (shared seeds select the same sample)
-    but pays push + pop and an adjacency insert/remove for every overflow
-    arrival.
-    """
-
-    def process(self, u, v):
-        if u == v:
-            self._self_loops += 1
-            return None
-        if self._sample.has_edge(u, v):
-            self._duplicates += 1
-            return None
-        self._arrivals += 1
-        weight = self._weight_fn(u, v, self._sample)
-        if not weight > 0.0:
-            raise ValueError(f"weight function returned non-positive {weight!r}")
-        uniform = 1.0 - self._rng.random()
-        record = EdgeRecord(
-            u, v, weight=weight, priority=weight / uniform, arrival=self._arrivals
-        )
-        self._sample.add(record)
-        self._heap.push(record)
-        if len(self._heap) > self._capacity:
-            evicted = self._heap.pop()
-            if evicted.priority > self._threshold:
-                self._threshold = evicted.priority
-            self._sample.remove(evicted)
-        return None
-
-    def process_many(self, edges) -> int:
-        consumed = 0
-        for u, v in edges:
-            consumed += 1
-            self.process(u, v)
-        return consumed
-
-
-def _best_rate(
-    make_sampler: Callable[[], GraphPrioritySampler],
-    edges: List[Tuple[int, int]],
-    repeats: int,
-) -> float:
-    """Best-of-``repeats`` throughput in edges/sec."""
-    best = 0.0
-    for _ in range(repeats):
-        sampler = make_sampler()
-        started = time.perf_counter()
-        sampler.process_many(edges)
-        elapsed = time.perf_counter() - started
-        best = max(best, len(edges) / elapsed)
-    return best
-
-
-def run_benchmark(smoke: bool, repeats: int) -> Dict:
-    if smoke:
-        graph = chung_lu(2_000, 10_000, exponent=2.3, seed=42)
-        capacity = 1_000
-    else:
-        graph = chung_lu(10_000, 50_000, exponent=2.3, seed=42)
-        capacity = 4_000
-    edges = list(EdgeStream.from_graph(graph, seed=0))
-
-    weights = {
-        "uniform": UniformWeight,
-        "triangle": TriangleWeight,
-    }
-    results: Dict[str, Dict[str, float]] = {}
-    for name, weight_cls in weights.items():
-        fused = _best_rate(
-            lambda: GraphPrioritySampler(capacity, weight_fn=weight_cls(), seed=7),
-            edges, repeats,
-        )
-        reference = _best_rate(
-            lambda: ReferencePrioritySampler(capacity, weight_fn=weight_cls(), seed=7),
-            edges, repeats,
-        )
-        results[name] = {
-            "fused_edges_per_sec": round(fused, 1),
-            "reference_edges_per_sec": round(reference, 1),
-            "speedup": round(fused / reference, 3),
-        }
-        print(
-            f"{name:<9} fused {fused:>12,.0f} e/s   "
-            f"reference {reference:>12,.0f} e/s   "
-            f"speedup {fused / reference:.2f}x"
-        )
-
-    # Shared-seed identity: the two implementations must pick the same
-    # sample (the benchmark would be meaningless otherwise).
-    a = GraphPrioritySampler(capacity, weight_fn=UniformWeight(), seed=11)
-    b = ReferencePrioritySampler(capacity, weight_fn=UniformWeight(), seed=11)
-    a.process_many(edges)
-    b.process_many(edges)
-    assert a.threshold == b.threshold
-    assert sorted(r.key for r in a.records()) == sorted(r.key for r in b.records())
-
-    return {
-        "benchmark": "engine_throughput",
-        "mode": "smoke" if smoke else "full",
-        "stream_edges": len(edges),
-        "capacity": capacity,
-        "repeats": repeats,
-        "python": platform.python_version(),
-        "results": results,
-    }
+#: The historical default: the repo root, regardless of cwd.
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / DEFAULT_OUTPUTS["engine"]
+)
 
 
 def main(argv=None) -> int:
@@ -150,13 +34,10 @@ def main(argv=None) -> int:
                         help="timing repetitions per configuration")
     parser.add_argument("-o", "--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
-
-    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
-    if repeats < 1:
+    if args.repeats is not None and args.repeats < 1:
         parser.error("--repeats must be at least 1")
-    payload = run_benchmark(smoke=args.smoke, repeats=repeats)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    run_target("engine", quick=args.smoke, repeats=args.repeats,
+               output=args.output)
     return 0
 
 

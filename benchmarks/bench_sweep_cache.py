@@ -1,104 +1,28 @@
-"""Sweep-throughput benchmark: cold grid vs cache-resumed grid.
+"""Shim: the sweep benchmark now lives in ``python -m repro bench sweep``.
 
-The sweep subsystem's pitch is that grid evaluation stops paying for
-redundancy: exact ground truth is computed once per source (not once
-per cell), and a resumed sweep replays finished cells from the
-content-addressed cache instead of re-streaming them.  This script
-measures both effects on one grid — a cold run into a fresh cache
-directory, then the same sweep with ``--resume`` semantics — verifies
-the resumed estimates are bit-identical, and writes the trajectory to
-``BENCH_sweep.json`` at the repo root.
-
-Run standalone (not under pytest)::
+Kept so existing invocations (CI, docs) keep working::
 
     PYTHONPATH=src python benchmarks/bench_sweep_cache.py [--smoke]
+
+is equivalent to::
+
+    PYTHONPATH=src python -m repro bench sweep [--quick]
+
+and writes the same ``BENCH_sweep.json`` (cold grid vs cache-resumed
+grid, bit-identical replay asserted).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import tempfile
-import time
 from pathlib import Path
 
-from repro.api.sweep import SweepSpec, run_sweep
-from repro.graph.generators import chung_lu
-from repro.graph.io import write_edge_list
+from repro.bench import DEFAULT_OUTPUTS, run_target
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
-
-
-def build_spec(source: str, smoke: bool) -> SweepSpec:
-    if smoke:
-        return SweepSpec(
-            sources=(source,),
-            methods=("gps-post", "triest"),
-            budgets=(500, 1000),
-            runs=2,
-            workers=0,
-        )
-    return SweepSpec(
-        sources=(source,),
-        methods=("gps-post", "gps-in-stream", "triest", "triest-impr"),
-        budgets=(1000, 2000, 4000),
-        runs=4,
-        workers=0,
-    )
-
-
-def run_benchmark(smoke: bool) -> dict:
-    graph = (
-        chung_lu(2_000, 10_000, exponent=2.3, seed=42)
-        if smoke
-        else chung_lu(10_000, 50_000, exponent=2.3, seed=42)
-    )
-    with tempfile.TemporaryDirectory() as tmp:
-        source = str(Path(tmp) / "bench_graph.txt")
-        write_edge_list(graph, source)
-        spec = build_spec(source, smoke)
-        cache = Path(tmp) / "cache"
-
-        started = time.perf_counter()
-        cold = run_sweep(spec, cache_dir=cache)
-        cold_seconds = time.perf_counter() - started
-
-        started = time.perf_counter()
-        warm = run_sweep(spec, cache_dir=cache, resume=True)
-        warm_seconds = time.perf_counter() - started
-
-    # Identity check: a resumed sweep must replay the very same numbers
-    # (the benchmark would be meaningless otherwise).
-    assert warm.cell_cache_hits == sum(c.runs for c in warm.cells)
-    assert warm.ground_truth_misses == 0
-    for a, b in zip(cold.cells, warm.cells):
-        assert a.triangles.mean == b.triangles.mean
-        assert a.relative_error == b.relative_error
-
-    replications = sum(c.runs for c in cold.cells)
-    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
-    print(
-        f"{len(cold.cells)} cells / {replications} replications: "
-        f"cold {cold_seconds:.3f}s, resumed {warm_seconds:.3f}s "
-        f"({speedup:.1f}x)"
-    )
-    return {
-        "benchmark": "sweep_cache",
-        "mode": "smoke" if smoke else "full",
-        "stream_edges": graph.num_edges,
-        "cells": len(cold.cells),
-        "replications": replications,
-        "python": platform.python_version(),
-        "results": {
-            "cold_seconds": round(cold_seconds, 4),
-            "resumed_seconds": round(warm_seconds, 4),
-            "speedup": round(speedup, 2),
-            "ground_truth_recounts_cold": cold.ground_truth_misses,
-            "ground_truth_recounts_resumed": warm.ground_truth_misses,
-            "cells_replayed_resumed": warm.cell_cache_hits,
-        },
-    }
+#: The historical default: the repo root, regardless of cwd.
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / DEFAULT_OUTPUTS["sweep"]
+)
 
 
 def main(argv=None) -> int:
@@ -107,10 +31,7 @@ def main(argv=None) -> int:
                         help="small stream (CI)")
     parser.add_argument("-o", "--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
-
-    payload = run_benchmark(smoke=args.smoke)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    run_target("sweep", quick=args.smoke, output=args.output)
     return 0
 
 

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import MethodSpec, get_method, get_weight
 from repro.api.spec import RunSpec
+from repro.core.compact import CompactInStreamEstimator
 from repro.core.estimates import GraphEstimates
 from repro.core.in_stream import InStreamEstimator
 from repro.core.post_stream import PostStreamEstimator
@@ -43,6 +44,9 @@ from repro.streams.stream import EdgeStream
 from repro.streams.transforms import simplify_edges
 
 Edge = Tuple[Any, Any]
+
+#: Counters exposing the in-stream estimate bundle (either GPS core).
+IN_STREAM_TYPES = (InStreamEstimator, CompactInStreamEstimator)
 
 
 # ----------------------------------------------------------------------
@@ -349,7 +353,8 @@ def run(
     lazy = _lazy_file_stream(spec, method, graph)
     if lazy is not None:
         counter = method.make(
-            spec.budget, 0, spec.sampler_seed, weight_fn=resolved_weight
+            spec.budget, 0, spec.sampler_seed, weight_fn=resolved_weight,
+            core=spec.core,
         )
         stats = StreamEngine(counter).run(lazy)
         return _finish_report(
@@ -363,7 +368,8 @@ def run(
 
     stream = _permute(edges, spec.stream_seed)
     counter = method.make(
-        spec.budget, len(stream), spec.sampler_seed, weight_fn=resolved_weight
+        spec.budget, len(stream), spec.sampler_seed, weight_fn=resolved_weight,
+        core=spec.core,
     )
     if spec.checkpoints > 0:
         return _run_tracking(spec, method, counter, stream, include_post)
@@ -425,6 +431,7 @@ def _run_replicated(
         base_stream_seed=spec.stream_seed,
         base_sampler_seed=spec.sampler_seed,
         method=spec.method,
+        core=spec.core,
     )
     started = time.perf_counter()
     summary = runner.run()
@@ -453,7 +460,7 @@ def _run_tracking(
 ) -> RunReport:
     exact = ExactStreamCounter()
     points: List[TrackPoint] = []
-    is_gps = isinstance(counter, InStreamEstimator)
+    is_gps = isinstance(counter, IN_STREAM_TYPES)
     sampler = getattr(counter, "sampler", None)
 
     def record(position: int) -> None:
@@ -494,7 +501,9 @@ def _finish_report(
     tracking: Tuple[TrackPoint, ...] = (),
 ) -> RunReport:
     sampler = getattr(counter, "sampler", None)
-    in_stream = counter.estimates() if isinstance(counter, InStreamEstimator) else None
+    in_stream = (
+        counter.estimates() if isinstance(counter, IN_STREAM_TYPES) else None
+    )
     post_stream = (
         PostStreamEstimator(sampler).estimate()
         if sampler is not None and method.wants_post_stream

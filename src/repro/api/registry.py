@@ -29,9 +29,13 @@ from repro.baselines.mascot import Mascot, MascotBasic
 from repro.baselines.neighborhood import NeighborhoodSampling
 from repro.baselines.sample_hold import GraphSampleHold
 from repro.baselines.triest import TriestBase, TriestImpr
+from repro.core.compact import (
+    DEFAULT_CORE,
+    make_in_stream_estimator,
+    make_priority_sampler,
+)
 from repro.core.in_stream import InStreamEstimator
 from repro.core.post_stream import PostStreamEstimator
-from repro.core.priority_sampler import GraphPrioritySampler
 from repro.core.weights import (
     TriangleWeight,
     UniformWeight,
@@ -92,6 +96,21 @@ class MethodSpec:
         Whether reports should carry the retrospective (Algorithm 2)
         estimate bundle; off for methods whose metrics never read it, so
         single passes don't pay an unused reservoir pass.
+    supports_core:
+        Whether the factory understands the ``core`` keyword selecting a
+        GPS reservoir implementation (``"compact"`` slot arrays vs the
+        ``"object"`` reference; see :mod:`repro.core.compact`).  The two
+        cores produce bit-identical results under shared seeds, so the
+        flag is purely a performance switch.  Methods without it ignore
+        the spec's core selection.
+    reads_labels:
+        Whether the method's counter or metric extractor observes node
+        *labels* (as opposed to just graph topology).  Every built-in
+        method is label-free, which licenses the replication/sweep
+        pools' interned (dense-``int32``) dispatch; a third-party method
+        that e.g. reports per-label statistics must register with
+        ``reads_labels=True`` to keep original labels (and pickled
+        dispatch) in those pools.
     """
 
     name: str
@@ -102,6 +121,8 @@ class MethodSpec:
     from_bundles: Optional[BundleExtractor] = None
     needs_stream_length: bool = False
     wants_post_stream: bool = False
+    supports_core: bool = False
+    reads_labels: bool = False
 
     def make(
         self,
@@ -109,13 +130,17 @@ class MethodSpec:
         stream_length: int,
         seed: Optional[int],
         weight_fn: Optional[WeightFunction] = None,
+        core: Optional[str] = None,
     ) -> Any:
         """Instantiate the counter for one run (the budget interpretation)."""
         if budget <= 0:
             raise ValueError("budget must be positive")
+        kwargs: Dict[str, Any] = {}
         if self.uses_weight:
-            return self.factory(budget, stream_length, seed, weight_fn=weight_fn)
-        return self.factory(budget, stream_length, seed)
+            kwargs["weight_fn"] = weight_fn
+        if self.supports_core and core is not None:
+            kwargs["core"] = core
+        return self.factory(budget, stream_length, seed, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -140,6 +165,8 @@ def register_method(
     from_bundles: Optional[BundleExtractor] = None,
     needs_stream_length: bool = False,
     wants_post_stream: bool = False,
+    supports_core: bool = False,
+    reads_labels: bool = False,
 ) -> Callable[[MethodFactory], MethodFactory]:
     """Class decorator/registration hook for stream-sampling methods.
 
@@ -171,6 +198,8 @@ def register_method(
             from_bundles=from_bundles,
             needs_stream_length=needs_stream_length,
             wants_post_stream=wants_post_stream,
+            supports_core=supports_core,
+            reads_labels=reads_labels,
         )
         return factory
 
@@ -362,12 +391,14 @@ class GpsPostStreamAdapter:
 
     ``triangle_estimate`` runs Algorithm 2 retrospectively over the
     current reservoir, so the adapter reports post-stream estimates at
-    any point of the pass.
+    any point of the pass.  Works over either reservoir core (compact or
+    object) — Algorithm 2 consumes the sample through the shared
+    protocol.
     """
 
     __slots__ = ("sampler",)
 
-    def __init__(self, sampler: GraphPrioritySampler) -> None:
+    def __init__(self, sampler: Any) -> None:
         self.sampler = sampler
 
     def process(self, u: Node, v: Node) -> None:
@@ -429,9 +460,12 @@ def _gps_post_from_bundles(in_stream, post_stream) -> Dict[str, float]:
     extract=_gps_shared_extract,
     from_bundles=_gps_shared_from_bundles,
     wants_post_stream=True,
+    supports_core=True,
 )
-def _make_gps(budget, stream_length, seed, weight_fn=None):
-    return InStreamEstimator(budget, weight_fn=weight_fn, seed=seed)
+def _make_gps(budget, stream_length, seed, weight_fn=None, core=DEFAULT_CORE):
+    return make_in_stream_estimator(
+        budget, weight_fn=weight_fn, seed=seed, core=core
+    )
 
 
 @register_method(
@@ -440,10 +474,13 @@ def _make_gps(budget, stream_length, seed, weight_fn=None):
     uses_weight=True,
     from_bundles=_gps_post_from_bundles,
     wants_post_stream=True,
+    supports_core=True,
 )
-def _make_gps_post(budget, stream_length, seed, weight_fn=None):
+def _make_gps_post(budget, stream_length, seed, weight_fn=None,
+                   core=DEFAULT_CORE):
     return GpsPostStreamAdapter(
-        GraphPrioritySampler(budget, weight_fn=weight_fn, seed=seed)
+        make_priority_sampler(budget, weight_fn=weight_fn, seed=seed,
+                              core=core)
     )
 
 
@@ -453,9 +490,13 @@ def _make_gps_post(budget, stream_length, seed, weight_fn=None):
     uses_weight=True,
     extract=_gps_in_stream_extract,
     from_bundles=_gps_in_stream_from_bundles,
+    supports_core=True,
 )
-def _make_gps_in_stream(budget, stream_length, seed, weight_fn=None):
-    return InStreamEstimator(budget, weight_fn=weight_fn, seed=seed)
+def _make_gps_in_stream(budget, stream_length, seed, weight_fn=None,
+                        core=DEFAULT_CORE):
+    return make_in_stream_estimator(
+        budget, weight_fn=weight_fn, seed=seed, core=core
+    )
 
 
 # ----------------------------------------------------------------------

@@ -16,6 +16,8 @@ import json
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, Optional
 
+from repro.core.compact import CORES, DEFAULT_CORE
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -50,6 +52,12 @@ class RunSpec:
     workers:
         Process-pool size for replicated runs (``0`` inline, ``None``
         auto-sized); ignored for single passes.
+    core:
+        GPS reservoir implementation for core-aware methods:
+        ``"compact"`` (default, slot-based struct-of-arrays) or
+        ``"object"`` (the boxed reference core).  The two produce
+        bit-identical results under shared seeds; methods that predate
+        the flag ignore it.
     """
 
     source: str
@@ -61,10 +69,15 @@ class RunSpec:
     checkpoints: int = 0
     replications: int = 1
     workers: Optional[int] = None
+    core: str = DEFAULT_CORE
 
     def __post_init__(self) -> None:
         if not isinstance(self.source, str) or not self.source:
             raise ValueError("source must be a non-empty string")
+        if self.core not in CORES:
+            raise ValueError(
+                f"core must be one of {CORES}, got {self.core!r}"
+            )
         if self.budget <= 0:
             raise ValueError("budget must be positive")
         if self.checkpoints < 0:

@@ -47,16 +47,23 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.api.execution import RunReport, run
+from repro.api.execution import RunReport, _resolve_edges, run
 from repro.api.ground_truth import (
     ContentAddressedStore,
     GroundTruthCache,
     content_key,
 )
 from repro.api.spec import RunSpec
-from repro.engine.replication import MetricSummary
+from repro.core.compact import CORES, DEFAULT_CORE
+from repro.core.weights import is_label_free
+from repro.engine.replication import MetricSummary, default_max_workers
+from repro.engine.shared_edges import (
+    SharedEdgePopulation,
+    shared_memory_available,
+)
 from repro.graph.exact import GraphStatistics
 from repro.stats.metrics import absolute_relative_error
+from repro.streams.interner import NodeInterner
 
 #: Axes a per-source override may replace.
 _OVERRIDE_AXES = ("budgets", "methods", "runs", "weights")
@@ -116,6 +123,10 @@ class SweepSpec:
         Shared process-pool size for cell execution (``0`` inline,
         ``None`` auto-sized).  Results are identical either way — every
         cell is deterministic given its seeds.
+    core:
+        GPS reservoir core threaded into every cell's :class:`RunSpec`
+        (``"compact"`` default / ``"object"`` reference); bit-identical
+        results, so purely a performance switch.
     overrides:
         Per-source axis overrides, ``{source: {axis: value}}`` with axes
         from ``budgets``/``methods``/``weights``/``runs`` — e.g. give one
@@ -142,6 +153,7 @@ class SweepSpec:
     include_post: bool = False
     budget_policy: str = "keep"
     workers: Optional[int] = None
+    core: str = DEFAULT_CORE
     overrides: Any = ()
 
     def __post_init__(self) -> None:
@@ -170,6 +182,10 @@ class SweepSpec:
             )
         if self.workers is not None and self.workers < 0:
             raise ValueError("workers must be >= 0 (0 runs inline)")
+        if self.core not in CORES:
+            raise ValueError(
+                f"core must be one of {CORES}, got {self.core!r}"
+            )
         known = set(self.sources)
         for source, axes in self.overrides:
             if source not in known:
@@ -352,6 +368,7 @@ def _make_cell(key: CellKey, runs: int, sweep: SweepSpec) -> SweepCell:
                 stream_seed=sweep.base_stream_seed + i,
                 sampler_seed=sweep.base_sampler_seed + i,
                 checkpoints=sweep.checkpoints,
+                core=sweep.core,
             )
             for i in range(runs)
         ),
@@ -555,15 +572,70 @@ class SweepReport:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
+# Per-worker cache of attached shared-memory edge populations,
+# ``{source: interned edge list}`` — populated once by the pool
+# initializer, read by every task the worker executes.
+_SWEEP_EDGES: Dict[str, List[Tuple[int, int]]] = {}
+
+
+def _sweep_pool_initializer(descriptors: Dict[str, Any]) -> None:
+    """Attach each published source once per worker (zero-copy setup)."""
+    global _SWEEP_EDGES
+    _SWEEP_EDGES = {
+        source: SharedEdgePopulation.attach(descriptor)
+        for source, descriptor in descriptors.items()
+    }
+
+
 def _execute_payload(payload: Tuple[Dict[str, Any], bool]) -> RunReport:
     """Worker entry point: one cell replication (module-level: picklable).
 
-    The live counter is stripped from the report — it does not cross the
-    process boundary and sweep aggregation never reads it.
+    When the parent published the cell's source through shared memory,
+    the worker streams the attached interned population instead of
+    re-resolving the source (re-reading the file / regenerating the
+    graph) for every task — interning is a pure relabelling, so the
+    report is bit-identical.  The live counter is stripped from the
+    report — it does not cross the process boundary and sweep
+    aggregation never reads it.
     """
     spec_dict, include_post = payload
-    report = run(RunSpec.from_dict(spec_dict), include_post=include_post)
+    run_spec = RunSpec.from_dict(spec_dict)
+    edges = _SWEEP_EDGES.get(run_spec.source)
+    if edges is None:
+        report = run(run_spec, include_post=include_post)
+    else:
+        report = run(run_spec, graph=edges, include_post=include_post)
     return dataclasses.replace(report, counter=None)
+
+
+def _grid_label_free(spec: SweepSpec) -> bool:
+    """Whether every method and named weight in the grid ignores labels.
+
+    Methods registered with ``reads_labels=True`` disqualify the whole
+    grid from interned dispatch.  ``None`` weight cells use the method's
+    own default weight; every built-in default is label-free (the GPS
+    family defaults to the triangle weight), so ``None`` passes —
+    third-party methods with label-reading *default* weights should
+    register ``reads_labels=True`` or name their weights explicitly.
+    """
+    from repro.api.registry import get_method, get_weight
+
+    method_names = {
+        method
+        for source in spec.sources
+        for method in spec._axis(source, "methods")
+    }
+    if any(get_method(name).reads_labels for name in method_names):
+        return False
+    weight_names = {
+        weight
+        for source in spec.sources
+        for weight in spec._axis(source, "weights")
+        if weight is not None
+    }
+    return all(
+        is_label_free(get_weight(name).factory()) for name in weight_names
+    )
 
 
 def _cell_report_key(
@@ -674,8 +746,7 @@ def run_sweep(
     if workers == 0:
         fresh = [_execute_payload(payload) for payload in payloads]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            fresh = list(pool.map(_execute_payload, payloads))
+        fresh = _execute_pooled(spec, pending, payloads, workers)
     for (c, r, run_spec), report in zip(pending, fresh):
         reports[(c, r)] = report
         cached[(c, r)] = False
@@ -707,11 +778,50 @@ def run_sweep(
     )
 
 
+def _execute_pooled(
+    spec: SweepSpec,
+    pending: Sequence[Tuple[int, int, RunSpec]],
+    payloads: Sequence[Tuple[Dict[str, Any], bool]],
+    workers: int,
+) -> List[RunReport]:
+    """Run pending replications on the shared pool.
+
+    The distinct pending sources are interned and published once via
+    shared memory; each worker attaches in its initializer, so per-task
+    payloads stay spec dicts and no worker ever re-reads a source.  The
+    segments are unlinked in a ``finally`` — success, worker failure and
+    KeyboardInterrupt all clean up.  Sources fall back to per-worker
+    resolution when shared memory is unavailable or a grid weight reads
+    node labels.
+    """
+    populations: List[SharedEdgePopulation] = []
+    descriptors: Dict[str, Any] = {}
+    try:
+        if shared_memory_available() and _grid_label_free(spec):
+            for source in dict.fromkeys(rs.source for _, _, rs in pending):
+                interned = NodeInterner().intern_edges(
+                    _resolve_edges(source, None)
+                )
+                population = SharedEdgePopulation.publish(interned)
+                populations.append(population)
+                descriptors[source] = population.descriptor
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_sweep_pool_initializer,
+            initargs=(descriptors,),
+        ) as pool:
+            return list(pool.map(_execute_payload, payloads))
+    finally:
+        for population in populations:
+            population.close()
+            population.unlink()
+
+
 def _resolve_workers(workers: Optional[int], pending: int) -> int:
     if pending <= 1:
         return 0
     if workers is None:
-        return max(2, min(pending, os.cpu_count() or 1, 8))
+        return default_max_workers(pending)
     return min(workers, pending)
 
 

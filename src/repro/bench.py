@@ -1,0 +1,368 @@
+"""``python -m repro bench`` — the one way BENCH_*.json files are made.
+
+Three targets, one JSON envelope::
+
+    python -m repro bench engine       # → BENCH_engine.json
+    python -m repro bench replication  # → BENCH_replication.json
+    python -m repro bench sweep        # → BENCH_sweep.json
+
+Every payload carries the same envelope — ``benchmark``, ``mode``
+(``full``/``quick``), ``generated_by``, ``python``, ``params``,
+``results`` — so the perf trajectory across PRs stays machine-diffable.
+``--quick`` shrinks each target to CI-smoke size (same schema).
+
+* **engine** measures the GPS sampler update loop: compact core vs the
+  object reference core, uniform and triangle weights, best-of-N
+  repeats with the GC collected between runs (allocation pressure from
+  a previous measurement otherwise taxes the next one).  The two cores
+  are asserted bit-identical under a shared seed before timing counts.
+* **replication** measures worker fan-out setup vs graph size: the
+  bytes and serialisation time of the legacy pickled per-worker payload
+  (linear in |K|) against the shared-memory publish/attach path, whose
+  per-task payload is a fixed-size descriptor; plus an end-to-end
+  replicated run under both dispatches, asserted bit-identical.
+* **sweep** measures the grid layer: a cold sweep into a fresh cache
+  versus the same sweep resumed from it (ground truth and cell reports
+  replayed, no recount).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pickle
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+TARGETS = ("engine", "replication", "sweep")
+
+DEFAULT_OUTPUTS = {
+    "engine": "BENCH_engine.json",
+    "replication": "BENCH_replication.json",
+    "sweep": "BENCH_sweep.json",
+}
+
+
+def _envelope(target: str, quick: bool, params: Dict, results: Dict) -> Dict:
+    return {
+        "benchmark": target,
+        "mode": "quick" if quick else "full",
+        "generated_by": f"python -m repro bench {target}",
+        "python": platform.python_version(),
+        "params": params,
+        "results": results,
+    }
+
+
+def _bench_stream(quick: bool):
+    """The shared benchmark stream: a heavy-tailed Chung–Lu graph."""
+    from repro.graph.generators import chung_lu
+    from repro.streams.stream import EdgeStream
+
+    if quick:
+        graph = chung_lu(2_000, 10_000, exponent=2.3, seed=42)
+        capacity = 1_000
+    else:
+        graph = chung_lu(10_000, 50_000, exponent=2.3, seed=42)
+        capacity = 4_000
+    return list(EdgeStream.from_graph(graph, seed=0)), capacity
+
+
+def _best_rate(
+    make_counter: Callable[[], object],
+    edges: Sequence[Tuple[int, int]],
+    repeats: int,
+) -> float:
+    """Best-of-``repeats`` edges/sec, GC-collected between runs."""
+    best = 0.0
+    for _ in range(repeats):
+        gc.collect()
+        counter = make_counter()
+        started = time.perf_counter()
+        counter.process_many(edges)
+        elapsed = time.perf_counter() - started
+        best = max(best, len(edges) / elapsed)
+        del counter
+    return best
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+def bench_engine(quick: bool, repeats: Optional[int] = None) -> Dict:
+    """Compact vs object GPS core throughput (uniform + triangle)."""
+    from repro.core.compact import CompactGraphPrioritySampler
+    from repro.core.priority_sampler import GraphPrioritySampler
+    from repro.core.weights import TriangleWeight, UniformWeight
+
+    edges, capacity = _bench_stream(quick)
+    repeats = repeats if repeats is not None else (1 if quick else 3)
+
+    # Shared-seed identity first: the comparison is meaningless unless
+    # both cores select the very same sample.
+    compact = CompactGraphPrioritySampler(
+        capacity, weight_fn=TriangleWeight(), seed=11
+    )
+    reference = GraphPrioritySampler(
+        capacity, weight_fn=TriangleWeight(), seed=11
+    )
+    compact.process_many(edges)
+    reference.process_many(edges)
+    assert compact.threshold == reference.threshold
+    assert (
+        compact.normalized_probabilities()
+        == reference.normalized_probabilities()
+    )
+    del compact, reference
+
+    results: Dict[str, Dict[str, float]] = {}
+    for name, weight_cls in (("uniform", UniformWeight),
+                             ("triangle", TriangleWeight)):
+        fast = _best_rate(
+            lambda: CompactGraphPrioritySampler(
+                capacity, weight_fn=weight_cls(), seed=7
+            ),
+            edges, repeats,
+        )
+        slow = _best_rate(
+            lambda: GraphPrioritySampler(
+                capacity, weight_fn=weight_cls(), seed=7
+            ),
+            edges, repeats,
+        )
+        results[name] = {
+            "compact_edges_per_sec": round(fast, 1),
+            "object_edges_per_sec": round(slow, 1),
+            "speedup": round(fast / slow, 3),
+        }
+        print(
+            f"{name:<9} compact {fast:>12,.0f} e/s   "
+            f"object {slow:>12,.0f} e/s   speedup {fast / slow:.2f}x"
+        )
+    return _envelope(
+        "engine", quick,
+        params={"stream_edges": len(edges), "capacity": capacity,
+                "repeats": repeats},
+        results=results,
+    )
+
+
+# ----------------------------------------------------------------------
+# replication
+# ----------------------------------------------------------------------
+def bench_replication(quick: bool) -> Dict:
+    """Worker-dispatch setup cost vs graph size, plus end-to-end runs."""
+    from repro.engine.replication import ReplicatedRunner
+    from repro.engine.shared_edges import SharedEdgePopulation
+    from repro.graph.generators import chung_lu
+    from repro.streams.interner import NodeInterner
+    from repro.streams.stream import EdgeStream
+
+    sizes = [5_000, 20_000] if quick else [25_000, 50_000, 100_000, 200_000]
+    ladder: List[Dict] = []
+    for num_edges in sizes:
+        graph = chung_lu(max(200, num_edges // 5), num_edges,
+                         exponent=2.3, seed=42)
+        edges = tuple(
+            NodeInterner().intern_edges(EdgeStream.canonical_edges(graph))
+        )
+        gc.collect()
+        # Legacy pickled dispatch: every worker deserialises the full
+        # population (and under spawn the parent serialises it per
+        # worker) — O(|K|) each way.
+        started = time.perf_counter()
+        payload = pickle.dumps(edges)
+        pickle.loads(payload)
+        pickle_seconds = time.perf_counter() - started
+        # Shared dispatch: publish once, attach per worker; the per-task
+        # payload is the fixed-size descriptor.
+        started = time.perf_counter()
+        population = SharedEdgePopulation.publish(edges)
+        publish_seconds = time.perf_counter() - started
+        try:
+            descriptor = population.descriptor
+            started = time.perf_counter()
+            attached = SharedEdgePopulation.attach(descriptor)
+            attach_seconds = time.perf_counter() - started
+            assert attached == list(edges)
+        finally:
+            population.close()
+            population.unlink()
+        ladder.append({
+            "edges": len(edges),
+            "pickle_payload_bytes": len(payload),
+            "pickle_roundtrip_seconds": round(pickle_seconds, 6),
+            "shared_task_payload_bytes": len(pickle.dumps(descriptor)),
+            "shared_publish_seconds": round(publish_seconds, 6),
+            "shared_attach_seconds": round(attach_seconds, 6),
+        })
+        print(
+            f"|K|={len(edges):>7,}  pickle {len(payload):>12,}B "
+            f"{pickle_seconds * 1e3:8.2f}ms   shared task payload "
+            f"{ladder[-1]['shared_task_payload_bytes']:>4}B  "
+            f"publish {publish_seconds * 1e3:6.2f}ms  "
+            f"attach {attach_seconds * 1e3:6.2f}ms"
+        )
+
+    # End-to-end: the same replicated study under both dispatches must
+    # be bit-identical; report its throughput.
+    graph = chung_lu(2_000 if quick else 10_000,
+                     10_000 if quick else 50_000, exponent=2.3, seed=42)
+    capacity = 1_000 if quick else 4_000
+    replications = 2 if quick else 4
+    end_to_end: Dict[str, Dict[str, float]] = {}
+    summaries = {}
+    for dispatch in ("shared", "pickle"):
+        runner = ReplicatedRunner(
+            graph, capacity=capacity, replications=replications,
+            max_workers=1, method="gps-post", dispatch=dispatch,
+        )
+        gc.collect()
+        started = time.perf_counter()
+        summary = runner.run()
+        elapsed = time.perf_counter() - started
+        summaries[dispatch] = summary
+        total = graph.num_edges * replications
+        end_to_end[dispatch] = {
+            "elapsed_seconds": round(elapsed, 4),
+            "edges_per_sec": round(total / elapsed, 1),
+        }
+        print(f"end-to-end {dispatch:<7} {elapsed:6.2f}s  "
+              f"{total / elapsed:>12,.0f} e/s")
+    for name in summaries["shared"].metrics:
+        assert (
+            summaries["shared"].metrics[name].mean
+            == summaries["pickle"].metrics[name].mean
+        ), f"dispatch mismatch on {name}"
+    return _envelope(
+        "replication", quick,
+        params={"sizes": sizes, "end_to_end_edges": graph.num_edges,
+                "capacity": capacity, "replications": replications,
+                "workers": 1, "method": "gps-post"},
+        results={"setup_vs_size": ladder, "end_to_end": end_to_end},
+    )
+
+
+# ----------------------------------------------------------------------
+# sweep
+# ----------------------------------------------------------------------
+def bench_sweep(quick: bool) -> Dict:
+    """Cold grid vs cache-resumed grid (ground truth + cell replay)."""
+    from repro.api.sweep import SweepSpec, run_sweep
+    from repro.graph.generators import chung_lu
+    from repro.graph.io import write_edge_list
+
+    graph = (
+        chung_lu(2_000, 10_000, exponent=2.3, seed=42)
+        if quick
+        else chung_lu(10_000, 50_000, exponent=2.3, seed=42)
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        source = str(Path(tmp) / "bench_graph.txt")
+        write_edge_list(graph, source)
+        if quick:
+            spec = SweepSpec(sources=(source,),
+                             methods=("gps-post", "triest"),
+                             budgets=(500, 1000), runs=2, workers=0)
+        else:
+            spec = SweepSpec(
+                sources=(source,),
+                methods=("gps-post", "gps-in-stream", "triest",
+                         "triest-impr"),
+                budgets=(1000, 2000, 4000), runs=4, workers=0,
+            )
+        cache = Path(tmp) / "cache"
+        started = time.perf_counter()
+        cold = run_sweep(spec, cache_dir=cache)
+        cold_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_sweep(spec, cache_dir=cache, resume=True)
+        warm_seconds = time.perf_counter() - started
+
+    # A resumed sweep must replay the very same numbers.
+    assert warm.cell_cache_hits == sum(c.runs for c in warm.cells)
+    assert warm.ground_truth_misses == 0
+    for a, b in zip(cold.cells, warm.cells):
+        assert a.triangles.mean == b.triangles.mean
+        assert a.relative_error == b.relative_error
+
+    replications = sum(c.runs for c in cold.cells)
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(
+        f"{len(cold.cells)} cells / {replications} replications: "
+        f"cold {cold_seconds:.3f}s, resumed {warm_seconds:.3f}s "
+        f"({speedup:.1f}x)"
+    )
+    return _envelope(
+        "sweep", quick,
+        params={"stream_edges": graph.num_edges, "cells": len(cold.cells),
+                "replications": replications},
+        results={
+            "cold_seconds": round(cold_seconds, 4),
+            "resumed_seconds": round(warm_seconds, 4),
+            "speedup": round(speedup, 2),
+            "ground_truth_recounts_cold": cold.ground_truth_misses,
+            "ground_truth_recounts_resumed": warm.ground_truth_misses,
+            "cells_replayed_resumed": warm.cell_cache_hits,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def run_target(
+    target: str,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    output: Optional[Path] = None,
+) -> Path:
+    """Run one benchmark target and write its JSON; returns the path."""
+    if target == "engine":
+        payload = bench_engine(quick, repeats=repeats)
+    elif target == "replication":
+        payload = bench_replication(quick)
+    elif target == "sweep":
+        payload = bench_sweep(quick)
+    else:
+        raise ValueError(
+            f"unknown bench target {target!r}; known: {TARGETS}"
+        )
+    # Default next to wherever the command runs (the repo root in CI and
+    # the documented workflow) — never relative to the installed package.
+    path = output if output is not None else (
+        Path.cwd() / DEFAULT_OUTPUTS[target]
+    )
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Regenerate the BENCH_*.json performance trajectories.",
+    )
+    parser.add_argument("target", choices=TARGETS)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-smoke sizes (same JSON schema)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repetitions (engine target)")
+    parser.add_argument("-o", "--output", type=Path, default=None,
+                        help="output path (default: BENCH_<target>.json "
+                             "in the current directory)")
+    args = parser.parse_args(argv)
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    run_target(args.target, quick=args.quick, repeats=args.repeats,
+               output=args.output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -32,7 +32,15 @@ Commands:
 * ``methods``    list the registered stream-sampling methods
                  (``--markdown`` emits the ``docs/methods.md`` catalog);
 * ``weights``    list the registered weight functions;
+* ``bench``      regenerate the BENCH_*.json performance trajectories
+                 (``engine``/``replication``/``sweep`` targets,
+                 ``--quick`` for CI-smoke sizes);
 * ``reproduce``  regenerate the paper's tables and figures.
+
+GPS-family commands accept ``--core compact|object`` selecting the
+reservoir implementation (slot-based struct-of-arrays vs the boxed
+reference); the two are bit-identical under shared seeds, so the flag
+only changes speed.
 
 Methods and weights come from the :mod:`repro.api.registry`; anything a
 plugin registers is immediately drivable here.  Edge-list format: two
@@ -58,6 +66,7 @@ from repro.api.registry import (
 )
 from repro.api.spec import RunSpec
 from repro.api.sweep import BUDGET_POLICIES, SweepSpec, run_sweep
+from repro.core.compact import CORES, DEFAULT_CORE
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.estimates import GraphEstimates
 from repro.core.in_stream import InStreamEstimator
@@ -108,6 +117,16 @@ def _add_weight_option(
     )
 
 
+def _add_core_option(
+    parser: argparse.ArgumentParser, default: Optional[str] = DEFAULT_CORE
+) -> None:
+    parser.add_argument(
+        "--core", choices=CORES, default=default,
+        help="GPS reservoir core: 'compact' slot arrays (default) or the "
+             "'object' reference — bit-identical results, different speed",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="permute the stream with this seed "
                              "(default: keep file order)")
     sample.add_argument("-o", "--output", help="write a resumable checkpoint here")
+    _add_core_option(sample)
     sample.add_argument("--json", action="store_true",
                         help="emit the RunReport as JSON")
 
@@ -157,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     track.add_argument("--stream-seed", type=int, default=None,
                        help="permute the stream with this seed "
                             "(default: keep file order)")
+    _add_core_option(track)
     track.add_argument("--json", action="store_true",
                        help="emit the RunReport as JSON")
 
@@ -174,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_weight_option(replicate)
     replicate.add_argument("--stream-seed", type=int, default=0)
     replicate.add_argument("--sampler-seed", type=int, default=10_000)
+    _add_core_option(replicate)
     replicate.add_argument("--json", action="store_true",
                            help="emit the RunReport as JSON")
 
@@ -210,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "edge count (default: keep)")
     sweep.add_argument("--workers", type=int, default=None,
                        help="shared process-pool size (0 runs inline)")
+    _add_core_option(sweep, default=None)
     sweep.add_argument("--cache", metavar="DIR", default=".repro-cache",
                        help="ground-truth/cell cache directory "
                             "(default: .repro-cache)")
@@ -233,6 +256,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the docs/methods.md catalog instead")
     commands.add_parser("weights", help="list registered weight functions")
 
+    bench = commands.add_parser(
+        "bench", help="regenerate the BENCH_*.json performance benchmarks"
+    )
+    bench.add_argument("target", choices=("engine", "replication", "sweep"),
+                       help="which benchmark to run")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-smoke sizes (same JSON schema)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timing repetitions (engine target)")
+    bench.add_argument("-o", "--output", default=None,
+                       help="output path (default: BENCH_<target>.json in "
+                            "the current directory)")
+
     reproduce = commands.add_parser(
         "reproduce", help="regenerate the paper's tables and figures"
     )
@@ -255,6 +291,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "methods": _cmd_methods,
         "weights": _cmd_weights,
+        "bench": _cmd_bench,
         "reproduce": _cmd_reproduce,
     }[args.command]
     return handler(args)
@@ -287,6 +324,7 @@ def _cmd_sample(args) -> int:
         weight=args.weight,
         stream_seed=args.stream_seed,
         sampler_seed=args.seed,
+        core=args.core,
     )
     report = run(spec)
     if args.json:
@@ -334,6 +372,7 @@ def _cmd_track(args) -> int:
         stream_seed=args.stream_seed,
         sampler_seed=args.seed,
         checkpoints=args.checkpoints,
+        core=args.core,
     )
     report = run(spec)
     if args.json:
@@ -359,6 +398,7 @@ def _cmd_replicate(args) -> int:
         sampler_seed=args.sampler_seed,
         replications=args.replications,
         workers=args.workers,
+        core=args.core,
     )
     report = run_replicated(spec)
     if args.json:
@@ -406,6 +446,7 @@ def _cmd_sweep(args) -> int:
                 ("--checkpoints", args.checkpoints),
                 ("--budget-policy", args.budget_policy),
                 ("--workers", args.workers),
+                ("--core", args.core),
             )
             if value is not None
         ]
@@ -434,6 +475,7 @@ def _cmd_sweep(args) -> int:
             if args.checkpoints is not None else 0,
             budget_policy=args.budget_policy or "keep",
             workers=args.workers,
+            core=args.core if args.core is not None else DEFAULT_CORE,
         )
     if args.save_spec:
         Path(args.save_spec).write_text(spec.to_json(indent=2) + "\n")
@@ -509,6 +551,23 @@ def _cmd_weights(args) -> int:
     width = max(len(name) for name in weight_names())
     for spec in weight_specs():
         print(f"{spec.name:<{width}}  {spec.description}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.bench import run_target
+
+    if args.repeats is not None and args.repeats < 1:
+        print("bench: --repeats must be at least 1", file=sys.stderr)
+        return 2
+    run_target(
+        args.target,
+        quick=args.quick,
+        repeats=args.repeats,
+        output=Path(args.output) if args.output else None,
+    )
     return 0
 
 

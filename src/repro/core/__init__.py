@@ -11,12 +11,25 @@ Public API:
   unbiased variances and confidence bounds.
 * :class:`~repro.core.in_stream.InStreamEstimator` — Algorithm 3, snapshot
   (stopped-martingale) estimation updated during stream processing.
+* :mod:`repro.core.compact` — the slot-based struct-of-arrays
+  implementations of Algorithms 1 and 3 (the default ``core="compact"``
+  of the API layer); bit-identical to the reference classes above under
+  shared seeds, several times faster.
 * :mod:`repro.core.subgraphs` — generalised post-stream estimation of
   k-cliques and k-stars from the same sample.
 """
 
 from repro.core.adaptive import AdaptiveTriangleWeight
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.compact import (
+    CORES,
+    DEFAULT_CORE,
+    CompactGraphPrioritySampler,
+    CompactInStreamEstimator,
+    CompactSample,
+    make_in_stream_estimator,
+    make_priority_sampler,
+)
 from repro.core.estimates import GraphEstimates, SubgraphEstimate
 from repro.core.in_stream import InStreamEstimator
 from repro.core.local import LocalTriangleEstimator
@@ -37,6 +50,13 @@ from repro.core.weights import (
 
 __all__ = [
     "AdaptiveTriangleWeight",
+    "CORES",
+    "DEFAULT_CORE",
+    "CompactGraphPrioritySampler",
+    "CompactInStreamEstimator",
+    "CompactSample",
+    "make_in_stream_estimator",
+    "make_priority_sampler",
     "load_checkpoint",
     "save_checkpoint",
     "LocalTriangleEstimator",

@@ -23,6 +23,10 @@ import json
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.core.compact import (
+    CompactGraphPrioritySampler,
+    CompactInStreamEstimator,
+)
 from repro.core.in_stream import InStreamEstimator
 from repro.core.priority_sampler import GraphPrioritySampler
 from repro.core.records import EdgeRecord
@@ -32,8 +36,13 @@ FORMAT_VERSION = 1
 PathLike = Union[str, Path]
 
 
-def sampler_state(sampler: GraphPrioritySampler) -> dict:
-    """Snapshot a sampler's full state as a JSON-compatible dict."""
+def sampler_state(sampler) -> dict:
+    """Snapshot a sampler's full state as a JSON-compatible dict.
+
+    Accepts either reservoir core — the checkpoint format is
+    core-neutral (records sorted by arrival, RNG state alongside), and
+    both cores expose the same state attributes.
+    """
     records = sorted(sampler.records(), key=lambda r: r.arrival)
     return {
         "version": FORMAT_VERSION,
@@ -99,8 +108,11 @@ def restore_sampler(
     return sampler
 
 
-def estimator_state(estimator: InStreamEstimator) -> dict:
-    """Snapshot an in-stream estimator (sampler + running totals)."""
+def estimator_state(estimator) -> dict:
+    """Snapshot an in-stream estimator (sampler + running totals).
+
+    Accepts either core's estimator; the totals attributes are shared.
+    """
     return {
         "version": FORMAT_VERSION,
         "kind": "in_stream",
@@ -137,9 +149,9 @@ def restore_estimator(
 # ----------------------------------------------------------------------
 def save_checkpoint(obj, path: PathLike) -> Path:
     """Write a sampler or in-stream estimator checkpoint to ``path``."""
-    if isinstance(obj, InStreamEstimator):
+    if isinstance(obj, (InStreamEstimator, CompactInStreamEstimator)):
         state = estimator_state(obj)
-    elif isinstance(obj, GraphPrioritySampler):
+    elif isinstance(obj, (GraphPrioritySampler, CompactGraphPrioritySampler)):
         state = sampler_state(obj)
     else:
         raise TypeError(f"cannot checkpoint object of type {type(obj).__name__}")
@@ -152,7 +164,12 @@ def save_checkpoint(obj, path: PathLike) -> Path:
 def load_checkpoint(
     path: PathLike, weight_fn: Optional[WeightFunction] = None
 ):
-    """Load a checkpoint file; returns a sampler or in-stream estimator."""
+    """Load a checkpoint file; returns a sampler or in-stream estimator.
+
+    Restoration always rebuilds on the object (reference) core: the two
+    cores are bit-identical under shared state, so a checkpoint written
+    by a compact pass resumes to exactly the same stream behaviour.
+    """
     state = json.loads(Path(path).read_text(encoding="utf-8"))
     if state.get("kind") == "in_stream":
         return restore_estimator(state, weight_fn=weight_fn)

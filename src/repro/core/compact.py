@@ -1,0 +1,1186 @@
+"""The compact slot-based GPS core: struct-of-arrays, no boxed records.
+
+The reference ("object") core in :mod:`repro.core.priority_sampler` keeps
+one heap-allocated :class:`~repro.core.records.EdgeRecord` per sampled
+edge and pays CPython object tax on every arrival: an allocation, a
+weight-function call, and attribute-chasing heap sifts.  This module is
+the same Algorithm 1 / Algorithm 3 machinery re-laid-out for throughput:
+
+* every sampled edge lives in a *slot* ``s`` of parallel slot-indexed
+  arrays (``u``, ``v``, ``weight``, ``priority``, ``arrival``,
+  ``cov_triangle``, ``cov_wedge``) — plain Python lists, whose indexed
+  reads are the cheapest CPython offers (an ``array``/numpy read would
+  re-box a float per access on this pure-Python hot path);
+* the priority min-heap orders slot indices as ``(priority, slot)``
+  pairs (:class:`~repro.heap.slot_heap.SlotMinHeap`) so every sift runs
+  in C via :mod:`heapq`; the eviction step overwrites the root slot's
+  fields in place and replaces its heap entry with one
+  ``heapreplace`` — no push+pop, no per-arrival allocation;
+* the adjacency maps ``node → {neighbour → slot}`` so weight functions
+  and the in-stream snapshot loops do their neighbourhood work on machine
+  integers (interned ids, see :mod:`repro.streams.interner`) or whatever
+  hashable labels the stream carries;
+* the three registered weight families (uniform / triangle / wedge) are
+  recognised by exact type and inlined into the update loop — zero
+  Python calls per arrival on the common configurations.  Unrecognised
+  weight functions still work through a live
+  :class:`~repro.core.reservoir.SampledGraph`-protocol view.
+
+**Bit-exactness contract.**  Given the same ``(capacity, weight_fn,
+seed)`` and the same stream, the compact core draws its uniforms in the
+same order and performs the same float operations in the same order as
+the object core, and mirrors the object core's dict insertion/deletion
+sequences — so samples, thresholds, and in-/post-stream estimates are
+identical bit for bit.  The test matrix in ``tests/test_compact_core.py``
+enforces this for every registered weight; the object core stays in the
+tree as the readable reference implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from heapq import heappush, heapreplace
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.estimates import GraphEstimates
+from repro.core.records import EdgeRecord
+from repro.core.weights import (
+    TriangleWeight,
+    UniformWeight,
+    WedgeWeight,
+    WeightFunction,
+)
+from repro.graph.edge import EdgeKey, Node, canonical_edge
+from repro.heap.slot_heap import SlotMinHeap
+
+#: Selectable GPS core implementations (the default comes first).
+CORES = ("compact", "object")
+DEFAULT_CORE = "compact"
+
+# Weight families the update loop inlines (matched by exact type, so a
+# subclass with an overridden __call__ still takes the generic path).
+_W_GENERIC = 0
+_W_UNIFORM = 1
+_W_TRIANGLE = 2
+_W_WEDGE = 3
+
+
+def _classify_weight(weight_fn: WeightFunction) -> Tuple[int, float, float]:
+    """(kind, coef, default) for the inlined weight families."""
+    kind = type(weight_fn)
+    if kind is UniformWeight:
+        return _W_UNIFORM, 0.0, weight_fn.constant
+    if kind is TriangleWeight:
+        return _W_TRIANGLE, weight_fn.coef, weight_fn.default
+    if kind is WedgeWeight:
+        return _W_WEDGE, weight_fn.coef, weight_fn.default
+    return _W_GENERIC, 0.0, 0.0
+
+
+class CompactSample:
+    """Live :class:`~repro.core.reservoir.SampledGraph`-protocol view.
+
+    Weight functions outside the inlined families, Algorithm 2, and the
+    retrospective estimators (:mod:`repro.core.subgraphs`,
+    :mod:`repro.core.motifs`, :mod:`repro.core.local`) all consume the
+    sample through this protocol.  Topology queries (``degree``,
+    ``common_neighbor_count``, ``has_edge``) read the slot adjacency
+    directly; record-yielding queries materialise
+    :class:`~repro.core.records.EdgeRecord` values on demand — a
+    cold-path convenience, not something the update loop ever does.
+    Materialised records are snapshots: mutating them does not write back
+    into the reservoir.
+    """
+
+    __slots__ = ("_sampler",)
+
+    def __init__(self, sampler: "CompactGraphPrioritySampler") -> None:
+        self._sampler = sampler
+
+    # -- topology (hot-path safe) --------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self._sampler._heap)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._sampler._adj)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        nbrs = self._sampler._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def degree(self, v: Node) -> int:
+        return len(self._sampler._adj.get(v, ()))
+
+    def common_neighbor_count(self, u: Node, v: Node) -> int:
+        adj = self._sampler._adj
+        nbrs_u = adj.get(u, _EMPTY)
+        nbrs_v = adj.get(v, _EMPTY)
+        if len(nbrs_u) > len(nbrs_v):
+            nbrs_u, nbrs_v = nbrs_v, nbrs_u
+        return sum(1 for w in nbrs_u if w in nbrs_v)
+
+    # -- record materialisation (cold path) ----------------------------
+    def record(self, u: Node, v: Node) -> Optional[EdgeRecord]:
+        nbrs = self._sampler._adj.get(u)
+        if nbrs is None:
+            return None
+        slot = nbrs.get(v)
+        if slot is None:
+            return None
+        return self._sampler._materialize(slot)
+
+    def neighbors(self, v: Node) -> Dict[Node, EdgeRecord]:
+        """Neighbour → record map of ``v`` (materialised snapshot)."""
+        materialize = self._sampler._materialize
+        return {
+            w: materialize(slot)
+            for w, slot in self._sampler._adj.get(v, _EMPTY).items()
+        }
+
+    def records(self) -> Iterator[EdgeRecord]:
+        """Each sampled edge once, in the object core's iteration order."""
+        materialize = self._sampler._materialize
+        seen_at_u = set()
+        for u, nbrs in self._sampler._adj.items():
+            seen_at_u.add(u)
+            for v, slot in nbrs.items():
+                if v not in seen_at_u:
+                    yield materialize(slot)
+
+    def triangles_with(
+        self, u: Node, v: Node
+    ) -> Iterator[Tuple[Node, EdgeRecord, EdgeRecord]]:
+        adj = self._sampler._adj
+        materialize = self._sampler._materialize
+        nbrs_u = adj.get(u, _EMPTY)
+        nbrs_v = adj.get(v, _EMPTY)
+        if len(nbrs_u) <= len(nbrs_v):
+            for w, slot_uw in nbrs_u.items():
+                slot_vw = nbrs_v.get(w)
+                if slot_vw is not None:
+                    yield w, materialize(slot_uw), materialize(slot_vw)
+        else:
+            for w, slot_vw in nbrs_v.items():
+                slot_uw = nbrs_u.get(w)
+                if slot_uw is not None:
+                    yield w, materialize(slot_uw), materialize(slot_vw)
+
+    def incident_records(
+        self, v: Node, exclude: Optional[Node] = None
+    ) -> Iterator[EdgeRecord]:
+        materialize = self._sampler._materialize
+        for w, slot in self._sampler._adj.get(v, _EMPTY).items():
+            if w != exclude:
+                yield materialize(slot)
+
+    def materialize(self):
+        """One-shot object-core snapshot with identical iteration orders.
+
+        Builds a real :class:`~repro.core.reservoir.SampledGraph` whose
+        outer and inner dict orders copy the slot adjacency exactly,
+        with one shared :class:`EdgeRecord` per slot — so Algorithm 2
+        and the other retrospective estimators traverse it in the very
+        order the object core would (bit-identical accumulation) while
+        paying O(m) materialisation once, instead of allocating fresh
+        records on every :meth:`neighbors` call inside their loops.
+        """
+        from repro.core.reservoir import SampledGraph
+
+        sampler = self._sampler
+        materialize = sampler._materialize
+        records: Dict[int, EdgeRecord] = {}
+        adj: Dict[Node, Dict[Node, EdgeRecord]] = {}
+        for u, nbrs in sampler._adj.items():
+            row: Dict[Node, EdgeRecord] = {}
+            for v, slot in nbrs.items():
+                record = records.get(slot)
+                if record is None:
+                    record = records[slot] = materialize(slot)
+                row[v] = record
+            adj[u] = row
+        return SampledGraph.from_adjacency(adj, len(records))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompactSample(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+_EMPTY: Dict[Node, int] = {}
+
+
+class CompactGraphPrioritySampler:
+    """GPS(m) on slot-indexed parallel arrays (Algorithm 1, compact core).
+
+    Drop-in behavioural equivalent of
+    :class:`~repro.core.priority_sampler.GraphPrioritySampler` — same
+    constructor, same sampling distribution, bit-identical samples under
+    shared seeds — minus the per-arrival :class:`UpdateResult` reporting:
+    :meth:`process` returns ``None`` (materialising an outcome object per
+    edge is exactly the tax this core removes).  Callers that need
+    per-arrival outcomes use the object core.
+
+    Examples
+    --------
+    >>> sampler = CompactGraphPrioritySampler(capacity=2, seed=7)
+    >>> sampler.process_many([(1, 2), (2, 3), (1, 3), (3, 4)])
+    4
+    >>> sampler.sample_size
+    2
+    """
+
+    __slots__ = (
+        "_capacity",
+        "_weight_fn",
+        "_wkind",
+        "_wcoef",
+        "_wdefault",
+        "_rng",
+        "_adj",
+        "_su",
+        "_sv",
+        "_weight",
+        "_priority",
+        "_arrival",
+        "_cov_tri",
+        "_cov_wedge",
+        "_heap",
+        "_threshold",
+        "_arrivals",
+        "_duplicates",
+        "_self_loops",
+        "_view",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        weight_fn: Optional[WeightFunction] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._weight_fn: WeightFunction = weight_fn or TriangleWeight()
+        self._wkind, self._wcoef, self._wdefault = _classify_weight(
+            self._weight_fn
+        )
+        self._rng = random.Random(seed)
+        # Slot-indexed parallel arrays, preallocated to capacity.
+        self._su: List[Node] = [None] * capacity
+        self._sv: List[Node] = [None] * capacity
+        self._weight: List[float] = [0.0] * capacity
+        self._priority: List[float] = [0.0] * capacity
+        self._arrival: List[int] = [0] * capacity
+        self._cov_tri: List[float] = [0.0] * capacity
+        self._cov_wedge: List[float] = [0.0] * capacity
+        self._heap = SlotMinHeap()
+        self._adj: Dict[Node, Dict[Node, int]] = {}
+        self._threshold = 0.0
+        self._arrivals = 0
+        self._duplicates = 0
+        self._self_loops = 0
+        self._view = CompactSample(self)
+
+    # ------------------------------------------------------------------
+    # Stream processing (procedure GPSUpdate, slot edition)
+    # ------------------------------------------------------------------
+    def process(self, u: Node, v: Node) -> None:
+        """Process one arrival (returns None; see the class docstring)."""
+        self.process_many(((u, v),))
+
+    def process_many(self, edges: Iterable[Tuple[Node, Node]]) -> int:
+        """Feed a batch of arrivals through the slot update loop.
+
+        Draws its uniforms in the same order and performs the same float
+        operations as the object core, so shared-seed samples are
+        bit-for-bit identical.  Returns the number of edges consumed
+        (including skipped self-loops/duplicates).
+
+        Dispatches once per batch to a loop specialised for the weight
+        family — the deliberate code duplication below buys the removal
+        of every per-arrival branch and Python call from the common
+        configurations.
+        """
+        wkind = self._wkind
+        if wkind == _W_TRIANGLE:
+            return self._process_many_triangle(edges)
+        if wkind == _W_UNIFORM:
+            return self._process_many_uniform(edges)
+        return self._process_many_generic(edges)
+
+    def _process_many_triangle(
+        self, edges: Iterable[Tuple[Node, Node]]
+    ) -> int:
+        """Specialised loop: W = coef·|△̂(k)| + default, inlined."""
+        adj = self._adj
+        adj_get = adj.get
+        su = self._su
+        sv = self._sv
+        wts = self._weight
+        prio = self._priority
+        arr = self._arrival
+        cov_tri = self._cov_tri
+        cov_wedge = self._cov_wedge
+        heap_arr = self._heap._heap
+        hpush = heappush
+        hreplace = heapreplace
+        rand = self._rng.random
+        capacity = self._capacity
+        coef = self._wcoef
+        default = self._wdefault
+        size = len(heap_arr)
+        root_prio = heap_arr[0][0] if size else 0.0
+        threshold = self._threshold
+        arrivals = self._arrivals
+        duplicates = self._duplicates
+        self_loops = self._self_loops
+        consumed = 0
+        try:
+            for u, v in edges:
+                consumed += 1
+                if u == v:
+                    self_loops += 1
+                    continue
+                nu = adj_get(u)
+                if nu is None:
+                    # u has no sampled edges: no duplicate, no closure.
+                    w = default
+                else:
+                    if v in nu:
+                        duplicates += 1
+                        continue
+                    nv = adj_get(v)
+                    if nv is None:
+                        w = default
+                    else:
+                        if len(nu) > len(nv):
+                            small = nv
+                            big = nu
+                        else:
+                            small = nu
+                            big = nv
+                        closed = 0
+                        for x in small:
+                            if x in big:
+                                closed += 1
+                        # coef·0 + default == default exactly, so the
+                        # short-circuit is bit-neutral.
+                        w = coef * closed + default if closed else default
+                arrivals += 1
+                r = w / (1.0 - rand())
+                if size < capacity:
+                    s = size
+                    size += 1
+                    su[s] = u
+                    sv[s] = v
+                    wts[s] = w
+                    prio[s] = r
+                    arr[s] = arrivals
+                    cov_tri[s] = 0.0
+                    cov_wedge[s] = 0.0
+                    nu = adj_get(u)
+                    if nu is None:
+                        adj[u] = {v: s}
+                    else:
+                        nu[v] = s
+                    nv = adj_get(v)
+                    if nv is None:
+                        adj[v] = {u: s}
+                    else:
+                        nv[u] = s
+                    hpush(heap_arr, (r, s))
+                    root_prio = heap_arr[0][0]
+                elif root_prio < r:
+                    s = heap_arr[0][1]
+                    if root_prio > threshold:
+                        threshold = root_prio
+                    eu = su[s]
+                    ev = sv[s]
+                    d = adj[eu]
+                    del d[ev]
+                    if not d:
+                        del adj[eu]
+                    d = adj[ev]
+                    del d[eu]
+                    if not d:
+                        del adj[ev]
+                    su[s] = u
+                    sv[s] = v
+                    wts[s] = w
+                    prio[s] = r
+                    arr[s] = arrivals
+                    cov_tri[s] = 0.0
+                    cov_wedge[s] = 0.0
+                    nu = adj_get(u)
+                    if nu is None:
+                        adj[u] = {v: s}
+                    else:
+                        nu[v] = s
+                    nv = adj_get(v)
+                    if nv is None:
+                        adj[v] = {u: s}
+                    else:
+                        nv[u] = s
+                    hreplace(heap_arr, (r, s))
+                    root_prio = heap_arr[0][0]
+                elif r > threshold:
+                    threshold = r
+        finally:
+            self._threshold = threshold
+            self._arrivals = arrivals
+            self._duplicates = duplicates
+            self._self_loops = self_loops
+        return consumed
+
+    def _process_many_uniform(
+        self, edges: Iterable[Tuple[Node, Node]]
+    ) -> int:
+        """Specialised loop: W ≡ constant — no topology reads at all."""
+        adj = self._adj
+        adj_get = adj.get
+        su = self._su
+        sv = self._sv
+        wts = self._weight
+        prio = self._priority
+        arr = self._arrival
+        cov_tri = self._cov_tri
+        cov_wedge = self._cov_wedge
+        heap_arr = self._heap._heap
+        hpush = heappush
+        hreplace = heapreplace
+        rand = self._rng.random
+        capacity = self._capacity
+        constant = self._wdefault
+        size = len(heap_arr)
+        root_prio = heap_arr[0][0] if size else 0.0
+        threshold = self._threshold
+        arrivals = self._arrivals
+        duplicates = self._duplicates
+        self_loops = self._self_loops
+        consumed = 0
+        try:
+            for u, v in edges:
+                consumed += 1
+                if u == v:
+                    self_loops += 1
+                    continue
+                nu = adj_get(u)
+                if nu is not None and v in nu:
+                    duplicates += 1
+                    continue
+                arrivals += 1
+                r = constant / (1.0 - rand())
+                if size < capacity:
+                    s = size
+                    size += 1
+                    su[s] = u
+                    sv[s] = v
+                    wts[s] = constant
+                    prio[s] = r
+                    arr[s] = arrivals
+                    cov_tri[s] = 0.0
+                    cov_wedge[s] = 0.0
+                    if nu is None:
+                        adj[u] = {v: s}
+                    else:
+                        nu[v] = s
+                    nv = adj_get(v)
+                    if nv is None:
+                        adj[v] = {u: s}
+                    else:
+                        nv[u] = s
+                    hpush(heap_arr, (r, s))
+                    root_prio = heap_arr[0][0]
+                elif root_prio < r:
+                    s = heap_arr[0][1]
+                    if root_prio > threshold:
+                        threshold = root_prio
+                    eu = su[s]
+                    ev = sv[s]
+                    d = adj[eu]
+                    del d[ev]
+                    if not d:
+                        del adj[eu]
+                    d = adj[ev]
+                    del d[eu]
+                    if not d:
+                        del adj[ev]
+                    su[s] = u
+                    sv[s] = v
+                    wts[s] = constant
+                    prio[s] = r
+                    arr[s] = arrivals
+                    cov_tri[s] = 0.0
+                    cov_wedge[s] = 0.0
+                    nu = adj_get(u)
+                    if nu is None:
+                        adj[u] = {v: s}
+                    else:
+                        nu[v] = s
+                    nv = adj_get(v)
+                    if nv is None:
+                        adj[v] = {u: s}
+                    else:
+                        nv[u] = s
+                    hreplace(heap_arr, (r, s))
+                    root_prio = heap_arr[0][0]
+                elif r > threshold:
+                    threshold = r
+        finally:
+            self._threshold = threshold
+            self._arrivals = arrivals
+            self._duplicates = duplicates
+            self._self_loops = self_loops
+        return consumed
+
+    def _process_many_generic(
+        self, edges: Iterable[Tuple[Node, Node]]
+    ) -> int:
+        """Wedge-weight and arbitrary weight functions (via the view)."""
+        adj = self._adj
+        adj_get = adj.get
+        su = self._su
+        sv = self._sv
+        wts = self._weight
+        prio = self._priority
+        arr = self._arrival
+        cov_tri = self._cov_tri
+        cov_wedge = self._cov_wedge
+        heap_arr = self._heap._heap
+        hpush = heappush
+        hreplace = heapreplace
+        rand = self._rng.random
+        capacity = self._capacity
+        wkind = self._wkind
+        coef = self._wcoef
+        default = self._wdefault
+        weight_fn = self._weight_fn
+        view = self._view
+        size = len(heap_arr)
+        root_prio = heap_arr[0][0] if size else 0.0
+        threshold = self._threshold
+        arrivals = self._arrivals
+        duplicates = self._duplicates
+        self_loops = self._self_loops
+        consumed = 0
+        try:
+            for u, v in edges:
+                consumed += 1
+                if u == v:
+                    self_loops += 1
+                    continue
+                nu = adj_get(u)
+                if nu is not None and v in nu:
+                    duplicates += 1
+                    continue
+                arrivals += 1
+                if wkind == _W_WEDGE:
+                    nv = adj_get(v)
+                    w = coef * (
+                        (len(nu) if nu is not None else 0)
+                        + (len(nv) if nv is not None else 0)
+                    ) + default
+                else:
+                    w = weight_fn(u, v, view)
+                    if not w > 0.0:
+                        raise ValueError(
+                            f"weight function returned non-positive {w!r}"
+                        )
+                r = w / (1.0 - rand())
+                # --- admit / evict / bounce ----------------------------
+                if size < capacity:
+                    s = size
+                    size += 1
+                    su[s] = u
+                    sv[s] = v
+                    wts[s] = w
+                    prio[s] = r
+                    arr[s] = arrivals
+                    cov_tri[s] = 0.0
+                    cov_wedge[s] = 0.0
+                    nu = adj_get(u)
+                    if nu is None:
+                        adj[u] = {v: s}
+                    else:
+                        nu[v] = s
+                    nv = adj_get(v)
+                    if nv is None:
+                        adj[v] = {u: s}
+                    else:
+                        nv[u] = s
+                    hpush(heap_arr, (r, s))
+                    root_prio = heap_arr[0][0]
+                elif root_prio < r:
+                    # Evict the root slot and reuse it for the arrival:
+                    # the heap array keeps the same slot id at position 0,
+                    # so one sift restores the invariant.
+                    s = heap_arr[0][1]
+                    if root_prio > threshold:
+                        threshold = root_prio
+                    eu = su[s]
+                    ev = sv[s]
+                    d = adj[eu]
+                    del d[ev]
+                    if not d:
+                        del adj[eu]
+                    d = adj[ev]
+                    del d[eu]
+                    if not d:
+                        del adj[ev]
+                    su[s] = u
+                    sv[s] = v
+                    wts[s] = w
+                    prio[s] = r
+                    arr[s] = arrivals
+                    cov_tri[s] = 0.0
+                    cov_wedge[s] = 0.0
+                    nu = adj_get(u)
+                    if nu is None:
+                        adj[u] = {v: s}
+                    else:
+                        nu[v] = s
+                    nv = adj_get(v)
+                    if nv is None:
+                        adj[v] = {u: s}
+                    else:
+                        nv[u] = s
+                    hreplace(heap_arr, (r, s))
+                    root_prio = heap_arr[0][0]
+                elif r > threshold:
+                    # Bounce: the arriving edge is itself the eviction.
+                    threshold = r
+        finally:
+            self._threshold = threshold
+            self._arrivals = arrivals
+            self._duplicates = duplicates
+            self._self_loops = self_loops
+        return consumed
+
+    def process_stream(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Feed a whole stream through the sampler."""
+        self.process_many(edges)
+
+    # ------------------------------------------------------------------
+    # Sample access and HT normalisation (procedure GPSNormalize)
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def sample(self) -> CompactSample:
+        """The sampled graph K̂ as a live protocol view."""
+        return self._view
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._heap)
+
+    @property
+    def threshold(self) -> float:
+        """z*: the largest priority evicted so far (0 before overflow)."""
+        return self._threshold
+
+    @property
+    def stream_position(self) -> int:
+        """Number of unique, loop-free arrivals processed."""
+        return self._arrivals
+
+    @property
+    def duplicates_skipped(self) -> int:
+        return self._duplicates
+
+    @property
+    def self_loops_skipped(self) -> int:
+        return self._self_loops
+
+    def _materialize(self, slot: int) -> EdgeRecord:
+        """A fresh :class:`EdgeRecord` snapshot of ``slot``'s fields."""
+        record = EdgeRecord(
+            self._su[slot],
+            self._sv[slot],
+            weight=self._weight[slot],
+            priority=self._priority[slot],
+            arrival=self._arrival[slot],
+        )
+        record.cov_triangle = self._cov_tri[slot]
+        record.cov_wedge = self._cov_wedge[slot]
+        return record
+
+    def records(self) -> Iterator[EdgeRecord]:
+        """Records of all currently sampled edges (materialised views)."""
+        return self._view.records()
+
+    def inclusion_probability(self, record: EdgeRecord) -> float:
+        """Conditional HT probability ``min{1, w/z*}`` of ``record``."""
+        return record.inclusion_probability(self._threshold)
+
+    def edge_probability(self, u: Node, v: Node) -> float:
+        """HT probability of a sampled edge, or 0.0 when not sampled."""
+        nbrs = self._adj.get(u)
+        if nbrs is None:
+            return 0.0
+        slot = nbrs.get(v)
+        if slot is None:
+            return 0.0
+        threshold = self._threshold
+        if threshold <= 0.0:
+            return 1.0
+        ratio = self._weight[slot] / threshold
+        return ratio if ratio < 1.0 else 1.0
+
+    def normalized_probabilities(self) -> Dict[EdgeKey, float]:
+        """GPSNormalize: canonical edge key → min{1, w/z*}."""
+        threshold = self._threshold
+        weight = self._weight
+        out: Dict[EdgeKey, float] = {}
+        su = self._su
+        sv = self._sv
+        for slot in self._heap:
+            if threshold <= 0.0:
+                p = 1.0
+            else:
+                ratio = weight[slot] / threshold
+                p = ratio if ratio < 1.0 else 1.0
+            out[canonical_edge(su[slot], sv[slot])] = p
+        return out
+
+    def sampled_edges(self) -> Iterator[EdgeKey]:
+        for slot in self._heap:
+            yield canonical_edge(self._su[slot], self._sv[slot])
+
+    def contains_edge(self, u: Node, v: Node) -> bool:
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompactGraphPrioritySampler(m={self._capacity}, "
+            f"t={self._arrivals}, |K̂|={self.sample_size}, "
+            f"z*={self._threshold:.4g})"
+        )
+
+
+class CompactInStreamEstimator:
+    """Algorithm 3 fused with the compact update loop.
+
+    Behavioural equivalent of
+    :class:`~repro.core.in_stream.InStreamEstimator` over a
+    :class:`CompactGraphPrioritySampler`: the snapshot phase (triangles
+    and wedges the arriving edge closes, with the covariance
+    accumulators of Theorem 7) runs directly over the slot arrays at the
+    pre-update threshold, then the same loop performs the sampler
+    update — one pass, zero per-arrival allocations, bit-identical
+    estimates to the object core under shared seeds.
+
+    Examples
+    --------
+    >>> est = CompactInStreamEstimator(capacity=100, seed=1)
+    >>> est.process_many([(0, 1), (1, 2), (0, 2)])
+    3
+    >>> est.triangle_estimate
+    1.0
+    """
+
+    __slots__ = (
+        "_sampler",
+        "_triangles",
+        "_triangle_var",
+        "_wedges",
+        "_wedge_var",
+        "_cross_cov",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        weight_fn: Optional[WeightFunction] = None,
+        seed: Optional[int] = None,
+        sampler: Optional[CompactGraphPrioritySampler] = None,
+    ) -> None:
+        if sampler is not None:
+            self._sampler = sampler
+        else:
+            self._sampler = CompactGraphPrioritySampler(
+                capacity, weight_fn=weight_fn, seed=seed
+            )
+        self._triangles = 0.0
+        self._triangle_var = 0.0
+        self._wedges = 0.0
+        self._wedge_var = 0.0
+        self._cross_cov = 0.0
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+    def process(self, u: Node, v: Node) -> None:
+        """Snapshot the subgraphs ``(u, v)`` closes, then update."""
+        self.process_many(((u, v),))
+
+    def process_many(self, edges: Iterable[Tuple[Node, Node]]) -> int:
+        """Fused snapshot + update per arrival over the slot arrays.
+
+        Equivalent to the object core's estimator pass edge for edge
+        (same accumulation order, same uniform draws).  Returns the
+        number of edges consumed (including skipped arrivals).
+        """
+        sampler = self._sampler
+        adj = sampler._adj
+        adj_get = adj.get
+        su = sampler._su
+        sv = sampler._sv
+        wts = sampler._weight
+        prio = sampler._priority
+        arr = sampler._arrival
+        cov_tri = sampler._cov_tri
+        cov_wedge = sampler._cov_wedge
+        heap_arr = sampler._heap._heap
+        hpush = heappush
+        hreplace = heapreplace
+        rand = sampler._rng.random
+        capacity = sampler._capacity
+        wkind = sampler._wkind
+        coef = sampler._wcoef
+        default = sampler._wdefault
+        weight_fn = sampler._weight_fn
+        view = sampler._view
+        size = len(heap_arr)
+        root_prio = heap_arr[0][0] if size else 0.0
+        threshold = sampler._threshold
+        arrivals = sampler._arrivals
+        duplicates = sampler._duplicates
+        self_loops = sampler._self_loops
+        triangles = self._triangles
+        triangle_var = self._triangle_var
+        wedges = self._wedges
+        wedge_var = self._wedge_var
+        cross_cov = self._cross_cov
+        consumed = 0
+        try:
+            for u, v in edges:
+                consumed += 1
+                if u == v:
+                    self_loops += 1
+                    continue
+                nu = adj_get(u)
+                if nu is not None and v in nu:
+                    # Lockstep skip: estimation and sampling drop the
+                    # same arrivals (no snapshot, no uniform draw).
+                    duplicates += 1
+                    continue
+                nv = adj_get(v)
+                closed = 0
+
+                # --- triangles completed by k (Alg. 3 lines 9–19) ------
+                # rec1 is always the u-side edge, rec2 the v-side, like
+                # SampledGraph.triangles_with.
+                if nu is not None and nv is not None:
+                    if len(nu) <= len(nv):
+                        for x, s1 in nu.items():
+                            s2 = nv.get(x)
+                            if s2 is None:
+                                continue
+                            closed += 1
+                            if threshold <= 0.0:
+                                q1 = 1.0
+                            else:
+                                q1 = wts[s1] / threshold
+                                if q1 >= 1.0:
+                                    q1 = 1.0
+                            if threshold <= 0.0:
+                                q2 = 1.0
+                            else:
+                                q2 = wts[s2] / threshold
+                                if q2 >= 1.0:
+                                    q2 = 1.0
+                            inv_prod = 1.0 / (q1 * q2)
+                            triangles += inv_prod
+                            triangle_var += (inv_prod - 1.0) * inv_prod
+                            triangle_var += (
+                                2.0 * (cov_tri[s1] + cov_tri[s2]) * inv_prod
+                            )
+                            cross_cov += (
+                                cov_wedge[s1] + cov_wedge[s2]
+                            ) * inv_prod
+                            cov_tri[s1] += (1.0 / q1 - 1.0) / q2
+                            cov_tri[s2] += (1.0 / q2 - 1.0) / q1
+                    else:
+                        for x, s2 in nv.items():
+                            s1 = nu.get(x)
+                            if s1 is None:
+                                continue
+                            closed += 1
+                            if threshold <= 0.0:
+                                q1 = 1.0
+                            else:
+                                q1 = wts[s1] / threshold
+                                if q1 >= 1.0:
+                                    q1 = 1.0
+                            if threshold <= 0.0:
+                                q2 = 1.0
+                            else:
+                                q2 = wts[s2] / threshold
+                                if q2 >= 1.0:
+                                    q2 = 1.0
+                            inv_prod = 1.0 / (q1 * q2)
+                            triangles += inv_prod
+                            triangle_var += (inv_prod - 1.0) * inv_prod
+                            triangle_var += (
+                                2.0 * (cov_tri[s1] + cov_tri[s2]) * inv_prod
+                            )
+                            cross_cov += (
+                                cov_wedge[s1] + cov_wedge[s2]
+                            ) * inv_prod
+                            cov_tri[s1] += (1.0 / q1 - 1.0) / q2
+                            cov_tri[s2] += (1.0 / q2 - 1.0) / q1
+
+                # --- wedges completed by k (lines 20–27) ----------------
+                # (u, v) is not sampled (duplicate check above), so the
+                # object core's exclude filter can never trigger here.
+                if nu is not None:
+                    for s in nu.values():
+                        if threshold <= 0.0:
+                            q = 1.0
+                        else:
+                            q = wts[s] / threshold
+                            if q >= 1.0:
+                                q = 1.0
+                        inv = 1.0 / q
+                        wedges += inv
+                        wedge_var += inv * (inv - 1.0)
+                        wedge_var += 2.0 * cov_wedge[s] * inv
+                        cross_cov += cov_tri[s] * inv
+                        cov_wedge[s] += inv - 1.0
+                if nv is not None:
+                    for s in nv.values():
+                        if threshold <= 0.0:
+                            q = 1.0
+                        else:
+                            q = wts[s] / threshold
+                            if q >= 1.0:
+                                q = 1.0
+                        inv = 1.0 / q
+                        wedges += inv
+                        wedge_var += inv * (inv - 1.0)
+                        wedge_var += 2.0 * cov_wedge[s] * inv
+                        cross_cov += cov_tri[s] * inv
+                        cov_wedge[s] += inv - 1.0
+
+                # --- sampler update (lines 29–40) -----------------------
+                arrivals += 1
+                if wkind == _W_TRIANGLE:
+                    # The snapshot's triangle enumeration already counted
+                    # |△̂(k)| — reuse it instead of re-intersecting.
+                    # coef·0 + default == default exactly.
+                    w = coef * closed + default if closed else default
+                elif wkind == _W_UNIFORM:
+                    w = default
+                elif wkind == _W_WEDGE:
+                    w = coef * (
+                        (len(nu) if nu is not None else 0)
+                        + (len(nv) if nv is not None else 0)
+                    ) + default
+                else:
+                    w = weight_fn(u, v, view)
+                    if not w > 0.0:
+                        raise ValueError(
+                            f"weight function returned non-positive {w!r}"
+                        )
+                r = w / (1.0 - rand())
+                if size < capacity:
+                    s = size
+                    size += 1
+                    su[s] = u
+                    sv[s] = v
+                    wts[s] = w
+                    prio[s] = r
+                    arr[s] = arrivals
+                    cov_tri[s] = 0.0
+                    cov_wedge[s] = 0.0
+                    nu = adj_get(u)
+                    if nu is None:
+                        adj[u] = {v: s}
+                    else:
+                        nu[v] = s
+                    nv = adj_get(v)
+                    if nv is None:
+                        adj[v] = {u: s}
+                    else:
+                        nv[u] = s
+                    hpush(heap_arr, (r, s))
+                    root_prio = heap_arr[0][0]
+                elif root_prio < r:
+                    s = heap_arr[0][1]
+                    if root_prio > threshold:
+                        threshold = root_prio
+                    eu = su[s]
+                    ev = sv[s]
+                    d = adj[eu]
+                    del d[ev]
+                    if not d:
+                        del adj[eu]
+                    d = adj[ev]
+                    del d[eu]
+                    if not d:
+                        del adj[ev]
+                    su[s] = u
+                    sv[s] = v
+                    wts[s] = w
+                    prio[s] = r
+                    arr[s] = arrivals
+                    cov_tri[s] = 0.0
+                    cov_wedge[s] = 0.0
+                    nu = adj_get(u)
+                    if nu is None:
+                        adj[u] = {v: s}
+                    else:
+                        nu[v] = s
+                    nv = adj_get(v)
+                    if nv is None:
+                        adj[v] = {u: s}
+                    else:
+                        nv[u] = s
+                    hreplace(heap_arr, (r, s))
+                    root_prio = heap_arr[0][0]
+                elif r > threshold:
+                    threshold = r
+        finally:
+            sampler._threshold = threshold
+            sampler._arrivals = arrivals
+            sampler._duplicates = duplicates
+            sampler._self_loops = self_loops
+            self._triangles = triangles
+            self._triangle_var = triangle_var
+            self._wedges = wedges
+            self._wedge_var = wedge_var
+            self._cross_cov = cross_cov
+        return consumed
+
+    def process_stream(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        self.process_many(edges)
+
+    def track(
+        self,
+        edges: Iterable[Tuple[Node, Node]],
+        checkpoints,
+    ) -> Iterator[Tuple[int, GraphEstimates]]:
+        """Process ``edges``, yielding ``(t, estimates)`` at checkpoints."""
+        marks = list(checkpoints)
+        next_idx = 0
+        t = 0
+        for u, v in edges:
+            self.process_many(((u, v),))
+            t += 1
+            while next_idx < len(marks) and marks[next_idx] == t:
+                yield t, self.estimates()
+                next_idx += 1
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def sampler(self) -> CompactGraphPrioritySampler:
+        """The underlying compact reservoir (shared-sample protocol)."""
+        return self._sampler
+
+    @property
+    def triangle_estimate(self) -> float:
+        return self._triangles
+
+    @property
+    def wedge_estimate(self) -> float:
+        return self._wedges
+
+    @property
+    def clustering_estimate(self) -> float:
+        if self._wedges == 0:
+            return 0.0
+        return 3.0 * self._triangles / self._wedges
+
+    def estimates(self) -> GraphEstimates:
+        """Current snapshot estimates with variances and bounds; O(1)."""
+        sampler = self._sampler
+        return GraphEstimates.from_raw(
+            triangle_count=self._triangles,
+            triangle_variance=self._triangle_var,
+            wedge_count=self._wedges,
+            wedge_variance=self._wedge_var,
+            tri_wedge_covariance=self._cross_cov,
+            stream_position=sampler.stream_position,
+            sample_size=sampler.sample_size,
+            threshold=sampler.threshold,
+        )
+
+
+# ----------------------------------------------------------------------
+# Core selection
+# ----------------------------------------------------------------------
+def validate_core(core: str) -> str:
+    """Check a core name; unknown names raise with the known set."""
+    if core not in CORES:
+        raise ValueError(f"unknown core {core!r}; known cores: {CORES}")
+    return core
+
+
+def make_priority_sampler(
+    capacity: int,
+    weight_fn: Optional[WeightFunction] = None,
+    seed: Optional[int] = None,
+    core: str = DEFAULT_CORE,
+):
+    """Build a GPS sampler on the selected core.
+
+    ``core="compact"`` (default) returns the slot-based
+    :class:`CompactGraphPrioritySampler`; ``core="object"`` the boxed
+    reference :class:`~repro.core.priority_sampler.GraphPrioritySampler`.
+    Both select bit-identical samples under shared seeds.
+
+    Example
+    -------
+    >>> make_priority_sampler(8, seed=1, core="object").sample_size
+    0
+    """
+    from repro.core.priority_sampler import GraphPrioritySampler
+
+    validate_core(core)
+    cls = (
+        CompactGraphPrioritySampler if core == "compact"
+        else GraphPrioritySampler
+    )
+    return cls(capacity, weight_fn=weight_fn, seed=seed)
+
+
+def make_in_stream_estimator(
+    capacity: int,
+    weight_fn: Optional[WeightFunction] = None,
+    seed: Optional[int] = None,
+    core: str = DEFAULT_CORE,
+):
+    """Build an in-stream estimator on the selected core.
+
+    Example
+    -------
+    >>> est = make_in_stream_estimator(8, seed=1)
+    >>> type(est).__name__
+    'CompactInStreamEstimator'
+    """
+    from repro.core.in_stream import InStreamEstimator
+
+    validate_core(core)
+    cls = (
+        CompactInStreamEstimator if core == "compact" else InStreamEstimator
+    )
+    return cls(capacity, weight_fn=weight_fn, seed=seed)
+
+
+__all__ = [
+    "CORES",
+    "DEFAULT_CORE",
+    "CompactGraphPrioritySampler",
+    "CompactInStreamEstimator",
+    "CompactSample",
+    "make_in_stream_estimator",
+    "make_priority_sampler",
+    "validate_core",
+]

@@ -21,6 +21,7 @@ from collections import defaultdict
 from typing import Dict
 
 from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.reservoir import snapshot_view
 from repro.core.subgraphs import _elementary_symmetric
 from repro.graph.edge import Node
 
@@ -39,7 +40,7 @@ class LocalTriangleEstimator:
         Nodes appearing in the reservoir but in no sampled triangle get an
         explicit 0.0 entry (their estimate, not a missing value).
         """
-        sample = self._sampler.sample
+        sample = snapshot_view(self._sampler.sample)
         threshold = self._sampler.threshold
         counts: Dict[Node, float] = defaultdict(float)
         for record in sample.records():
@@ -61,7 +62,7 @@ class LocalTriangleEstimator:
 
     def node_wedges(self) -> Dict[Node, float]:
         """Unbiased per-node (centred) wedge counts."""
-        sample = self._sampler.sample
+        sample = snapshot_view(self._sampler.sample)
         threshold = self._sampler.threshold
         wedges: Dict[Node, float] = {}
         seen = set()

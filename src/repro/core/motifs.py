@@ -35,6 +35,7 @@ from typing import Dict, Tuple
 
 from repro.core.estimates import SubgraphEstimate
 from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.reservoir import snapshot_view
 from repro.core.subgraphs import CliqueEstimator, _elementary_symmetric
 from repro.graph.edge import Node, canonical_edge
 from repro.graph.motifs import MOTIF_NAMES
@@ -54,7 +55,7 @@ class MotifCensusEstimator:
 
     def estimate(self) -> Dict[str, SubgraphEstimate]:
         """All six motif estimates (value + diagonal-variance bound)."""
-        sample = self._sampler.sample
+        sample = snapshot_view(self._sampler.sample)
         threshold = self._sampler.threshold
 
         # Per-node sums of inverse probabilities (first and second powers).

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.core.estimates import GraphEstimates
 from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.reservoir import snapshot_view
 
 
 class PostStreamEstimator:
@@ -40,7 +41,7 @@ class PostStreamEstimator:
     def estimate(self) -> GraphEstimates:
         """Run Algorithm 2 against the sampler's current state."""
         sampler = self._sampler
-        sample = sampler.sample
+        sample = snapshot_view(sampler.sample)
         threshold = sampler.threshold
 
         triangle_sum = 0.0      # Σ_k N̂_k(△)   (each triangle counted 3×)

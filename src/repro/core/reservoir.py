@@ -27,6 +27,23 @@ class SampledGraph:
         self._adj: Dict[Node, Dict[Node, EdgeRecord]] = {}
         self._num_edges = 0
 
+    @classmethod
+    def from_adjacency(
+        cls, adj: Dict[Node, Dict[Node, EdgeRecord]], num_edges: int
+    ) -> "SampledGraph":
+        """Wrap a prebuilt ``node → {neighbour → record}`` adjacency.
+
+        The caller owns the invariants (symmetry, one shared record per
+        edge, no empty inner dicts) *and the dict iteration orders* —
+        this is how the compact core materialises an object-core view
+        with bit-identical traversal order
+        (:meth:`repro.core.compact.CompactSample.materialize`).
+        """
+        graph = cls()
+        graph._adj = adj
+        graph._num_edges = num_edges
+        return graph
+
     # ------------------------------------------------------------------
     # Mutation (driven by the sampler)
     # ------------------------------------------------------------------
@@ -140,3 +157,18 @@ class SampledGraph:
 
 
 _EMPTY: Dict[Node, EdgeRecord] = {}
+
+
+def snapshot_view(sample) -> "SampledGraph":
+    """A traversal-stable, allocation-cheap view for retrospective passes.
+
+    Object-core :class:`SampledGraph` instances come back as-is; compact
+    views are materialised once
+    (:meth:`repro.core.compact.CompactSample.materialize`), so estimator
+    loops that call ``neighbors``/``records`` per sampled edge pay O(m)
+    record construction up front instead of allocating on every call.
+    Iteration orders are identical either way, keeping the retrospective
+    estimates bit-exact across cores.
+    """
+    materialize = getattr(sample, "materialize", None)
+    return materialize() if materialize is not None else sample

@@ -31,6 +31,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.estimates import SubgraphEstimate
 from repro.core.priority_sampler import GraphPrioritySampler
+from repro.core.reservoir import snapshot_view
 from repro.core.records import EdgeRecord
 from repro.graph.edge import EdgeKey, Node
 
@@ -56,7 +57,7 @@ class CliqueEstimator:
 
     def enumerate(self) -> List[SampledClique]:
         """All k-cliques fully contained in the sample, with HT estimates."""
-        sample = self._sampler.sample
+        sample = snapshot_view(self._sampler.sample)
         threshold = self._sampler.threshold
         order: Dict[Node, int] = {}
         nodes = sorted(
@@ -92,7 +93,7 @@ class CliqueEstimator:
 
     def estimate(self) -> SubgraphEstimate:
         """Unbiased k-clique count estimate with covariance-aware variance."""
-        sample = self._sampler.sample
+        sample = snapshot_view(self._sampler.sample)
         threshold = self._sampler.threshold
         cliques = self.enumerate()
         total = sum(c.estimate for c in cliques)
@@ -139,7 +140,7 @@ class StarEstimator:
         the diagonal variance is ``e_k(x²) − e_k(x)`` [since
         Σ_S Ŝ_S(Ŝ_S−1) = Σ_S Π x² − Σ_S Π x].
         """
-        sample = self._sampler.sample
+        sample = snapshot_view(self._sampler.sample)
         threshold = self._sampler.threshold
         total = 0.0
         variance = 0.0

@@ -152,3 +152,30 @@ class LinearCombinationWeight:
 
     def __repr__(self) -> str:
         return f"LinearCombinationWeight({self.terms!r})"
+
+
+def is_label_free(weight_fn: "WeightFunction") -> bool:
+    """Whether ``weight_fn`` reads only sample *topology*, never labels.
+
+    Label-free weights are invariant under node relabelling, which is
+    what licenses the interned (dense-``int32``) dispatch of the
+    shared-memory replication fan-out: workers may stream interned ids
+    instead of original labels and every estimate stays bit-identical.
+    :class:`AttributeWeight` (and any unrecognised custom callable) may
+    inspect the labels themselves, so it conservatively disqualifies.
+
+    >>> is_label_free(TriangleWeight())
+    True
+    >>> is_label_free(AttributeWeight(lambda u, v: 1.0))
+    False
+    """
+    from repro.core.adaptive import AdaptiveTriangleWeight
+
+    kind = type(weight_fn)
+    if kind in (UniformWeight, TriangleWeight, WedgeWeight):
+        return True
+    if kind is AdaptiveTriangleWeight:
+        return True
+    if kind is LinearCombinationWeight:
+        return all(is_label_free(fn) for _coef, fn in weight_fn.terms)
+    return False

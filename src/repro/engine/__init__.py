@@ -3,8 +3,11 @@
 ``StreamEngine`` is the one loop that feeds arrivals to counters (batched
 through ``process_many`` fast paths where available) and fires checkpoint
 callbacks; ``ReplicatedRunner`` fans independent multi-seed replications
-of a GPS run across worker processes and aggregates mean / variance /
-confidence intervals — the paper's error-bar protocol.
+of any registered method across worker processes and aggregates mean /
+variance / confidence intervals — the paper's error-bar protocol.  The
+edge population reaches workers zero-copy through
+:mod:`repro.engine.shared_edges`: interned once, published once via
+shared memory, attached per worker — per-task payloads stay seed pairs.
 """
 
 from repro.engine.replication import (
@@ -12,6 +15,11 @@ from repro.engine.replication import (
     ReplicatedRunner,
     ReplicatedSummary,
     ReplicationResult,
+    default_max_workers,
+)
+from repro.engine.shared_edges import (
+    SharedEdgePopulation,
+    shared_memory_available,
 )
 from repro.engine.stream_engine import EngineStats, StreamEngine
 
@@ -21,5 +29,8 @@ __all__ = [
     "ReplicatedRunner",
     "ReplicatedSummary",
     "ReplicationResult",
+    "SharedEdgePopulation",
     "StreamEngine",
+    "default_max_workers",
+    "shared_memory_available",
 ]

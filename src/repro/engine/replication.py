@@ -18,10 +18,17 @@ gets aggregated.  Methods registered by third-party modules are visible
 to forked workers; under a spawn start method the registering module
 must be importable by workers.
 
-Workers receive the *edge list* (always picklable) once, via the pool
-initializer — per-task payloads are just seed pairs — and re-derive the
-stream permutation locally, so replication ``i`` sees exactly the stream
-``EdgeStream.from_graph(graph, seed=stream_seed_i)`` would produce.
+Worker dispatch is zero-copy by default: the runner interns the edge
+population to dense ``int32`` ids and publishes the flat array once via
+:mod:`multiprocessing.shared_memory`
+(:mod:`repro.engine.shared_edges`); workers attach by name and permute
+locally, so per-worker setup no longer scales with graph size and
+per-task payloads stay seed pairs.  Interning is a pure relabelling —
+every aggregated metric is label-free — so the results are bit-identical
+to the legacy pickled dispatch, which remains available as
+``dispatch="pickle"`` and is selected automatically for weight functions
+that read node labels (:func:`repro.core.weights.is_label_free`) and for
+methods registered with ``reads_labels=True``.
 ``max_workers=0`` runs everything inline in the calling process — the
 results are identical (each replication is deterministic given its seed
 pair), which the test suite exploits.
@@ -41,11 +48,18 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.weights import WeightFunction
+from repro.core.compact import DEFAULT_CORE, validate_core
+from repro.core.weights import WeightFunction, is_label_free
+from repro.engine.shared_edges import (
+    Descriptor,
+    SharedEdgePopulation,
+    shared_memory_available,
+)
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.edge import Node
 from repro.stats.confidence import confidence_interval
 from repro.stats.running import RunningMoments
+from repro.streams.interner import NodeInterner
 from repro.streams.stream import EdgeStream
 
 Edge = Tuple[Node, Node]
@@ -54,6 +68,9 @@ SeedPair = Tuple[int, int]
 #: The default method: the GPS shared-sample pass whose metric set
 #: (in-stream + post-stream, one reservoir) matches the paper's protocol.
 DEFAULT_METHOD = "gps"
+
+#: Worker dispatch mechanisms (``None`` on the runner means auto).
+DISPATCHES = ("shared", "pickle")
 
 
 def _get_method(name: str):
@@ -148,13 +165,16 @@ class ReplicatedSummary:
 
     ``metrics`` maps each of the method's metric names to its
     :class:`MetricSummary`; the GPS names are also readable through the
-    legacy attribute properties.
+    legacy attribute properties.  ``dispatch`` records how workers
+    received the edge population (``"shared"``/``"pickle"``; ``"inline"``
+    when no pool ran).
     """
 
     replications: Tuple[ReplicationResult, ...]
     metrics: Dict[str, MetricSummary]
     workers: int
     method: str = DEFAULT_METHOD
+    dispatch: str = "inline"
 
     @property
     def num_replications(self) -> int:
@@ -188,13 +208,15 @@ class _ReplicationTask:
     stream_seed: int
     sampler_seed: int
     method: str = DEFAULT_METHOD
+    core: str = DEFAULT_CORE
 
 
 # Shared per-worker state: the edge population is identical across a
-# runner's replications, so it is shipped once per worker (initializer
-# args; free under fork) instead of once per task.
+# runner's replications, so it is delivered once per worker — through a
+# shared-memory attach (descriptor in the initargs) or, on the legacy
+# pickled path, through the initargs themselves — never per task.
 _WORKER_STATE: Optional[
-    Tuple[Tuple[Edge, ...], int, Optional[WeightFunction], str]
+    Tuple[Sequence[Edge], int, Optional[WeightFunction], str, str]
 ] = None
 
 
@@ -203,14 +225,29 @@ def _pool_initializer(
     capacity: int,
     weight_fn: Optional[WeightFunction],
     method: str,
+    core: str,
 ) -> None:
+    """Pickled dispatch: the population arrives serialised per worker."""
     global _WORKER_STATE
-    _WORKER_STATE = (edges, capacity, weight_fn, method)
+    _WORKER_STATE = (edges, capacity, weight_fn, method, core)
+
+
+def _pool_initializer_shared(
+    descriptor: Descriptor,
+    capacity: int,
+    weight_fn: Optional[WeightFunction],
+    method: str,
+    core: str,
+) -> None:
+    """Shared dispatch: attach to the published segment and copy out."""
+    global _WORKER_STATE
+    edges = SharedEdgePopulation.attach(descriptor)
+    _WORKER_STATE = (edges, capacity, weight_fn, method, core)
 
 
 def _run_seed_pair(pair: SeedPair) -> ReplicationResult:
     """Worker entry point: task payload is just the seed pair."""
-    edges, capacity, weight_fn, method = _WORKER_STATE
+    edges, capacity, weight_fn, method, core = _WORKER_STATE
     return _run_replication(
         _ReplicationTask(
             edges=edges,
@@ -219,6 +256,7 @@ def _run_seed_pair(pair: SeedPair) -> ReplicationResult:
             stream_seed=pair[0],
             sampler_seed=pair[1],
             method=method,
+            core=core,
         )
     )
 
@@ -229,7 +267,8 @@ def _run_replication(task: _ReplicationTask) -> ReplicationResult:
     random.Random(task.stream_seed).shuffle(order)
     spec = _get_method(task.method)
     counter = spec.make(
-        task.capacity, len(order), task.sampler_seed, weight_fn=task.weight_fn
+        task.capacity, len(order), task.sampler_seed,
+        weight_fn=task.weight_fn, core=task.core,
     )
     process_many = getattr(counter, "process_many", None)
     if process_many is not None:
@@ -246,6 +285,15 @@ def _run_replication(task: _ReplicationTask) -> ReplicationResult:
         sample_size=sampler.sample_size if sampler is not None else 0,
         threshold=sampler.threshold if sampler is not None else 0.0,
     )
+
+
+def default_max_workers(tasks: int, cpu_count: Optional[int] = None) -> int:
+    """The auto-sized pool: ``min(tasks, cpu, 8)``, floored at 2 when the
+    machine has at least 2 cores so aggregation is exercised in parallel
+    by default — but never more processes than cores (a single-CPU
+    machine gets 1, not a forced 2-process pool)."""
+    cpu = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    return max(min(2, cpu), min(tasks, cpu, 8))
 
 
 class ReplicatedRunner:
@@ -268,14 +316,23 @@ class ReplicatedRunner:
         Number of independent ``(stream_seed, sampler_seed)`` pairs, R.
     max_workers:
         Size of the process pool; ``0`` (or 1 replication) runs inline in
-        the calling process.  ``None`` picks ``min(R, cpu, 8)`` but never
-        fewer than 2 so aggregation is exercised in parallel by default.
+        the calling process.  ``None`` picks ``min(R, cpu, 8)``, floored
+        at 2 only when the machine has ≥ 2 cores (see
+        :func:`default_max_workers`).
     base_stream_seed / base_sampler_seed:
         Replication ``i`` uses seeds ``(base_stream_seed + i,
         base_sampler_seed + i)``; override ``seed_pairs`` for full control.
     method:
         Registered method name (:mod:`repro.api.registry`); the default
         ``"gps"`` runs the paper's shared-sample GPS pass.
+    core:
+        GPS reservoir core for core-aware methods (``"compact"``
+        default / ``"object"`` reference); bit-identical results.
+    dispatch:
+        How pooled workers receive the edge population: ``"shared"``
+        (zero-copy shared memory, requires a label-free weight) or
+        ``"pickle"`` (legacy serialised initargs).  ``None`` picks
+        shared whenever it is applicable.  Inline runs ignore it.
 
     Examples
     --------
@@ -296,6 +353,9 @@ class ReplicatedRunner:
         "_seed_pairs",
         "_max_workers",
         "_method",
+        "_core",
+        "_dispatch",
+        "_interner",
     )
 
     def __init__(
@@ -309,20 +369,57 @@ class ReplicatedRunner:
         base_sampler_seed: int = 10_000,
         seed_pairs: Optional[Sequence[SeedPair]] = None,
         method: str = DEFAULT_METHOD,
+        core: str = DEFAULT_CORE,
+        dispatch: Optional[str] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
-        _get_method(method)  # fail fast on unknown names
+        method_spec = _get_method(method)  # fail fast on unknown names
+        validate_core(core)
+        if dispatch is not None and dispatch not in DISPATCHES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCHES} (or None for auto), "
+                f"got {dispatch!r}"
+            )
         if isinstance(graph, AdjacencyGraph):
             # Same canonical order EdgeStream.from_graph shuffles, so a
             # replication with stream_seed s reproduces that exact stream.
             edges = EdgeStream.canonical_edges(graph)
         else:
             edges = list(graph)
-        self._edges: Tuple[Edge, ...] = tuple(edges)
+        # Intern whenever nothing can observe the labels: interning is a
+        # pure relabelling, and it makes the population a flat int array
+        # the shared-memory dispatch can publish.  Weight functions or
+        # methods that read labels (``MethodSpec.reads_labels``) keep
+        # the original tuples (and pickled dispatch).
+        label_free = not method_spec.reads_labels and (
+            weight_fn is None or is_label_free(weight_fn)
+        )
+        self._interner: Optional[NodeInterner]
+        if label_free:
+            self._interner = NodeInterner()
+            self._edges: Tuple[Edge, ...] = tuple(
+                self._interner.intern_edges(edges)
+            )
+        else:
+            self._interner = None
+            self._edges = tuple(edges)
+        if dispatch == "shared":
+            if self._interner is None:
+                raise ValueError(
+                    "dispatch='shared' needs a label-free weight function "
+                    "and method (the interned dispatch cannot preserve "
+                    "node labels); use dispatch='pickle'"
+                )
+            if not shared_memory_available():  # pragma: no cover
+                raise ValueError(
+                    "dispatch='shared' is unavailable on this platform"
+                )
         self._capacity = capacity
         self._weight_fn = weight_fn
         self._method = method
+        self._core = core
+        self._dispatch = dispatch
         if seed_pairs is not None:
             pairs = [(int(s), int(t)) for s, t in seed_pairs]
         else:
@@ -338,7 +435,7 @@ class ReplicatedRunner:
             raise ValueError("seed pairs must be distinct")
         self._seed_pairs: List[SeedPair] = pairs
         if max_workers is None:
-            max_workers = max(2, min(len(pairs), os.cpu_count() or 1, 8))
+            max_workers = default_max_workers(len(pairs))
         if max_workers < 0:
             raise ValueError("max_workers must be >= 0")
         self._max_workers = max_workers
@@ -355,6 +452,24 @@ class ReplicatedRunner:
     def method(self) -> str:
         return self._method
 
+    @property
+    def core(self) -> str:
+        return self._core
+
+    @property
+    def interner(self) -> Optional[NodeInterner]:
+        """Id → label mapping of the interned population (None when the
+        weight function forced label dispatch)."""
+        return self._interner
+
+    def resolved_dispatch(self) -> str:
+        """The dispatch a pooled run will use (auto resolved)."""
+        if self._dispatch is not None:
+            return self._dispatch
+        if self._interner is not None and shared_memory_available():
+            return "shared"
+        return "pickle"
+
     def run(self) -> ReplicatedSummary:
         """Execute all replications and aggregate their estimates."""
         pairs = self._seed_pairs
@@ -368,20 +483,20 @@ class ReplicatedRunner:
                         stream_seed=stream_seed,
                         sampler_seed=sampler_seed,
                         method=self._method,
+                        core=self._core,
                     )
                 )
                 for stream_seed, sampler_seed in pairs
             ]
             workers = 0
+            dispatch = "inline"
         else:
             workers = min(self._max_workers, len(pairs))
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_pool_initializer,
-                initargs=(self._edges, self._capacity, self._weight_fn,
-                          self._method),
-            ) as pool:
-                results = list(pool.map(_run_seed_pair, pairs))
+            dispatch = self.resolved_dispatch()
+            if dispatch == "shared":
+                results = self._run_pool_shared(workers, pairs)
+            else:
+                results = self._run_pool_pickled(workers, pairs)
         metric_names = list(results[0].metrics)
         return ReplicatedSummary(
             replications=tuple(results),
@@ -391,13 +506,44 @@ class ReplicatedRunner:
             },
             workers=workers,
             method=self._method,
+            dispatch=dispatch,
         )
+
+    # ------------------------------------------------------------------
+    # Pool drivers
+    # ------------------------------------------------------------------
+    def _run_pool_shared(
+        self, workers: int, pairs: Sequence[SeedPair]
+    ) -> List[ReplicationResult]:
+        """Publish once, attach per worker; the segment is always
+        unlinked — on success, worker failure and KeyboardInterrupt."""
+        with SharedEdgePopulation.publish(self._edges) as shared:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_initializer_shared,
+                initargs=(shared.descriptor, self._capacity,
+                          self._weight_fn, self._method, self._core),
+            ) as pool:
+                return list(pool.map(_run_seed_pair, pairs))
+
+    def _run_pool_pickled(
+        self, workers: int, pairs: Sequence[SeedPair]
+    ) -> List[ReplicationResult]:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_initializer,
+            initargs=(self._edges, self._capacity, self._weight_fn,
+                      self._method, self._core),
+        ) as pool:
+            return list(pool.map(_run_seed_pair, pairs))
 
 
 __all__ = [
     "DEFAULT_METHOD",
+    "DISPATCHES",
     "MetricSummary",
     "ReplicatedRunner",
     "ReplicatedSummary",
     "ReplicationResult",
+    "default_max_workers",
 ]

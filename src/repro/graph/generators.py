@@ -18,6 +18,14 @@ matches each domain (see DESIGN.md Sec. 5):
 All generators take an explicit ``seed`` and are deterministic given it.
 Deterministic families (complete/star/cycle/path/grid) are included for
 unit tests with hand-computable triangle/wedge counts.
+
+Every generator emits dense ``0..n-1`` integer node labels (``road_grid``
+flattens its lattice coordinates), so generated graphs are already in the
+interned form the compact core and the shared-memory replication fan-out
+run on — :meth:`repro.streams.EdgeStream.interned` is the identity
+relabelling for them.  Keep that property when adding generators; streams
+from arbitrary-labelled sources intern via
+:class:`repro.streams.NodeInterner` instead.
 """
 
 from __future__ import annotations

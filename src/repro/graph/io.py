@@ -33,14 +33,30 @@ def iter_edge_list(
     path: PathLike,
     delimiter: Optional[str] = None,
     node_type: Callable[[str], Node] = int,
+    interner: Optional["NodeInterner"] = None,
 ) -> Iterator[Tuple[Node, Node]]:
     """Yield ``(u, v)`` pairs from an edge-list file, skipping comments.
 
     ``delimiter=None`` splits on arbitrary whitespace.  Lines with fewer
     than two tokens are skipped; extra tokens beyond the first two are
-    ignored (timestamps/weights in temporal edge lists).
+    ignored (timestamps/weights in temporal edge lists).  Passing a
+    :class:`~repro.streams.interner.NodeInterner` interns the labels to
+    dense ``int32`` ids at parse time (first-encounter order), so the
+    rest of the pipeline runs on machine integers; the interner keeps
+    the id → label mapping.
     """
     with _open_text(path, "r") as handle:
+        if interner is not None:
+            intern = interner.intern
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith(_COMMENT_PREFIXES):
+                    continue
+                parts = line.split(delimiter)
+                if len(parts) < 2:
+                    continue
+                yield intern(node_type(parts[0])), intern(node_type(parts[1]))
+            return
         for line in handle:
             line = line.strip()
             if not line or line.startswith(_COMMENT_PREFIXES):
@@ -55,9 +71,14 @@ def read_edge_list(
     path: PathLike,
     delimiter: Optional[str] = None,
     node_type: Callable[[str], Node] = int,
+    interner: Optional["NodeInterner"] = None,
 ) -> AdjacencyGraph:
     """Read an edge-list file into an :class:`AdjacencyGraph` (simplified)."""
-    return AdjacencyGraph(iter_edge_list(path, delimiter=delimiter, node_type=node_type))
+    return AdjacencyGraph(
+        iter_edge_list(
+            path, delimiter=delimiter, node_type=node_type, interner=interner
+        )
+    )
 
 
 def write_edge_list(
@@ -83,11 +104,13 @@ def write_edge_list(
 def relabel_consecutive(
     edges: Iterable[Tuple[Node, Node]],
 ) -> Tuple[List[Tuple[int, int]], dict]:
-    """Relabel arbitrary node ids to 0..n-1; returns (edges, mapping)."""
-    mapping: dict = {}
-    out: List[Tuple[int, int]] = []
-    for u, v in edges:
-        iu = mapping.setdefault(u, len(mapping))
-        iv = mapping.setdefault(v, len(mapping))
-        out.append((iu, iv))
-    return out, mapping
+    """Relabel arbitrary node ids to 0..n-1; returns (edges, mapping).
+
+    Thin wrapper over :class:`~repro.streams.interner.NodeInterner`
+    (kept for its historical ``(edges, {label: id})`` return shape).
+    """
+    from repro.streams.interner import NodeInterner
+
+    interner = NodeInterner()
+    out = interner.intern_edges(edges)
+    return out, {label: i for i, label in enumerate(interner.labels)}

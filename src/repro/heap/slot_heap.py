@@ -1,0 +1,122 @@
+"""Index-based binary min-heap over reservoir *slots*.
+
+The compact GPS core (:mod:`repro.core.compact`) stores each sampled
+edge's fields in parallel slot-indexed arrays instead of boxed
+:class:`~repro.core.records.EdgeRecord` objects.  This heap orders the
+slot *indices* by priority, as ``(priority, slot)`` pairs on the C
+implementation of :mod:`heapq`: where
+:class:`~repro.heap.binary_heap.IndexedMinHeap` sifts in Python with one
+``item.priority`` attribute lookup per comparison, every sift here runs
+inside ``heappush``/``heapreplace`` at C speed.
+
+The GPS overflow pattern never removes an arbitrary element — the
+evicted edge is always the root, and the arriving edge reuses the
+evicted slot — so the API is deliberately small: ``push`` during the
+fill phase, root access, and :meth:`replace_root` for the fused
+evict-and-admit step.  Exact priority ties are broken by the slot index
+(the pair comparison's second component); the object core breaks such
+ties by sift order instead, but two GPS priorities ``w/u`` drawn from
+distinct uniforms collide with probability ~2⁻⁵³ per pair, so the cores
+remain bit-identical on any real stream.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush, heapreplace
+from typing import Iterator, List, Optional, Tuple
+
+
+class SlotMinHeap:
+    """Binary min-heap of ``(priority, slot)`` pairs (C-speed sifts).
+
+    Examples
+    --------
+    >>> heap = SlotMinHeap()
+    >>> for slot, priority in enumerate([5.0, 1.0, 3.0]):
+    ...     heap.push(slot, priority)
+    >>> heap.peek(), heap.min_priority()
+    (1, 1.0)
+    >>> heap.replace_root(1, 9.0)  # reuse the evicted slot
+    (1.0, 1)
+    >>> heap.peek()
+    2
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate slots in arbitrary (array) order."""
+        for _priority, slot in self._heap:
+            yield slot
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def push(self, slot: int, priority: float) -> None:
+        """Insert ``slot`` with ``priority``; O(log n)."""
+        heappush(self._heap, (priority, slot))
+
+    def peek(self) -> int:
+        """The minimum-priority slot (without removing it); O(1)."""
+        if not self._heap:
+            raise IndexError("peek from an empty heap")
+        return self._heap[0][1]
+
+    def min_priority(self) -> Optional[float]:
+        """Priority of the root slot, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> int:
+        """Remove and return the minimum-priority slot; O(log n)."""
+        if not self._heap:
+            raise IndexError("pop from an empty heap")
+        return heappop(self._heap)[1]
+
+    def replace_root(self, slot: int, priority: float) -> Tuple[float, int]:
+        """Evict the root, insert ``(priority, slot)``; one O(log n) sift.
+
+        Returns the evicted ``(priority, slot)`` pair.  This is the
+        compact GPS eviction: the arriving edge overwrites the evicted
+        slot's fields in place and takes over its heap entry.
+        """
+        if not self._heap:
+            raise IndexError("replace_root on an empty heap")
+        return heapreplace(self._heap, (priority, slot))
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+    # ------------------------------------------------------------------
+    # Diagnostics (used by the test suite)
+    # ------------------------------------------------------------------
+    def is_valid(self) -> bool:
+        """Check the heap invariant; O(n)."""
+        heap = self._heap
+        for pos in range(len(heap)):
+            child = 2 * pos + 1
+            if child < len(heap) and heap[child] < heap[pos]:
+                return False
+            child += 1
+            if child < len(heap) and heap[child] < heap[pos]:
+                return False
+        return True
+
+    def rebuild(self, pairs) -> None:
+        """Reset the heap to ``(priority, slot)`` pairs; O(n) heapify."""
+        self._heap = list(pairs)
+        heapify(self._heap)
+
+
+__all__ = ["SlotMinHeap"]

@@ -6,8 +6,12 @@ randomly permuting a graph's edge set (Sec. 6).  :class:`EdgeStream`
 implements that model with explicit seeding so every run is reproducible,
 and :mod:`repro.streams.transforms` provides the usual stream hygiene
 (simplification, take/skip, relabelling, synthetic timestamps).
+:mod:`repro.streams.interner` interns arbitrary node labels to dense
+``int32`` ids at stream-construction time, so everything downstream of
+an :class:`EdgeStream` can run on machine integers.
 """
 
+from repro.streams.interner import NodeInterner, intern_edges
 from repro.streams.stream import EdgeStream
 from repro.streams.transforms import (
     map_nodes,
@@ -19,6 +23,8 @@ from repro.streams.transforms import (
 
 __all__ = [
     "EdgeStream",
+    "NodeInterner",
+    "intern_edges",
     "map_nodes",
     "simplify_edges",
     "skip",

@@ -15,6 +15,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.edge import Node
+from repro.streams.interner import NodeInterner
 
 
 class EdgeStream:
@@ -56,6 +57,26 @@ class EdgeStream:
     def from_edges(cls, edges: Iterable[Tuple[Node, Node]]) -> "EdgeStream":
         """Stream with the given explicit arrival order."""
         return cls(list(edges))
+
+    def interned(
+        self, interner: Optional[NodeInterner] = None
+    ) -> Tuple["EdgeStream", NodeInterner]:
+        """The same stream on dense ``int32`` node ids.
+
+        Returns ``(stream, interner)``: an :class:`EdgeStream` in the
+        identical arrival order whose labels are replaced by dense ids
+        (first-encounter order), plus the
+        :class:`~repro.streams.interner.NodeInterner` mapping ids back to
+        the original labels.  Interning changes no estimate — every
+        metric in the repo is label-free — and is what the compact core
+        and the shared-memory replication fan-out run on.
+
+        >>> stream, interner = EdgeStream([("a", "b"), ("b", "c")]).interned()
+        >>> list(stream), interner.label(2)
+        ([(0, 1), (1, 2)], 'c')
+        """
+        interner = interner if interner is not None else NodeInterner()
+        return EdgeStream(interner.intern_edges(self._edges)), interner
 
     # ------------------------------------------------------------------
     # Sequence-ish protocol

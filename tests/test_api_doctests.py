@@ -18,7 +18,12 @@ import repro.api.ground_truth
 import repro.api.registry
 import repro.api.spec
 import repro.api.sweep
+import repro.core.compact
+import repro.core.weights
 import repro.engine.replication
+import repro.engine.shared_edges
+import repro.heap.slot_heap
+import repro.streams.interner
 
 MODULES = [
     repro.api.execution,
@@ -26,7 +31,12 @@ MODULES = [
     repro.api.registry,
     repro.api.spec,
     repro.api.sweep,
+    repro.core.compact,
+    repro.core.weights,
     repro.engine.replication,
+    repro.engine.shared_edges,
+    repro.heap.slot_heap,
+    repro.streams.interner,
 ]
 
 

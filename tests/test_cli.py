@@ -307,3 +307,88 @@ class TestSweepCommand:
             "sweep", "--source", edge_file, "--resume", "--no-cache",
         ]) == 2
         assert "--no-cache" in capsys.readouterr().err
+
+
+class TestCoreFlag:
+    def test_sample_cores_bit_identical(self, edge_file, capsys):
+        outputs = {}
+        for core in ("compact", "object"):
+            assert main([
+                "sample", edge_file, "-m", "200", "--seed", "5",
+                "--core", core, "--json",
+            ]) == 0
+            outputs[core] = json.loads(capsys.readouterr().out)
+        assert (
+            outputs["compact"]["estimates"] == outputs["object"]["estimates"]
+        )
+        assert (
+            outputs["compact"]["threshold"] == outputs["object"]["threshold"]
+        )
+        assert outputs["compact"]["spec"]["core"] == "compact"
+        assert outputs["object"]["spec"]["core"] == "object"
+
+    def test_replicate_cores_bit_identical(self, edge_file, capsys):
+        outputs = {}
+        for core in ("compact", "object"):
+            assert main([
+                "replicate", edge_file, "-m", "150", "-R", "2",
+                "--workers", "0", "--core", core, "--json",
+            ]) == 0
+            outputs[core] = json.loads(capsys.readouterr().out)
+        assert outputs["compact"]["metrics"] == outputs["object"]["metrics"]
+
+    def test_sweep_defaults_to_compact_core(self, edge_file, capsys):
+        assert main([
+            "sweep", "--source", edge_file, "--method", "triest",
+            "-m", "100", "--workers", "0", "--no-cache", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["spec"]["core"] == "compact"
+
+    def test_sweep_spec_file_conflicts_with_core_flag(self, tmp_path, capsys):
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text('{"sources": ["x.txt"], "core": "object"}')
+        assert main([
+            "sweep", "--spec", str(spec_path), "--core", "compact",
+        ]) == 2
+        assert "--core" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_engine_quick_writes_uniform_schema(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "engine", "--quick", "--repeats", "1", "-o", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "engine"
+        assert payload["mode"] == "quick"
+        assert payload["generated_by"] == "python -m repro bench engine"
+        for weight in ("uniform", "triangle"):
+            entry = payload["results"][weight]
+            assert entry["compact_edges_per_sec"] > 0
+            assert entry["object_edges_per_sec"] > 0
+            assert entry["speedup"] > 0
+
+    def test_replication_quick_setup_ladder(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "replication", "--quick", "-o", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "replication"
+        ladder = payload["results"]["setup_vs_size"]
+        assert len(ladder) >= 2
+        small, big = ladder[0], ladder[-1]
+        # Pickled payload grows with the graph; the shared-memory task
+        # payload (a descriptor) does not.
+        assert big["pickle_payload_bytes"] > 2 * small["pickle_payload_bytes"]
+        assert (
+            big["shared_task_payload_bytes"]
+            == small["shared_task_payload_bytes"]
+        )
+        assert payload["results"]["end_to_end"]["shared"]["edges_per_sec"] > 0
+
+    def test_bad_repeats_rejected(self, capsys):
+        assert main(["bench", "engine", "--repeats", "0"]) == 2
+        assert "--repeats" in capsys.readouterr().err

@@ -1,0 +1,260 @@
+"""Shared-memory fan-out: zero-copy dispatch and segment lifecycle.
+
+The publisher owns the segment; these tests pin down the contract that
+it is unlinked on success, on worker failure, and on KeyboardInterrupt —
+a leaked segment outlives the process and eats /dev/shm until reboot,
+so the lifecycle is part of the feature.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import pytest
+
+import repro.api.sweep as sweep_module
+import repro.engine.replication as replication_module
+from repro.api.sweep import SweepSpec, run_sweep
+from repro.engine.replication import ReplicatedRunner
+from repro.engine.shared_edges import (
+    SharedEdgePopulation,
+    shared_memory_available,
+)
+from repro.core.weights import AttributeWeight
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.io import write_edge_list
+
+
+def segment_exists(name: str) -> bool:
+    try:
+        handle = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    handle.close()
+    return True
+
+
+@pytest.fixture
+def graph():
+    return powerlaw_cluster(120, 3, 0.5, seed=1)
+
+
+# ----------------------------------------------------------------------
+# Publish / attach mechanics
+# ----------------------------------------------------------------------
+def test_publish_attach_round_trip():
+    assert shared_memory_available()
+    edges = [(0, 1), (1, 2), (2, 0), (3, 1)]
+    population = SharedEdgePopulation.publish(edges)
+    name, count = population.descriptor
+    assert count == 4
+    try:
+        assert SharedEdgePopulation.attach(population.descriptor) == edges
+        # Attaching never destroys the segment.
+        assert segment_exists(name)
+    finally:
+        population.close()
+        population.unlink()
+    assert not segment_exists(name)
+    with pytest.raises(FileNotFoundError):
+        SharedEdgePopulation.attach((name, count))
+
+
+def test_publish_empty_population():
+    population = SharedEdgePopulation.publish([])
+    try:
+        assert SharedEdgePopulation.attach(population.descriptor) == []
+    finally:
+        population.close()
+        population.unlink()
+
+
+def test_context_manager_unlinks_on_success_and_failure():
+    with SharedEdgePopulation.publish([(0, 1)]) as population:
+        name, _ = population.descriptor
+        assert segment_exists(name)
+    assert not segment_exists(name)
+
+    with pytest.raises(RuntimeError):
+        with SharedEdgePopulation.publish([(0, 1)]) as population:
+            name, _ = population.descriptor
+            raise RuntimeError("boom")
+    assert not segment_exists(name)
+
+    with pytest.raises(KeyboardInterrupt):
+        with SharedEdgePopulation.publish([(0, 1)]) as population:
+            name, _ = population.descriptor
+            raise KeyboardInterrupt
+    assert not segment_exists(name)
+
+    # unlink is idempotent (context exit after a manual unlink).
+    population = SharedEdgePopulation.publish([(0, 1)])
+    population.unlink()
+    population.unlink()
+    population.close()
+
+
+# ----------------------------------------------------------------------
+# Replication pool lifecycle
+# ----------------------------------------------------------------------
+class _PublishRecorder:
+    """Wrap publish() to capture the created segment names."""
+
+    def __init__(self):
+        self.names = []
+        self._orig = SharedEdgePopulation.publish
+
+    def __call__(self, edges):
+        population = self._orig(edges)
+        self.names.append(population.descriptor[0])
+        return population
+
+
+@pytest.fixture
+def recorded_publish(monkeypatch):
+    recorder = _PublishRecorder()
+    monkeypatch.setattr(
+        replication_module.SharedEdgePopulation, "publish", recorder
+    )
+    return recorder
+
+
+def test_replication_shared_unlinks_on_success(graph, recorded_publish):
+    summary = ReplicatedRunner(
+        graph, capacity=50, replications=2, max_workers=1, dispatch="shared"
+    ).run()
+    assert summary.dispatch == "shared"
+    assert recorded_publish.names
+    assert all(not segment_exists(n) for n in recorded_publish.names)
+
+
+@pytest.mark.parametrize("boom", [RuntimeError("worker died"),
+                                  KeyboardInterrupt()])
+def test_replication_shared_unlinks_on_pool_failure(
+    graph, recorded_publish, monkeypatch, boom
+):
+    class ExplodingPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def map(self, fn, items):
+            raise boom
+
+    monkeypatch.setattr(
+        replication_module, "ProcessPoolExecutor", ExplodingPool
+    )
+    runner = ReplicatedRunner(
+        graph, capacity=50, replications=2, max_workers=1, dispatch="shared"
+    )
+    with pytest.raises(type(boom)):
+        runner.run()
+    assert recorded_publish.names
+    assert all(not segment_exists(n) for n in recorded_publish.names)
+
+
+def test_label_dependent_weight_refuses_shared_dispatch(graph):
+    weight = AttributeWeight(lambda u, v: 1.0 + (u + v) % 3)
+    with pytest.raises(ValueError, match="label-free"):
+        ReplicatedRunner(
+            graph, capacity=50, replications=2, weight_fn=weight,
+            dispatch="shared",
+        )
+    # Auto dispatch quietly falls back to the pickled path and the
+    # labels reach the weight function unchanged.
+    runner = ReplicatedRunner(
+        graph, capacity=50, replications=2, max_workers=0, weight_fn=weight
+    )
+    assert runner.resolved_dispatch() == "pickle"
+    assert runner.interner is None
+    summary = runner.run()
+    assert summary.metrics["in_stream_triangles"].count == 2
+
+
+def test_unknown_dispatch_rejected(graph):
+    with pytest.raises(ValueError, match="dispatch"):
+        ReplicatedRunner(graph, capacity=50, dispatch="carrier-pigeon")
+
+
+def test_interned_population_round_trips_labels(graph):
+    runner = ReplicatedRunner(graph, capacity=50, replications=2,
+                              max_workers=0)
+    interner = runner.interner
+    assert interner is not None
+    # Every interned id maps back to an original node label.
+    labels = set(interner.labels)
+    for u, v in graph.edges():
+        assert u in labels and v in labels
+
+
+# ----------------------------------------------------------------------
+# Sweep pool lifecycle
+# ----------------------------------------------------------------------
+def test_sweep_shared_sources_unlink(tmp_path, graph, monkeypatch):
+    recorder = _PublishRecorder()
+    monkeypatch.setattr(
+        sweep_module.SharedEdgePopulation, "publish", recorder
+    )
+    path = tmp_path / "g.txt"
+    write_edge_list(graph, path)
+    spec = SweepSpec(sources=(str(path),), methods=("gps-post", "triest"),
+                     budgets=(40, 60), runs=1, workers=1)
+    report = run_sweep(spec)
+    assert len(report.cells) == 4
+    assert recorder.names, "pooled sweep should publish its sources"
+    assert all(not segment_exists(n) for n in recorder.names)
+
+
+def test_sweep_shared_vs_inline_bit_identical(tmp_path, graph):
+    path = tmp_path / "g.txt"
+    write_edge_list(graph, path)
+    base = SweepSpec(sources=(str(path),),
+                     methods=("gps-in-stream", "triest"),
+                     budgets=(40, 60), runs=2, workers=0)
+    inline = run_sweep(base)
+    pooled = run_sweep(base.replace(workers=1))
+    for a, b in zip(inline.cells, pooled.cells):
+        assert a.key == b.key
+        for name in a.metrics:
+            assert a.metrics[name].mean == b.metrics[name].mean
+            assert a.metrics[name].variance == b.metrics[name].variance
+
+
+def test_label_reading_method_refuses_interned_dispatch(graph, monkeypatch):
+    """A method registered with reads_labels=True must keep labels."""
+    import repro.api.registry as registry
+
+    from repro.baselines.triest import TriestBase
+
+    @registry.register_method(
+        "label-reader-test", description="test-only", reads_labels=True
+    )
+    def _make(budget, stream_length, seed):
+        return TriestBase(budget, seed=seed)
+
+    try:
+        runner = ReplicatedRunner(
+            graph, capacity=50, replications=2, max_workers=0,
+            method="label-reader-test",
+        )
+        assert runner.interner is None
+        assert runner.resolved_dispatch() == "pickle"
+        with pytest.raises(ValueError, match="label-free"):
+            ReplicatedRunner(
+                graph, capacity=50, replications=2,
+                method="label-reader-test", dispatch="shared",
+            )
+        # The sweep fan-out gate sees it too.
+        spec = SweepSpec(sources=("whatever.txt",),
+                         methods=("label-reader-test", "triest"))
+        assert not sweep_module._grid_label_free(spec)
+        assert sweep_module._grid_label_free(
+            spec.replace(methods=("triest",))
+        )
+    finally:
+        registry._METHODS.pop("label-reader-test", None)
