@@ -34,9 +34,10 @@ from repro.core.compact import CompactInStreamEstimator
 from repro.core.estimates import GraphEstimates
 from repro.core.in_stream import InStreamEstimator
 from repro.core.post_stream import PostStreamEstimator
-from repro.core.weights import WeightFunction
+from repro.core.weights import WeightFunction, is_label_free
 from repro.engine.replication import MetricSummary, ReplicatedRunner
 from repro.engine.stream_engine import EngineStats, StreamEngine
+from repro.streams.chunks import DEFAULT_CHUNK_SIZE
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.exact import ExactStreamCounter
 from repro.graph.io import iter_edge_list
@@ -119,6 +120,12 @@ class RunReport:
     threshold: Optional[float] = None
     in_stream: Optional[GraphEstimates] = None
     post_stream: Optional[GraphEstimates] = None
+    #: The pipeline that actually drove the pass: ``"chunked"`` only
+    #: when the counter, weight and stream all supported the columnar
+    #: gate; a spec asking for chunked may legitimately report
+    #: ``"scalar"`` (label-reading weight, non-int labels, estimator
+    #: counters …).  Results are bit-identical either way.
+    pipeline: str = "scalar"
     counter: Any = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
@@ -149,6 +156,7 @@ class RunReport:
             "workers": self.workers,
             "sample_size": self.sample_size,
             "threshold": self.threshold,
+            "pipeline": self.pipeline,
         }
         if self.tracking:
             out["tracking"] = [
@@ -216,6 +224,7 @@ class RunReport:
             workers=data.get("workers", 0),
             sample_size=data.get("sample_size"),
             threshold=data.get("threshold"),
+            pipeline=data.get("pipeline", "scalar"),
         )
 
     @property
@@ -288,6 +297,40 @@ def _resolve_weight(
     return requested
 
 
+def _chunk_size_for(
+    spec: RunSpec,
+    method: MethodSpec,
+    weight_fn: Optional[WeightFunction],
+    counter: Any,
+    stream: EdgeStream,
+) -> Optional[int]:
+    """The engine chunk size for this pass, or ``None`` for scalar.
+
+    The chunked pipeline engages only when every layer consents: the
+    spec asked for it, neither the method nor the weight reads node
+    labels (mirroring the ``is_label_free`` gate of the shared-memory
+    dispatch — a label-reading configuration must see the stream's
+    original tuples), the counter's admission gate is actually
+    vectorised (``chunk_vectorized``; false for e.g. the in-stream
+    estimator, whose per-arrival snapshot leaves nothing to gate), and
+    the stream columnarises — its labels already are int32 ints, so no
+    relabelling ever happens on this path and samples, checkpoints and
+    reports stay label-faithful.  Every fallback is bit-identical,
+    just scalar-speed.
+    """
+    if spec.pipeline != "chunked":
+        return None
+    if method.reads_labels:
+        return None
+    if weight_fn is not None and not is_label_free(weight_fn):
+        return None
+    if not getattr(counter, "chunk_vectorized", False):
+        return None
+    if stream.columnar() is None:
+        return None
+    return DEFAULT_CHUNK_SIZE
+
+
 def _lazy_file_stream(spec: RunSpec, method: MethodSpec, graph: Optional[Any]):
     """A lazy edge iterator when nothing forces materialisation, else None.
 
@@ -352,6 +395,9 @@ def run(
 
     lazy = _lazy_file_stream(spec, method, graph)
     if lazy is not None:
+        # A lazy source cannot be pre-validated for the columnar gate
+        # (a mid-stream fallback would have to replay consumed edges),
+        # so the unpermuted file pass always drives scalar.
         counter = method.make(
             spec.budget, 0, spec.sampler_seed, weight_fn=resolved_weight,
             core=spec.core,
@@ -371,11 +417,15 @@ def run(
         spec.budget, len(stream), spec.sampler_seed, weight_fn=resolved_weight,
         core=spec.core,
     )
+    chunk_size = _chunk_size_for(spec, method, resolved_weight, counter, stream)
     if spec.checkpoints > 0:
-        return _run_tracking(spec, method, counter, stream, include_post)
-    stats = StreamEngine(counter).run(stream)
+        return _run_tracking(
+            spec, method, counter, stream, include_post, chunk_size
+        )
+    stats = StreamEngine(counter, chunk_size=chunk_size).run(stream)
     return _finish_report(
-        spec, mode="single", method=method, counter=counter, stats=stats
+        spec, mode="single", method=method, counter=counter, stats=stats,
+        pipeline="chunked" if chunk_size else "scalar",
     )
 
 
@@ -432,6 +482,7 @@ def _run_replicated(
         base_sampler_seed=spec.sampler_seed,
         method=spec.method,
         core=spec.core,
+        pipeline=spec.pipeline,
     )
     started = time.perf_counter()
     summary = runner.run()
@@ -448,6 +499,7 @@ def _run_replicated(
         edges_per_second=total / elapsed if elapsed > 0 else float("inf"),
         replications=summary.num_replications,
         workers=summary.workers,
+        pipeline=summary.pipeline,
     )
 
 
@@ -457,6 +509,7 @@ def _run_tracking(
     counter: Any,
     stream: EdgeStream,
     include_post: bool,
+    chunk_size: Optional[int] = None,
 ) -> RunReport:
     exact = ExactStreamCounter()
     points: List[TrackPoint] = []
@@ -479,7 +532,7 @@ def _run_tracking(
             )
         )
 
-    engine = StreamEngine(counter, companions=(exact,))
+    engine = StreamEngine(counter, companions=(exact,), chunk_size=chunk_size)
     stats = engine.run(
         stream,
         checkpoints=stream.checkpoints(spec.checkpoints),
@@ -488,6 +541,7 @@ def _run_tracking(
     return _finish_report(
         spec, mode="track", method=method, counter=counter, stats=stats,
         tracking=tuple(points),
+        pipeline="chunked" if chunk_size else "scalar",
     )
 
 
@@ -499,6 +553,7 @@ def _finish_report(
     counter: Any,
     stats: EngineStats,
     tracking: Tuple[TrackPoint, ...] = (),
+    pipeline: str = "scalar",
 ) -> RunReport:
     sampler = getattr(counter, "sampler", None)
     in_stream = (
@@ -530,6 +585,7 @@ def _finish_report(
         threshold=sampler.threshold if sampler is not None else None,
         in_stream=in_stream,
         post_stream=post_stream,
+        pipeline=pipeline,
         counter=counter,
     )
 

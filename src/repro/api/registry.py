@@ -408,6 +408,24 @@ class GpsPostStreamAdapter:
         return self.sampler.process_many(edges)
 
     @property
+    def chunk_vectorized(self) -> bool:
+        """Whether the wrapped core gates columnar blocks vectorised."""
+        return getattr(self.sampler, "chunk_vectorized", False)
+
+    def process_chunk(self, us, vs) -> int:
+        """Columnar block pass-through (scalar adapter on the object core)."""
+        process_chunk = getattr(self.sampler, "process_chunk", None)
+        if process_chunk is not None:
+            return process_chunk(us, vs)
+        from repro.streams.chunks import pairs_from_columns
+
+        return self.sampler.process_many(pairs_from_columns(us, vs))
+
+    def reset(self, seed=None) -> None:
+        """Arena reuse hook; raises when the wrapped core has no reset."""
+        self.sampler.reset(seed)
+
+    @property
     def triangle_estimate(self) -> float:
         return PostStreamEstimator(self.sampler).estimate().triangles.value
 

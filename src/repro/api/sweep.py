@@ -56,6 +56,7 @@ from repro.api.ground_truth import (
 from repro.api.spec import RunSpec
 from repro.core.compact import CORES, DEFAULT_CORE
 from repro.core.weights import is_label_free
+from repro.engine.stream_engine import DEFAULT_PIPELINE, PIPELINES
 from repro.engine.replication import MetricSummary, default_max_workers
 from repro.engine.shared_edges import (
     SharedEdgePopulation,
@@ -127,6 +128,10 @@ class SweepSpec:
         GPS reservoir core threaded into every cell's :class:`RunSpec`
         (``"compact"`` default / ``"object"`` reference); bit-identical
         results, so purely a performance switch.
+    pipeline:
+        Stream pipeline threaded into every cell (``"chunked"`` default
+        / ``"scalar"``); cells whose method/weight cannot use the
+        columnar gate fall back per cell, bit-identically.
     overrides:
         Per-source axis overrides, ``{source: {axis: value}}`` with axes
         from ``budgets``/``methods``/``weights``/``runs`` — e.g. give one
@@ -154,6 +159,7 @@ class SweepSpec:
     budget_policy: str = "keep"
     workers: Optional[int] = None
     core: str = DEFAULT_CORE
+    pipeline: str = DEFAULT_PIPELINE
     overrides: Any = ()
 
     def __post_init__(self) -> None:
@@ -185,6 +191,10 @@ class SweepSpec:
         if self.core not in CORES:
             raise ValueError(
                 f"core must be one of {CORES}, got {self.core!r}"
+            )
+        if self.pipeline not in PIPELINES:
+            raise ValueError(
+                f"pipeline must be one of {PIPELINES}, got {self.pipeline!r}"
             )
         known = set(self.sources)
         for source, axes in self.overrides:
@@ -369,6 +379,7 @@ def _make_cell(key: CellKey, runs: int, sweep: SweepSpec) -> SweepCell:
                 sampler_seed=sweep.base_sampler_seed + i,
                 checkpoints=sweep.checkpoints,
                 core=sweep.core,
+                pipeline=sweep.pipeline,
             )
             for i in range(runs)
         ),

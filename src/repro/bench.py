@@ -16,6 +16,12 @@ Every payload carries the same envelope — ``benchmark``, ``mode``
   repeats with the GC collected between runs (allocation pressure from
   a previous measurement otherwise taxes the next one).  The two cores
   are asserted bit-identical under a shared seed before timing counts.
+  A second ladder measures the **chunked pipeline** (columnar blocks
+  through the vectorised uniform-weight admission gate) against the
+  scalar compact and object cores over a chunk-size axis, on a
+  steady-state stream (budget ≪ stream length — the regime GPS runs in
+  and the gate targets) *and* on the legacy admit-heavy envelope, with
+  the same shared-seed identity assert.
 * **replication** measures worker fan-out setup vs graph size: the
   bytes and serialisation time of the legacy pickled per-worker payload
   (linear in |K|) against the shared-memory publish/attach path, whose
@@ -91,6 +97,29 @@ def _best_rate(
     return best
 
 
+def _best_chunked_rate(
+    make_counter: Callable[[], object],
+    columns,
+    chunk_size: int,
+    repeats: int,
+) -> float:
+    """Best-of-``repeats`` edges/sec through ``process_chunk`` blocks."""
+    u, v = columns
+    n = len(u)
+    best = 0.0
+    for _ in range(repeats):
+        gc.collect()
+        counter = make_counter()
+        process_chunk = counter.process_chunk
+        started = time.perf_counter()
+        for at in range(0, n, chunk_size):
+            process_chunk(u[at:at + chunk_size], v[at:at + chunk_size])
+        elapsed = time.perf_counter() - started
+        best = max(best, n / elapsed)
+        del counter
+    return best
+
+
 # ----------------------------------------------------------------------
 # engine
 # ----------------------------------------------------------------------
@@ -144,12 +173,110 @@ def bench_engine(quick: bool, repeats: Optional[int] = None) -> Dict:
             f"{name:<9} compact {fast:>12,.0f} e/s   "
             f"object {slow:>12,.0f} e/s   speedup {fast / slow:.2f}x"
         )
+    results["chunked_uniform"] = _bench_chunked(quick, repeats)
     return _envelope(
         "engine", quick,
         params={"stream_edges": len(edges), "capacity": capacity,
                 "repeats": repeats},
         results=results,
     )
+
+
+def _bench_chunked(quick: bool, repeats: int) -> Dict:
+    """The chunked-pipeline ladder: chunked vs compact vs object.
+
+    Measured on two uniform-weight workloads: the *steady-state* regime
+    (budget ≪ stream length, where arrivals are overwhelmingly
+    rejections — the population the vectorised gate screens out in bulk)
+    and the legacy admit-heavy envelope the historical compact/object
+    numbers use, so both ends of the admission-rate spectrum stay on
+    record.  Chunked results are asserted bit-identical to the scalar
+    compact core under the shared seed before timing counts.
+    """
+    from repro.core.compact import CompactGraphPrioritySampler
+    from repro.core.priority_sampler import GraphPrioritySampler
+    from repro.core.weights import UniformWeight
+    from repro.graph.generators import chung_lu
+    from repro.streams.chunks import DEFAULT_CHUNK_SIZE
+    from repro.streams.stream import EdgeStream
+
+    if quick:
+        regimes = [("steady_state", chung_lu(8_000, 40_000, exponent=2.3,
+                                             seed=43), 1_000)]
+        chunk_sizes = [DEFAULT_CHUNK_SIZE]
+    else:
+        regimes = [
+            ("steady_state", chung_lu(40_000, 200_000, exponent=2.3,
+                                      seed=43), 4_000),
+            ("admit_heavy", chung_lu(10_000, 50_000, exponent=2.3,
+                                     seed=42), 4_000),
+        ]
+        chunk_sizes = [4096, 8192, DEFAULT_CHUNK_SIZE, 32768]
+
+    out: Dict[str, Dict] = {}
+    for regime, graph, capacity in regimes:
+        stream = EdgeStream.from_graph(graph, seed=0)
+        edges = list(stream)
+        columns = stream.columnar()
+
+        scalar = CompactGraphPrioritySampler(
+            capacity, weight_fn=UniformWeight(), seed=11
+        )
+        scalar.process_many(edges)
+        chunked = CompactGraphPrioritySampler(
+            capacity, weight_fn=UniformWeight(), seed=11
+        )
+        for at in range(0, len(edges), DEFAULT_CHUNK_SIZE):
+            chunked.process_chunk(columns[0][at:at + DEFAULT_CHUNK_SIZE],
+                                  columns[1][at:at + DEFAULT_CHUNK_SIZE])
+        assert chunked.threshold == scalar.threshold
+        assert (
+            chunked.normalized_probabilities()
+            == scalar.normalized_probabilities()
+        )
+        del scalar, chunked
+
+        compact_rate = _best_rate(
+            lambda: CompactGraphPrioritySampler(
+                capacity, weight_fn=UniformWeight(), seed=7
+            ),
+            edges, repeats,
+        )
+        object_rate = _best_rate(
+            lambda: GraphPrioritySampler(
+                capacity, weight_fn=UniformWeight(), seed=7
+            ),
+            edges, repeats,
+        )
+        axis = {
+            str(chunk): round(_best_chunked_rate(
+                lambda: CompactGraphPrioritySampler(
+                    capacity, weight_fn=UniformWeight(), seed=7
+                ),
+                columns, chunk, repeats,
+            ), 1)
+            for chunk in chunk_sizes
+        }
+        chunked_rate = max(axis.values())
+        out[regime] = {
+            "stream_edges": len(edges),
+            "capacity": capacity,
+            "chunked_edges_per_sec": chunked_rate,
+            "compact_edges_per_sec": round(compact_rate, 1),
+            "object_edges_per_sec": round(object_rate, 1),
+            "chunk_size_axis": axis,
+            "default_chunk_size": DEFAULT_CHUNK_SIZE,
+            "speedup_vs_compact": round(chunked_rate / compact_rate, 3),
+            "speedup_vs_object": round(chunked_rate / object_rate, 3),
+        }
+        print(
+            f"chunked [{regime}] |K|={len(edges):,} m={capacity}: "
+            f"chunked {chunked_rate:>12,.0f} e/s   "
+            f"compact {compact_rate:>12,.0f} e/s   "
+            f"object {object_rate:>12,.0f} e/s   "
+            f"({chunked_rate / compact_rate:.2f}x vs compact)"
+        )
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -42,6 +42,11 @@ import random
 from heapq import heappush, heapreplace
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+try:  # pragma: no cover - numpy is a declared dependency, but the
+    import numpy as _np  # scalar loops stay fully functional without it
+except ImportError:  # pragma: no cover
+    _np = None
+
 from repro.core.estimates import GraphEstimates
 from repro.core.records import EdgeRecord
 from repro.core.weights import (
@@ -63,6 +68,13 @@ _W_GENERIC = 0
 _W_UNIFORM = 1
 _W_TRIANGLE = 2
 _W_WEDGE = 3
+
+# Canonical-edge packing for the chunk screen: code = min·2³² + max.
+# Sound only for labels in [0, 2³¹) — dense interned ids and the
+# synthetic generators always are; anything else falls back to the
+# scalar loop (addition, not bit-ors, so the maths stays exact).
+_CODE_BASE = 2**32
+_CODE_LIMIT = 2**31
 
 
 def _classify_weight(weight_fn: WeightFunction) -> Tuple[int, float, float]:
@@ -250,7 +262,15 @@ class CompactGraphPrioritySampler:
         "_duplicates",
         "_self_loops",
         "_view",
+        "_slot_codes",
+        "_codes_stale",
+        "_mt",
+        "_mt_rs",
     )
+
+    #: Below this many draws the list comprehension beats the MT19937
+    #: state-transplant fixed cost (~170 µs per bulk call).
+    _BULK_DRAW_MIN = 2048
 
     def __init__(
         self,
@@ -281,6 +301,38 @@ class CompactGraphPrioritySampler:
         self._duplicates = 0
         self._self_loops = 0
         self._view = CompactSample(self)
+        # Per-slot canonical-edge codes for the chunked screen: built
+        # lazily on the first process_chunk, maintained by its admits,
+        # and invalidated whenever a scalar loop may have touched slots.
+        self._slot_codes = None
+        self._codes_stale = True
+        # Lazily-built numpy MT19937 twin of self._rng for bulk draws.
+        self._mt = None
+        self._mt_rs = None
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Restore freshly-constructed state (same capacity and weight).
+
+        Bit-identical to building a new sampler with the same
+        ``(capacity, weight_fn, seed)``: the RNG is reseeded, the heap,
+        adjacency and counters are cleared, and the slot arrays are
+        reused in place — the reuse that keeps replication-worker
+        arenas warm across tasks (:mod:`repro.engine.replication`).
+
+        >>> sampler = CompactGraphPrioritySampler(capacity=4, seed=1)
+        >>> sampler.process_many([(0, 1), (1, 2)])
+        2
+        >>> sampler.reset(seed=1); sampler.sample_size, sampler.stream_position
+        (0, 0)
+        """
+        self._rng.seed(seed)
+        self._adj.clear()
+        del self._heap._heap[:]
+        self._threshold = 0.0
+        self._arrivals = 0
+        self._duplicates = 0
+        self._self_loops = 0
+        self._codes_stale = True
 
     # ------------------------------------------------------------------
     # Stream processing (procedure GPSUpdate, slot edition)
@@ -302,6 +354,9 @@ class CompactGraphPrioritySampler:
         of every per-arrival branch and Python call from the common
         configurations.
         """
+        # Scalar admits don't maintain the chunk screen's slot codes;
+        # the next process_chunk rebuilds them once.
+        self._codes_stale = True
         wkind = self._wkind
         if wkind == _W_TRIANGLE:
             return self._process_many_triangle(edges)
@@ -662,6 +717,294 @@ class CompactGraphPrioritySampler:
         self.process_many(edges)
 
     # ------------------------------------------------------------------
+    # Chunked (columnar) processing — the vectorised admission pre-pass
+    # ------------------------------------------------------------------
+    @property
+    def chunk_vectorized(self) -> bool:
+        """Whether :meth:`process_chunk` has a vectorised gate here.
+
+        True exactly for the uniform weight family with numpy present:
+        uniform ranks are a pure function of the RNG draw, so a whole
+        block screens against the heap root in a few array operations.
+        The topology-reading families (triangle/wedge/generic) must
+        inspect the evolving sample per arrival — both for admits and
+        for the exact bounced priorities that feed ``z*`` — so their
+        scalar family-specialised loops already are the fast path and
+        :meth:`process_chunk` simply adapts the columnar block.
+        """
+        return _np is not None and self._wkind == _W_UNIFORM
+
+    def process_chunk(self, us, vs) -> int:
+        """Feed one columnar block ``(u column, v column)`` of arrivals.
+
+        Bit-exact equivalent of ``process_many(zip(us, vs))`` — same
+        uniform draws in the same order, same float operations, same
+        dict mutation sequences — taken the vectorised way when
+        :attr:`chunk_vectorized` holds and the block is *clean* (no
+        self-loops, no within-block repeats, no edge already sampled);
+        anything else falls back to the scalar loop for that block.
+
+        The vectorised gate exploits two structural facts of GPS order
+        sampling: once the reservoir is full its heap root is
+        non-decreasing, so every arrival whose rank fails the root *at
+        block start* is a guaranteed loser wherever it sits in the
+        block; and losers never mutate the reservoir — their only trace
+        is a max-fold of their priorities into the threshold ``z*``,
+        which is order-independent.  So one boolean mask routes just
+        the block's survivors into the scalar admit-or-evict path.
+
+        >>> sampler = CompactGraphPrioritySampler(capacity=2, seed=7)
+        >>> import numpy as np
+        >>> sampler.process_chunk(np.array([1, 2, 1], dtype=np.int32),
+        ...                       np.array([2, 3, 3], dtype=np.int32))
+        3
+        >>> sampler.sample_size
+        2
+        """
+        n = len(us)
+        if len(vs) != n:
+            raise ValueError("u and v columns must have equal length")
+        if n == 0:
+            return 0
+        if _np is None or self._wkind != _W_UNIFORM:
+            return self._process_chunk_scalar(us, vs)
+        return self._process_chunk_uniform(
+            _np.asarray(us), _np.asarray(vs), n
+        )
+
+    def _process_chunk_scalar(self, us, vs) -> int:
+        """Columnar block → scalar loop (plain-int pairs, bit-identical)."""
+        from repro.streams.chunks import pairs_from_columns
+
+        return self.process_many(pairs_from_columns(us, vs))
+
+    def _bulk_uniforms(self, n: int):
+        """``n`` doubles bit-identical to ``n`` ``self._rng.random()`` calls.
+
+        CPython's :class:`random.Random` and numpy's legacy
+        ``RandomState`` share both the MT19937 core and the 53-bit
+        double construction ``((a >> 5)·2²⁶ + (b >> 6)) / 2⁵³``, so the
+        624-word Mersenne state can be transplanted into numpy, the
+        block drawn in one C call, and the advanced state transplanted
+        back — ``self._rng`` stays the single authoritative generator
+        (checkpointing and scalar interludes read it directly) while
+        the per-draw Python call disappears.  Below
+        :data:`_BULK_DRAW_MIN` draws the transplant's fixed cost loses
+        to a plain list comprehension, which is used instead.
+        """
+        rng = self._rng
+        if n < self._BULK_DRAW_MIN:
+            rand = rng.random
+            return _np.array([rand() for _ in range(n)])
+        version, internal, gauss = rng.getstate()
+        mt = self._mt
+        if mt is None:
+            mt = self._mt = _np.random.MT19937()
+            self._mt_rs = _np.random.RandomState(mt)
+        mt.state = {
+            "bit_generator": "MT19937",
+            "state": {
+                "key": _np.asarray(internal[:-1], dtype=_np.uint32),
+                "pos": internal[-1],
+            },
+        }
+        out = self._mt_rs.random_sample(n)
+        advanced = mt.state["state"]
+        rng.setstate((
+            version,
+            tuple(advanced["key"].tolist()) + (int(advanced["pos"]),),
+            gauss,
+        ))
+        return out
+
+    def _rebuild_slot_codes(self, size: int) -> bool:
+        """Recompute every live slot's canonical code; False = can't.
+
+        Runs once after any scalar interlude (process_many marks the
+        codes stale).  Fails — sending the caller to the scalar loop —
+        when a sampled label is not an int in ``[0, 2³¹)``.
+        """
+        codes = self._slot_codes
+        if codes is None:
+            codes = self._slot_codes = _np.empty(
+                self._capacity, dtype=_np.int64
+            )
+        su = self._su
+        sv = self._sv
+        for s in range(size):
+            u = su[s]
+            v = sv[s]
+            if type(u) is not int or type(v) is not int:
+                return False
+            if not (0 <= u < _CODE_LIMIT and 0 <= v < _CODE_LIMIT):
+                return False
+            codes[s] = (
+                u * _CODE_BASE + v if u < v else v * _CODE_BASE + u
+            )
+        self._codes_stale = False
+        return True
+
+    def _process_chunk_uniform(self, us, vs, n: int) -> int:
+        """The vectorised uniform-weight gate (see :meth:`process_chunk`)."""
+        heap_arr = self._heap._heap
+        size = len(heap_arr)
+        # --- screen: only clean int blocks take the vectorised path ---
+        if us.dtype.kind != "i" or vs.dtype.kind != "i":
+            return self._process_chunk_scalar(us, vs)
+        lo = _np.minimum(us, vs)
+        hi = _np.maximum(us, vs)
+        if int(lo.min()) < 0 or int(hi.max()) >= _CODE_LIMIT:
+            return self._process_chunk_scalar(us, vs)
+        if bool((lo == hi).any()):  # self-loops present
+            return self._process_chunk_scalar(us, vs)
+        codes = lo.astype(_np.int64) * _CODE_BASE + hi
+        ordered = _np.sort(codes)
+        if bool((ordered[1:] == ordered[:-1]).any()):
+            # An edge repeats within the block.
+            return self._process_chunk_scalar(us, vs)
+        if size:
+            if self._codes_stale and not self._rebuild_slot_codes(size):
+                return self._process_chunk_scalar(us, vs)
+            live = self._slot_codes[:size]
+            pos = _np.searchsorted(ordered, live)
+            inside = pos < n
+            if bool(inside.any()) and bool(
+                (ordered[pos[inside]] == live[inside]).any()
+            ):  # a block edge is currently sampled (would be a duplicate)
+                return self._process_chunk_scalar(us, vs)
+        elif self._codes_stale:
+            if self._slot_codes is None:
+                self._slot_codes = _np.empty(
+                    self._capacity, dtype=_np.int64
+                )
+            self._codes_stale = False  # empty reservoir: nothing stale
+
+        adj = self._adj
+        adj_get = adj.get
+        su = self._su
+        sv = self._sv
+        wts = self._weight
+        prio = self._priority
+        arr = self._arrival
+        cov_tri = self._cov_tri
+        cov_wedge = self._cov_wedge
+        slot_codes = self._slot_codes
+        hpush = heappush
+        hreplace = heapreplace
+        rand = self._rng.random
+        capacity = self._capacity
+        constant = self._wdefault
+        threshold = self._threshold
+        arrivals = self._arrivals
+
+        # --- fill phase: below capacity every clean arrival admits ----
+        start = 0
+        if size < capacity:
+            fill = min(capacity - size, n)
+            u_fill = us[:fill].tolist()
+            v_fill = vs[:fill].tolist()
+            code_fill = codes[:fill].tolist()
+            for i in range(fill):
+                u = u_fill[i]
+                v = v_fill[i]
+                arrivals += 1
+                r = constant / (1.0 - rand())
+                s = size
+                size += 1
+                su[s] = u
+                sv[s] = v
+                wts[s] = constant
+                prio[s] = r
+                arr[s] = arrivals
+                cov_tri[s] = 0.0
+                cov_wedge[s] = 0.0
+                slot_codes[s] = code_fill[i]
+                nu = adj_get(u)
+                if nu is None:
+                    adj[u] = {v: s}
+                else:
+                    nu[v] = s
+                nv = adj_get(v)
+                if nv is None:
+                    adj[v] = {u: s}
+                else:
+                    nv[u] = s
+                hpush(heap_arr, (r, s))
+            start = fill
+            if start == n:
+                self._threshold = threshold
+                self._arrivals = arrivals
+                return n
+
+        # --- vectorised gate over the full-reservoir remainder --------
+        rest = n - start
+        ranks = constant / (1.0 - self._bulk_uniforms(rest))
+        root_prio = heap_arr[0][0]
+        mask = ranks > root_prio
+        survivors = _np.flatnonzero(mask)
+        loser_max = None
+        if survivors.size < rest:
+            loser_max = float(ranks[~mask].max())
+        base = arrivals  # arrival index of block edge i is base + i + 1
+        # Batch-extract the survivors' fields once: per-item numpy
+        # scalar indexing inside the loop would cost more than the
+        # admit itself, and tolist() yields plain Python ints/floats —
+        # the exact values the scalar loop would have computed.
+        surv_idx = survivors.tolist()
+        surv_r = ranks[survivors].tolist()
+        abs_idx = survivors + start
+        surv_u = us[abs_idx].tolist()
+        surv_v = vs[abs_idx].tolist()
+        surv_code = codes[abs_idx].tolist()
+        for k in range(len(surv_idx)):
+            r = surv_r[k]
+            if root_prio < r:
+                s = heap_arr[0][1]
+                if root_prio > threshold:
+                    threshold = root_prio
+                eu = su[s]
+                ev = sv[s]
+                d = adj[eu]
+                del d[ev]
+                if not d:
+                    del adj[eu]
+                d = adj[ev]
+                del d[eu]
+                if not d:
+                    del adj[ev]
+                u = surv_u[k]
+                v = surv_v[k]
+                su[s] = u
+                sv[s] = v
+                wts[s] = constant
+                prio[s] = r
+                arr[s] = base + surv_idx[k] + 1
+                cov_tri[s] = 0.0
+                cov_wedge[s] = 0.0
+                slot_codes[s] = surv_code[k]
+                nu = adj_get(u)
+                if nu is None:
+                    adj[u] = {v: s}
+                else:
+                    nu[v] = s
+                nv = adj_get(v)
+                if nv is None:
+                    adj[v] = {u: s}
+                else:
+                    nv[u] = s
+                hreplace(heap_arr, (r, s))
+                root_prio = heap_arr[0][0]
+            elif r > threshold:
+                # A block survivor outpaced by an earlier admit: a
+                # bounce, exactly as the scalar loop would score it.
+                threshold = r
+        if loser_max is not None and loser_max > threshold:
+            threshold = loser_max
+        self._threshold = threshold
+        self._arrivals = base + rest
+        return n
+
+    # ------------------------------------------------------------------
     # Sample access and HT normalisation (procedure GPSNormalize)
     # ------------------------------------------------------------------
     @property
@@ -826,6 +1169,7 @@ class CompactInStreamEstimator:
         number of edges consumed (including skipped arrivals).
         """
         sampler = self._sampler
+        sampler._codes_stale = True  # this loop admits past the screen
         adj = sampler._adj
         adj_get = adj.get
         su = sampler._su
@@ -1059,6 +1403,30 @@ class CompactInStreamEstimator:
 
     def process_stream(self, edges: Iterable[Tuple[Node, Node]]) -> None:
         self.process_many(edges)
+
+    #: Algorithm 3 snapshots every arrival against the live adjacency —
+    #: winners and losers alike contribute wedge/triangle closures — so
+    #: there is no loser population a vectorised gate could skip.
+    chunk_vectorized = False
+
+    def process_chunk(self, us, vs) -> int:
+        """Columnar block → the fused scalar loop (bit-exact adapter).
+
+        Exists so chunk-producing drivers can feed either counter shape;
+        see :attr:`chunk_vectorized` for why no gate applies here.
+        """
+        from repro.streams.chunks import pairs_from_columns
+
+        return self.process_many(pairs_from_columns(us, vs))
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Restore freshly-constructed state (see the sampler's reset)."""
+        self._sampler.reset(seed)
+        self._triangles = 0.0
+        self._triangle_var = 0.0
+        self._wedges = 0.0
+        self._wedge_var = 0.0
+        self._cross_cov = 0.0
 
     def track(
         self,

@@ -21,10 +21,19 @@ from repro.engine.shared_edges import (
     SharedEdgePopulation,
     shared_memory_available,
 )
-from repro.engine.stream_engine import EngineStats, StreamEngine
+from repro.engine.stream_engine import (
+    DEFAULT_PIPELINE,
+    PIPELINES,
+    EngineStats,
+    StreamEngine,
+    validate_pipeline,
+)
 
 __all__ = [
+    "DEFAULT_PIPELINE",
+    "PIPELINES",
     "EngineStats",
+    "validate_pipeline",
     "MetricSummary",
     "ReplicatedRunner",
     "ReplicatedSummary",

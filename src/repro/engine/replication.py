@@ -33,6 +33,17 @@ methods registered with ``reads_labels=True``.
 results are identical (each replication is deterministic given its seed
 pair), which the test suite exploits.
 
+Two further per-worker reuses keep replication setup flat: each process
+holds a **warm arena** (:class:`_WorkerArena`) — the compact GPS
+counters expose ``reset(seed)`` restoring freshly-constructed state
+bit-identically, so slot arrays, heap and adjacency are allocated once
+and reused across every task — and the population is held as a lazy
+dual view (:class:`_Population`) whose columnar ``int32`` shape feeds
+the chunked pipeline (``pipeline="chunked"``, the default): workers
+shuffle an index permutation (the same Fisher–Yates RNG consumption as
+shuffling tuples), gather the columns, and drive
+``process_chunk`` blocks through the vectorised admission gate.
+
 This pool parallelises *within one configuration* (R replications of a
 single ``(source, method, budget, weight)``).  Grids of configurations
 are the :mod:`repro.api.sweep` layer's job: its shared pool
@@ -55,10 +66,20 @@ from repro.engine.shared_edges import (
     SharedEdgePopulation,
     shared_memory_available,
 )
+from repro.engine.stream_engine import (
+    DEFAULT_PIPELINE,
+    PIPELINES,
+    validate_pipeline,
+)
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.edge import Node
 from repro.stats.confidence import confidence_interval
 from repro.stats.running import RunningMoments
+from repro.streams.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    columnar_or_none,
+    numpy_or_none,
+)
 from repro.streams.interner import NodeInterner
 from repro.streams.stream import EdgeStream
 
@@ -175,6 +196,9 @@ class ReplicatedSummary:
     workers: int
     method: str = DEFAULT_METHOD
     dispatch: str = "inline"
+    #: The pipeline replications actually drove (``"scalar"`` when the
+    #: configuration cannot use the columnar gate, whatever was asked).
+    pipeline: str = "scalar"
 
     @property
     def num_replications(self) -> int:
@@ -202,13 +226,132 @@ class ReplicatedSummary:
 class _ReplicationTask:
     """Everything a worker process needs (must stay picklable)."""
 
-    edges: Tuple[Edge, ...]
+    edges: Sequence[Edge]
     capacity: int
     weight_fn: Optional[WeightFunction]
     stream_seed: int
     sampler_seed: int
     method: str = DEFAULT_METHOD
     core: str = DEFAULT_CORE
+    pipeline: str = DEFAULT_PIPELINE
+
+
+class _Population:
+    """One edge population, viewable as tuples and as int32 columns.
+
+    Both views are derived lazily and cached, so a worker on the
+    chunked pipeline never materialises Python tuples (its population
+    arrives as columns straight from the shared segment) while a worker
+    driving a tuple-only method never pays the columnar conversion —
+    and either way the conversion happens once per process, not per
+    replication.
+    """
+
+    __slots__ = ("_edges", "_columns", "_columns_tried")
+
+    def __init__(self, edges=None, columns=None) -> None:
+        if edges is None and columns is None:
+            raise ValueError("a population needs edges or columns")
+        self._edges = edges
+        self._columns = columns
+        self._columns_tried = columns is not None
+
+    def __len__(self) -> int:
+        if self._edges is not None:
+            return len(self._edges)
+        return len(self._columns[0])
+
+    def __iter__(self):
+        return iter(self.tuples())
+
+    def tuples(self) -> Sequence[Edge]:
+        """The population as ``(u, v)`` tuples of plain Python ints."""
+        if self._edges is None:
+            u, v = self._columns
+            self._edges = list(zip(u.tolist(), v.tolist()))
+        return self._edges
+
+    def columns(self):
+        """``(u, v)`` int32 columns, or ``None`` when not int-labelled."""
+        if not self._columns_tried:
+            self._columns_tried = True
+            self._columns = columnar_or_none(self._edges)
+        return self._columns
+
+
+class _WorkerArena:
+    """Per-process reusable state: a warm counter plus its population.
+
+    Replication tasks within one pool share ``(method, capacity,
+    weight_fn, core)``, and the compact GPS counters expose ``reset``
+    restoring freshly-constructed state bit-identically — so the slot
+    arrays, heap list, adjacency dict and chunk buffers are allocated
+    once per process and reused across every replication instead of
+    being rebuilt per task.  Counters without ``reset`` (the object
+    core, the baselines) are simply rebuilt; the arena then only
+    caches the population's columnar view.
+    """
+
+    __slots__ = (
+        "method", "capacity", "core", "weight_fn", "counter", "resettable",
+    )
+
+    def __init__(self, method, capacity, core, weight_fn, counter) -> None:
+        self.method = method
+        self.capacity = capacity
+        self.core = core
+        self.weight_fn = weight_fn
+        self.counter = counter
+        self.resettable = hasattr(counter, "reset")
+
+
+_ARENA: Optional[_WorkerArena] = None
+
+
+def _release_arena() -> None:
+    """Drop the warm arena (inline runs call this so the main process
+    does not retain capacity-sized arrays after a study finishes;
+    worker arenas die with their pool)."""
+    global _ARENA
+    _ARENA = None
+
+
+def _acquire_counter(task: _ReplicationTask, stream_length: int):
+    """A counter for ``task`` — arena-reset when possible, else fresh.
+
+    The weight function is compared by identity (the arena holds the
+    reference, so the check cannot alias a recycled object); any
+    configuration mismatch rebuilds the arena.
+    """
+    global _ARENA
+    arena = _ARENA
+    matches = (
+        arena is not None
+        and arena.method == task.method
+        and arena.capacity == task.capacity
+        and arena.core == task.core
+        and arena.weight_fn is task.weight_fn
+    )
+    if matches and arena.resettable:
+        try:
+            arena.counter.reset(task.sampler_seed)
+            return arena.counter
+        except AttributeError:
+            # A wrapper advertised reset but its inner counter has none
+            # (gps-post over the object core); the memo below makes the
+            # probe happen once per configuration, not once per task.
+            arena.resettable = False
+    counter = _get_method(task.method).make(
+        task.capacity, stream_length, task.sampler_seed,
+        weight_fn=task.weight_fn, core=task.core,
+    )
+    if matches:
+        arena.counter = counter  # keep the arena (and its memo)
+    else:
+        _ARENA = _WorkerArena(
+            task.method, task.capacity, task.core, task.weight_fn, counter
+        )
+    return counter
 
 
 # Shared per-worker state: the edge population is identical across a
@@ -216,7 +359,7 @@ class _ReplicationTask:
 # shared-memory attach (descriptor in the initargs) or, on the legacy
 # pickled path, through the initargs themselves — never per task.
 _WORKER_STATE: Optional[
-    Tuple[Sequence[Edge], int, Optional[WeightFunction], str, str]
+    Tuple[_Population, int, Optional[WeightFunction], str, str, str]
 ] = None
 
 
@@ -226,10 +369,13 @@ def _pool_initializer(
     weight_fn: Optional[WeightFunction],
     method: str,
     core: str,
+    pipeline: str,
 ) -> None:
     """Pickled dispatch: the population arrives serialised per worker."""
     global _WORKER_STATE
-    _WORKER_STATE = (edges, capacity, weight_fn, method, core)
+    _WORKER_STATE = (
+        _Population(edges=edges), capacity, weight_fn, method, core, pipeline,
+    )
 
 
 def _pool_initializer_shared(
@@ -238,45 +384,83 @@ def _pool_initializer_shared(
     weight_fn: Optional[WeightFunction],
     method: str,
     core: str,
+    pipeline: str,
 ) -> None:
-    """Shared dispatch: attach to the published segment and copy out."""
+    """Shared dispatch: attach to the published segment and copy out.
+
+    On the chunked pipeline the attach is columnar — the worker's
+    population lands directly in the ``process_chunk`` input shape and
+    tuples are only ever built if a scalar method asks for them.
+    """
     global _WORKER_STATE
-    edges = SharedEdgePopulation.attach(descriptor)
-    _WORKER_STATE = (edges, capacity, weight_fn, method, core)
+    population = None
+    if pipeline == "chunked" and numpy_or_none() is not None:
+        columns = SharedEdgePopulation.attach_columnar(descriptor)
+        if columns is not None:
+            population = _Population(columns=columns)
+    if population is None:
+        population = _Population(edges=SharedEdgePopulation.attach(descriptor))
+    _WORKER_STATE = (population, capacity, weight_fn, method, core, pipeline)
 
 
 def _run_seed_pair(pair: SeedPair) -> ReplicationResult:
     """Worker entry point: task payload is just the seed pair."""
-    edges, capacity, weight_fn, method, core = _WORKER_STATE
+    population, capacity, weight_fn, method, core, pipeline = _WORKER_STATE
     return _run_replication(
         _ReplicationTask(
-            edges=edges,
+            edges=population,
             capacity=capacity,
             weight_fn=weight_fn,
             stream_seed=pair[0],
             sampler_seed=pair[1],
             method=method,
             core=core,
+            pipeline=pipeline,
         )
     )
 
 
 def _run_replication(task: _ReplicationTask) -> ReplicationResult:
     """One full pass of the task's method; module-level so pools pickle it."""
-    order = list(task.edges)
-    random.Random(task.stream_seed).shuffle(order)
-    spec = _get_method(task.method)
-    counter = spec.make(
-        task.capacity, len(order), task.sampler_seed,
-        weight_fn=task.weight_fn, core=task.core,
+    population = (
+        task.edges if isinstance(task.edges, _Population)
+        else _Population(edges=task.edges)
     )
-    process_many = getattr(counter, "process_many", None)
-    if process_many is not None:
-        process_many(order)
+    n = len(population)
+    counter = _acquire_counter(task, n)
+    columns = None
+    if task.pipeline == "chunked" and getattr(
+        counter, "chunk_vectorized", False
+    ):
+        columns = population.columns()
+    if columns is not None:
+        # Shuffling an index permutation consumes the very same RNG
+        # sequence as shuffling the edge list (Fisher–Yates swaps are
+        # value-blind), so the columnar drive streams the identical
+        # arrival order — and the fancy-indexed gather is vectorised.
+        np = numpy_or_none()
+        perm = list(range(n))
+        random.Random(task.stream_seed).shuffle(perm)
+        idx = np.asarray(perm, dtype=np.intp)
+        us = columns[0][idx]
+        vs = columns[1][idx]
+        process_chunk = counter.process_chunk
+        for at in range(0, n, DEFAULT_CHUNK_SIZE):
+            process_chunk(
+                us[at:at + DEFAULT_CHUNK_SIZE],
+                vs[at:at + DEFAULT_CHUNK_SIZE],
+            )
     else:
-        process = counter.process
-        for u, v in order:
-            process(u, v)
+        order = list(population)
+        random.Random(task.stream_seed).shuffle(order)
+        process_many = getattr(counter, "process_many", None)
+        if process_many is not None:
+            process_many(order)
+        else:
+            process = counter.process
+            for u, v in order:
+                process(u, v)
+    spec = _get_method(task.method)
     sampler = getattr(counter, "sampler", None)
     return ReplicationResult(
         stream_seed=task.stream_seed,
@@ -328,6 +512,12 @@ class ReplicatedRunner:
     core:
         GPS reservoir core for core-aware methods (``"compact"``
         default / ``"object"`` reference); bit-identical results.
+    pipeline:
+        Stream pipeline inside each replication: ``"chunked"``
+        (default) drives columnar blocks through the compact core's
+        vectorised ``process_chunk`` when the counter supports it
+        (uniform-family weights), ``"scalar"`` keeps the tuple loop.
+        Bit-identical results either way — a pure performance switch.
     dispatch:
         How pooled workers receive the edge population: ``"shared"``
         (zero-copy shared memory, requires a label-free weight) or
@@ -348,12 +538,14 @@ class ReplicatedRunner:
 
     __slots__ = (
         "_edges",
+        "_population",
         "_capacity",
         "_weight_fn",
         "_seed_pairs",
         "_max_workers",
         "_method",
         "_core",
+        "_pipeline",
         "_dispatch",
         "_interner",
     )
@@ -370,12 +562,14 @@ class ReplicatedRunner:
         seed_pairs: Optional[Sequence[SeedPair]] = None,
         method: str = DEFAULT_METHOD,
         core: str = DEFAULT_CORE,
+        pipeline: str = DEFAULT_PIPELINE,
         dispatch: Optional[str] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         method_spec = _get_method(method)  # fail fast on unknown names
         validate_core(core)
+        validate_pipeline(pipeline)
         if dispatch is not None and dispatch not in DISPATCHES:
             raise ValueError(
                 f"dispatch must be one of {DISPATCHES} (or None for auto), "
@@ -415,10 +609,14 @@ class ReplicatedRunner:
                 raise ValueError(
                     "dispatch='shared' is unavailable on this platform"
                 )
+        # One lazy dual-view shared by every inline task, so the
+        # columnar conversion happens at most once per runner.
+        self._population = _Population(edges=self._edges)
         self._capacity = capacity
         self._weight_fn = weight_fn
         self._method = method
         self._core = core
+        self._pipeline = pipeline
         self._dispatch = dispatch
         if seed_pairs is not None:
             pairs = [(int(s), int(t)) for s, t in seed_pairs]
@@ -457,6 +655,10 @@ class ReplicatedRunner:
         return self._core
 
     @property
+    def pipeline(self) -> str:
+        return self._pipeline
+
+    @property
     def interner(self) -> Optional[NodeInterner]:
         """Id → label mapping of the interned population (None when the
         weight function forced label dispatch)."""
@@ -470,24 +672,57 @@ class ReplicatedRunner:
             return "shared"
         return "pickle"
 
+    def resolved_pipeline(self) -> str:
+        """The pipeline replications will actually drive.
+
+        Mirrors the per-task decision in ``_run_replication`` — chunked
+        only when the method's counter has a vectorised gate
+        (``chunk_vectorized``) and the population columnarises — so the
+        summary reports what ran, not what was asked.
+        """
+        if self._pipeline != "chunked":
+            return "scalar"
+        # chunk_vectorized depends only on the weight family, so probe
+        # with a unit budget instead of allocating real slot arrays;
+        # methods with a minimum budget (TRIEST needs >= 3) get the
+        # real one — they are scalar-only anyway, so the answer stands.
+        make = _get_method(self._method).make
+        try:
+            probe = make(1, len(self._edges), 0,
+                         weight_fn=self._weight_fn, core=self._core)
+        except Exception:
+            probe = make(self._capacity, len(self._edges), 0,
+                         weight_fn=self._weight_fn, core=self._core)
+        if not getattr(probe, "chunk_vectorized", False):
+            return "scalar"
+        # An interned population is dense ints by construction; only a
+        # label-preserving one needs the actual columnar probe.
+        if self._interner is None and self._population.columns() is None:
+            return "scalar"
+        return "chunked"
+
     def run(self) -> ReplicatedSummary:
         """Execute all replications and aggregate their estimates."""
         pairs = self._seed_pairs
         if self._max_workers == 0 or len(pairs) == 1:
-            results = [
-                _run_replication(
-                    _ReplicationTask(
-                        edges=self._edges,
-                        capacity=self._capacity,
-                        weight_fn=self._weight_fn,
-                        stream_seed=stream_seed,
-                        sampler_seed=sampler_seed,
-                        method=self._method,
-                        core=self._core,
+            try:
+                results = [
+                    _run_replication(
+                        _ReplicationTask(
+                            edges=self._population,
+                            capacity=self._capacity,
+                            weight_fn=self._weight_fn,
+                            stream_seed=stream_seed,
+                            sampler_seed=sampler_seed,
+                            method=self._method,
+                            core=self._core,
+                            pipeline=self._pipeline,
+                        )
                     )
-                )
-                for stream_seed, sampler_seed in pairs
-            ]
+                    for stream_seed, sampler_seed in pairs
+                ]
+            finally:
+                _release_arena()
             workers = 0
             dispatch = "inline"
         else:
@@ -507,6 +742,7 @@ class ReplicatedRunner:
             workers=workers,
             method=self._method,
             dispatch=dispatch,
+            pipeline=self.resolved_pipeline(),
         )
 
     # ------------------------------------------------------------------
@@ -522,7 +758,8 @@ class ReplicatedRunner:
                 max_workers=workers,
                 initializer=_pool_initializer_shared,
                 initargs=(shared.descriptor, self._capacity,
-                          self._weight_fn, self._method, self._core),
+                          self._weight_fn, self._method, self._core,
+                          self._pipeline),
             ) as pool:
                 return list(pool.map(_run_seed_pair, pairs))
 
@@ -533,7 +770,7 @@ class ReplicatedRunner:
             max_workers=workers,
             initializer=_pool_initializer,
             initargs=(self._edges, self._capacity, self._weight_fn,
-                      self._method, self._core),
+                      self._method, self._core, self._pipeline),
         ) as pool:
             return list(pool.map(_run_seed_pair, pairs))
 

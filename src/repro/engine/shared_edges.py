@@ -152,6 +152,39 @@ class SharedEdgePopulation:
             shm.close()
         return list(zip(flat[0::2], flat[1::2]))
 
+    @staticmethod
+    def attach_columnar(descriptor: Descriptor):
+        """Rebuild the population as ``(u, v)`` int32 numpy columns.
+
+        The chunked-pipeline sibling of :meth:`attach`: the published
+        flat array maps straight onto the columnar block shape
+        ``process_chunk`` consumes, so a worker on the chunked pipeline
+        never materialises Python tuples at all.  Returns ``None`` when
+        numpy is unavailable (callers then :meth:`attach` tuples).
+        Like :meth:`attach`, the ids are copied out and the mapping is
+        closed immediately.
+        """
+        if _shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover
+            return None
+        name, num_edges = descriptor
+        shm = _shared_memory.SharedMemory(name=name)
+        try:
+            # bytes() copies out of the segment, so no numpy view keeps
+            # the mapping alive past close() (which would BufferError).
+            payload = bytes(shm.buf[: 2 * num_edges * _ITEMSIZE])
+        finally:
+            shm.close()
+        dtype = np.int32 if _ITEMSIZE == 4 else np.int64
+        pairs = np.frombuffer(payload, dtype=dtype).reshape(num_edges, 2)
+        return (
+            np.ascontiguousarray(pairs[:, 0], dtype=np.int32),
+            np.ascontiguousarray(pairs[:, 1], dtype=np.int32),
+        )
+
 
 __all__ = [
     "Descriptor",

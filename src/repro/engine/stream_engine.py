@@ -3,15 +3,27 @@
 Every experiment in the repo used to hand-roll the same pattern: iterate
 an :class:`~repro.streams.stream.EdgeStream`, feed each arrival to one or
 more counters, and record state at checkpoint positions.
-:class:`StreamEngine` centralises that loop and makes it fast:
+:class:`StreamEngine` centralises that loop and makes it fast, picking
+the quickest drive the attached counters support:
 
-* when the driven counter exposes ``process_many`` (the GPS sampler and
-  :class:`~repro.core.in_stream.InStreamEstimator` do) and no lockstep
-  companions are attached, edges are fed in checkpoint-to-checkpoint
-  batches through the hoisted fast path instead of one Python call per
-  arrival;
-* otherwise the engine falls back to a per-edge loop with the bound
-  methods hoisted once.
+* **chunked** — when a ``chunk_size`` is configured and the primary
+  counter exposes ``process_chunk``, the stream is consumed as columnar
+  ``int32`` blocks (:meth:`repro.streams.EdgeStream.chunks`, or
+  :func:`repro.streams.chunks.iter_chunks` for plain iterables) and
+  blocks are split *exactly* at checkpoint marks, so checkpointed state
+  is identical to a per-edge drive;
+* **batched** — otherwise, when the primary counter exposes
+  ``process_many``, edges are fed in checkpoint-to-checkpoint batches
+  instead of one Python call per arrival;
+* **lockstep** — the per-edge fallback, used only when a counter (or a
+  companion) demands per-edge hooks.
+
+Companions no longer disable batching wholesale: a companion that
+exposes ``process_many`` is driven at chunk/batch granularity too (each
+consumer sees the same edges in the same order, and the only
+synchronisation points — the checkpoints — fire at the same positions,
+so results are identical); only a companion without ``process_many``
+forces the per-edge lockstep.
 
 Checkpoint callbacks receive the 1-based stream position; they close over
 whatever counters they want to read, so the engine stays agnostic of what
@@ -27,8 +39,32 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple
 
 from repro.graph.edge import Node
 
+#: Selectable stream pipelines (the default comes first): ``"chunked"``
+#: drives columnar blocks through ``process_chunk`` where the counter
+#: supports it, ``"scalar"`` keeps the tuple-at-a-time paths.  The two
+#: are bit-identical under shared seeds — the pipeline is purely a
+#: performance switch, mirroring the ``core`` flag of
+#: :mod:`repro.core.compact`.
+PIPELINES = ("chunked", "scalar")
+DEFAULT_PIPELINE = "chunked"
+
+
+def validate_pipeline(pipeline: str) -> str:
+    """Check a pipeline name; unknown names raise with the known set."""
+    if pipeline not in PIPELINES:
+        raise ValueError(
+            f"unknown pipeline {pipeline!r}; known pipelines: {PIPELINES}"
+        )
+    return pipeline
+
+
+#: Edges per materialised batch after the last checkpoint (bounds the
+#: memory of the batched-companions drive over unbounded streams).
+_TAIL_BATCH = 65536
+
 #: Anything consumable by the engine: ``.process(u, v)`` per arrival,
-#: optionally ``.process_many(edges) -> int`` for the batched fast path.
+#: optionally ``.process_many(edges) -> int`` for the batched fast path
+#: and ``.process_chunk(u_col, v_col) -> int`` for columnar blocks.
 Counter = object
 
 CheckpointCallback = Callable[[int], None]
@@ -55,17 +91,25 @@ class EngineStats:
 
 
 class StreamEngine:
-    """Drive a counter (plus optional lockstep companions) over a stream.
+    """Drive a counter (plus optional companions) over a stream.
 
     Parameters
     ----------
     counter:
         The primary consumer; each arrival is fed to it first.
     companions:
-        Extra consumers processed in lockstep after the primary one —
-        e.g. an :class:`~repro.graph.exact.ExactStreamCounter` supplying
-        ground truth at every checkpoint.  Attaching companions disables
-        the batched fast path (lockstep requires per-edge interleaving).
+        Extra consumers processed after the primary one between
+        checkpoints — e.g. an
+        :class:`~repro.graph.exact.ExactStreamCounter` supplying ground
+        truth at every checkpoint.  Companions exposing ``process_many``
+        ride the batched/chunked drives; only a companion without it
+        forces the per-edge lockstep.
+    chunk_size:
+        Enable the columnar drive with blocks of this many edges
+        (``None`` — the default — keeps the scalar drives).  Takes
+        effect only when the counter exposes ``process_chunk``; the
+        stream must then either be an :class:`~repro.streams.EdgeStream`
+        or an iterable of int-labelled pairs.
 
     Examples
     --------
@@ -76,11 +120,19 @@ class StreamEngine:
     3
     """
 
-    __slots__ = ("_counter", "_companions")
+    __slots__ = ("_counter", "_companions", "_chunk_size")
 
-    def __init__(self, counter: Counter, companions: Sequence[Counter] = ()) -> None:
+    def __init__(
+        self,
+        counter: Counter,
+        companions: Sequence[Counter] = (),
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive (or None)")
         self._counter = counter
         self._companions = tuple(companions)
+        self._chunk_size = chunk_size
 
     @property
     def counter(self) -> Counter:
@@ -89,6 +141,10 @@ class StreamEngine:
     @property
     def companions(self) -> Tuple[Counter, ...]:
         return self._companions
+
+    @property
+    def chunk_size(self) -> Optional[int]:
+        return self._chunk_size
 
     def run(
         self,
@@ -110,9 +166,18 @@ class StreamEngine:
         if marks and marks[0] <= 0:
             raise ValueError("checkpoints are 1-based positive positions")
 
-        batched = not self._companions and hasattr(self._counter, "process_many")
+        batchable = hasattr(self._counter, "process_many") and all(
+            hasattr(c, "process_many") for c in self._companions
+        )
+        chunked = (
+            self._chunk_size is not None
+            and batchable
+            and hasattr(self._counter, "process_chunk")
+        )
         started = time.perf_counter()
-        if batched:
+        if chunked:
+            edges = self._run_chunked(stream, marks, on_checkpoint)
+        elif batchable:
             edges = self._run_batched(stream, marks, on_checkpoint)
         else:
             edges = self._run_lockstep(stream, marks, on_checkpoint)
@@ -123,6 +188,51 @@ class StreamEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _run_chunked(
+        self,
+        stream: Iterable[Tuple[Node, Node]],
+        marks: Sequence[int],
+        on_checkpoint: Optional[CheckpointCallback],
+    ) -> int:
+        """Columnar drive: blocks split exactly at checkpoint marks."""
+        size = self._chunk_size
+        if hasattr(stream, "chunks"):
+            blocks = stream.chunks(size)
+        else:
+            from repro.streams.chunks import iter_chunks
+
+            blocks = iter_chunks(stream, size)
+        process_chunk = self._counter.process_chunk
+        companions = [c.process_many for c in self._companions]
+        mark_iter = iter(marks)
+        next_mark = next(mark_iter, 0)
+        position = 0
+        for cu, cv in blocks:
+            offset = 0
+            block_len = len(cu)
+            while next_mark and next_mark - position <= block_len - offset:
+                cut = offset + (next_mark - position)
+                su, sv = cu[offset:cut], cv[offset:cut]
+                process_chunk(su, sv)
+                if companions:
+                    pairs = list(zip(su.tolist(), sv.tolist()))
+                    for feed in companions:
+                        feed(pairs)
+                position = next_mark
+                offset = cut
+                if on_checkpoint is not None:
+                    on_checkpoint(position)
+                next_mark = next(mark_iter, 0)
+            if offset < block_len:
+                su, sv = cu[offset:], cv[offset:]
+                process_chunk(su, sv)
+                if companions:
+                    pairs = list(zip(su.tolist(), sv.tolist()))
+                    for feed in companions:
+                        feed(pairs)
+                position += block_len - offset
+        return position
+
     def _run_batched(
         self,
         stream: Iterable[Tuple[Node, Node]],
@@ -132,14 +242,40 @@ class StreamEngine:
         process_many = self._counter.process_many
         it = iter(stream)
         position = 0
+        if not self._companions:
+            # Feed islice views straight through: nothing is ever
+            # materialised, so lazy file streams stay lazy.
+            for mark in marks:
+                consumed = process_many(islice(it, mark - position))
+                position += consumed
+                if position < mark:  # stream ended before the checkpoint
+                    return position
+                if on_checkpoint is not None:
+                    on_checkpoint(position)
+            return position + process_many(it)
+        # Companions replay each batch, so batches are materialised —
+        # checkpoint-to-checkpoint, then bounded tail blocks.
+        companions = [c.process_many for c in self._companions]
+
+        def feed(batch) -> None:
+            process_many(batch)
+            for consume in companions:
+                consume(batch)
+
         for mark in marks:
-            consumed = process_many(islice(it, mark - position))
-            position += consumed
-            if position < mark:  # stream ended before the checkpoint
+            batch = list(islice(it, mark - position))
+            feed(batch)
+            position += len(batch)
+            if position < mark:
                 return position
             if on_checkpoint is not None:
                 on_checkpoint(position)
-        return position + process_many(it)
+        while True:
+            batch = list(islice(it, _TAIL_BATCH))
+            if not batch:
+                return position
+            feed(batch)
+            position += len(batch)
 
     def _run_lockstep(
         self,
@@ -173,4 +309,11 @@ class StreamEngine:
         return t
 
 
-__all__ = ["StreamEngine", "EngineStats", "CheckpointCallback"]
+__all__ = [
+    "DEFAULT_PIPELINE",
+    "PIPELINES",
+    "StreamEngine",
+    "EngineStats",
+    "CheckpointCallback",
+    "validate_pipeline",
+]

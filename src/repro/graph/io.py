@@ -67,6 +67,40 @@ def iter_edge_list(
             yield node_type(parts[0]), node_type(parts[1])
 
 
+def iter_edge_chunks(
+    path: PathLike,
+    size: Optional[int] = None,
+    delimiter: Optional[str] = None,
+    node_type: Callable[[str], Node] = int,
+    interner: Optional["NodeInterner"] = None,
+):
+    """Read an edge-list file as columnar ``int32`` blocks.
+
+    The chunk-shaped sibling of :func:`iter_edge_list` — same parsing
+    (comment/short lines skipped, ``delimiter``/``node_type``
+    honoured), but the lines arrive as ``(u, v)`` int32 array pairs of
+    at most ``size`` edges (default
+    :data:`repro.streams.chunks.DEFAULT_CHUNK_SIZE`): the input shape
+    of the compact core's ``process_chunk``, without ever
+    materialising the whole stream.  With the default ``node_type=int``
+    labels pass through unchanged; non-int labels need an interner
+    (same contract as :meth:`repro.streams.EdgeStream.chunks`).
+
+    Note the executor's file passes stay scalar on purpose (duplicate
+    handling differs from the simplified stream contract, and a lazy
+    source cannot be pre-validated for the columnar gate); this is the
+    programmatic surface for driving ``process_chunk`` over files
+    directly.
+    """
+    from repro.streams.chunks import DEFAULT_CHUNK_SIZE, iter_chunks
+
+    return iter_chunks(
+        iter_edge_list(path, delimiter=delimiter, node_type=node_type),
+        size=size if size is not None else DEFAULT_CHUNK_SIZE,
+        interner=interner,
+    )
+
+
 def read_edge_list(
     path: PathLike,
     delimiter: Optional[str] = None,

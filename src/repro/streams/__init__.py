@@ -8,9 +8,17 @@ and :mod:`repro.streams.transforms` provides the usual stream hygiene
 (simplification, take/skip, relabelling, synthetic timestamps).
 :mod:`repro.streams.interner` interns arbitrary node labels to dense
 ``int32`` ids at stream-construction time, so everything downstream of
-an :class:`EdgeStream` can run on machine integers.
+an :class:`EdgeStream` can run on machine integers, and
+:mod:`repro.streams.chunks` turns streams into columnar ``int32``
+blocks (``EdgeStream.chunks``) feeding the compact core's vectorised
+``process_chunk`` admission pre-pass.
 """
 
+from repro.streams.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    columnar_or_none,
+    iter_chunks,
+)
 from repro.streams.interner import NodeInterner, intern_edges
 from repro.streams.stream import EdgeStream
 from repro.streams.transforms import (
@@ -22,8 +30,11 @@ from repro.streams.transforms import (
 )
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "EdgeStream",
     "NodeInterner",
+    "columnar_or_none",
+    "iter_chunks",
     "intern_edges",
     "map_nodes",
     "simplify_edges",

@@ -15,16 +15,22 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.edge import Node
+from repro.streams.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    columnar_or_none,
+    numpy_or_none,
+)
 from repro.streams.interner import NodeInterner
 
 
 class EdgeStream:
     """A replayable, finite stream of undirected edges."""
 
-    __slots__ = ("_edges",)
+    __slots__ = ("_edges", "_columns")
 
     def __init__(self, edges: Sequence[Tuple[Node, Node]]) -> None:
         self._edges: List[Tuple[Node, Node]] = list(edges)
+        self._columns = None  # lazily built by columnar(); False = can't
 
     # ------------------------------------------------------------------
     # Constructors
@@ -77,6 +83,64 @@ class EdgeStream:
         """
         interner = interner if interner is not None else NodeInterner()
         return EdgeStream(interner.intern_edges(self._edges)), interner
+
+    # ------------------------------------------------------------------
+    # Columnar (chunked) access
+    # ------------------------------------------------------------------
+    def columnar(self):
+        """The whole stream as ``(u, v)`` int32 columns, or ``None``.
+
+        Succeeds only when every node label is already an int32-range
+        integer — then the columns carry the original labels and the
+        chunked pipeline is label-faithful (no interning).  The result
+        is cached: repeated :meth:`chunks` calls pay the conversion
+        once.
+
+        >>> EdgeStream([(0, 1), (1, 2)]).columnar()[0].tolist()
+        [0, 1]
+        >>> EdgeStream([("a", "b")]).columnar() is None
+        True
+        """
+        if self._columns is None:
+            built = columnar_or_none(self._edges)
+            self._columns = False if built is None else built
+        return None if self._columns is False else self._columns
+
+    def chunks(
+        self,
+        size: int = DEFAULT_CHUNK_SIZE,
+        interner: Optional[NodeInterner] = None,
+    ) -> Iterator[Tuple["object", "object"]]:
+        """Yield the stream as columnar int32 blocks of ≤ ``size`` edges.
+
+        Blocks are zero-copy views into the cached :meth:`columnar`
+        arrays, in arrival order — the input shape of
+        ``process_chunk`` on the compact GPS core.  Streams whose
+        labels are not int32-range integers need an explicit
+        :class:`~repro.streams.interner.NodeInterner` (dense ids in
+        first-encounter order; the interner keeps the label map) and
+        raise :class:`TypeError` without one.
+
+        >>> [u.tolist() for u, v in EdgeStream([(0, 1), (1, 2), (2, 3)]).chunks(2)]
+        [[0, 1], [2]]
+        """
+        if size <= 0:
+            raise ValueError("chunk size must be positive")
+        if numpy_or_none() is None:
+            raise RuntimeError(
+                "columnar chunks need numpy, which is unavailable"
+            )
+        columns = self.columnar()
+        if columns is None:
+            if interner is None:
+                raise TypeError(
+                    "stream labels are not int32-range ints; pass a "
+                    "NodeInterner to intern them to dense ids"
+                )
+            columns = columnar_or_none(interner.intern_edges(self._edges))
+        u, v = columns
+        for start in range(0, len(u), size):
+            yield u[start:start + size], v[start:start + size]
 
     # ------------------------------------------------------------------
     # Sequence-ish protocol
