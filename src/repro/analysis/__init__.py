@@ -1,0 +1,73 @@
+"""Static invariant analysis: ``python -m repro lint``.
+
+The repo's headline guarantee — bit-exactness across the object,
+compact and chunked cores for every weight and entry point — rests on
+conventions no interpreter enforces: one seeded RNG per sampler in a
+fixed draw order, an int32 columnar pipeline, owned shared-memory
+segments, pure estimator layers, frozen round-trippable specs,
+explicit label-safety claims on registrations, and an executable-
+example facade.  This package turns each convention into an AST-checked
+rule with a stable id, inline ``# repro-lint: disable=RULE``
+suppressions, ``--select``/``--ignore`` filtering, and text/JSON
+reporting — wired into CI ahead of the test matrix so invariant breaks
+fail fast.
+
+Architecture mirrors :mod:`repro.api`: a frozen-spec registry
+(:mod:`~repro.analysis.registry`) that also generates the
+``docs/invariants.md`` catalog, a small pure engine
+(:mod:`~repro.analysis.engine`), and self-registering rule modules
+(:mod:`~repro.analysis.rules`).
+
+Example
+-------
+>>> import pathlib, tempfile
+>>> with tempfile.TemporaryDirectory() as tmp:
+...     bad = pathlib.Path(tmp) / "core" / "bad.py"
+...     bad.parent.mkdir()
+...     _ = bad.write_text("import random\\nx = random.random()\\n")
+...     result = lint_paths([tmp])
+>>> [(f.rule, f.line) for f in result.findings]
+[('rng-discipline', 2)]
+"""
+
+from __future__ import annotations
+
+import repro.analysis.rules  # noqa: F401  (register the built-in rules)
+from repro.analysis.engine import (
+    SYNTAX_ERROR_RULE,
+    LintResult,
+    lint_paths,
+    scope_matches,
+    suppressions,
+)
+from repro.analysis.findings import FileContext, Finding, RawFinding
+from repro.analysis.registry import (
+    Checker,
+    LintRule,
+    get_rule,
+    register_rule,
+    rule_names,
+    rule_specs,
+    rules_markdown,
+)
+from repro.analysis.reporter import format_json, format_text
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "LintRule",
+    "RawFinding",
+    "SYNTAX_ERROR_RULE",
+    "format_json",
+    "format_text",
+    "get_rule",
+    "lint_paths",
+    "register_rule",
+    "rule_names",
+    "rule_specs",
+    "rules_markdown",
+    "scope_matches",
+    "suppressions",
+]

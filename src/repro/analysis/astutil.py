@@ -1,0 +1,134 @@
+"""Shared AST plumbing for the lint rules.
+
+Three primitives cover every rule in :mod:`repro.analysis.rules`:
+
+* :func:`collect_imports` — a map from local names to the dotted origin
+  they were imported from (``np`` → ``numpy``, ``_shared_memory`` →
+  ``multiprocessing.shared_memory``), so rules reason about *modules*,
+  not spelling variants;
+* :func:`resolve_call_target` — folds an ``a.b.c`` attribute chain whose
+  base is an imported name into its dotted origin
+  (``np.random.randint`` → ``numpy.random.randint``);
+* :func:`walk_scoped` / :func:`parent_map` — tree walks that carry the
+  enclosing-function stack (for "only in ``__init__``/``reset``" rules)
+  or the child → parent edges (for "inside a class that also defines
+  ``unlink``" rules).
+
+All helpers are pure functions of the tree; rules stay stateless.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+
+def collect_imports(tree: ast.Module) -> Dict[str, str]:
+    """Local name → dotted origin for every import binding in ``tree``.
+
+    Handles all four spellings, wherever they appear (including inside
+    ``try`` blocks guarding optional dependencies):
+
+    >>> tree = ast.parse(
+    ...     "import numpy as np\\n"
+    ...     "import numpy.random\\n"
+    ...     "from multiprocessing import shared_memory as shm\\n"
+    ...     "from random import Random\\n")
+    >>> imports = collect_imports(tree)
+    >>> imports["np"], imports["numpy"], imports["shm"], imports["Random"]
+    ('numpy', 'numpy', 'multiprocessing.shared_memory', 'random.Random')
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    imports[alias.asname] = alias.name
+                else:
+                    # ``import numpy.random`` binds the root name only.
+                    root = alias.name.split(".", 1)[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never hit the stdlib/numpy
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def resolve_call_target(
+    node: ast.expr, imports: Mapping[str, str]
+) -> Optional[str]:
+    """Dotted origin of an attribute chain rooted in an imported name.
+
+    Returns ``None`` for chains rooted anywhere else (``self._rng.seed``)
+    — those are object attributes, not module access.
+
+    >>> tree = ast.parse("import numpy as np\\nnp.random.randint(3)")
+    >>> call = tree.body[1].value
+    >>> resolve_call_target(call.func, collect_imports(tree))
+    'numpy.random.randint'
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = imports.get(node.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+def walk_scoped(
+    node: ast.AST, stack: Tuple[str, ...] = ()
+) -> Iterator[Tuple[ast.AST, Tuple[str, ...]]]:
+    """Every descendant of ``node`` with its enclosing-function stack.
+
+    The stack holds function names innermost-last; a node at class or
+    module level carries an empty stack.
+
+    >>> tree = ast.parse("def reset(self):\\n    x = 1")
+    >>> [(type(n).__name__, s) for n, s in walk_scoped(tree)
+    ...  if isinstance(n, ast.Assign)]
+    [('Assign', ('reset',))]
+    """
+    for child in ast.iter_child_nodes(node):
+        yield child, stack
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from walk_scoped(child, stack + (child.name,))
+        else:
+            yield from walk_scoped(child, stack)
+
+
+def parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Child → parent edges for ancestor climbs (lifecycle rule)."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def keyword_names(node: ast.Call) -> Tuple[str, ...]:
+    """Explicit keyword names of a call; ``**splat`` contributes ``'**'``.
+
+    >>> call = ast.parse("f(a=1, **extra)").body[0].value
+    >>> keyword_names(call)
+    ('a', '**')
+    """
+    return tuple(
+        kw.arg if kw.arg is not None else "**" for kw in node.keywords
+    )
+
+
+__all__ = [
+    "collect_imports",
+    "keyword_names",
+    "parent_map",
+    "resolve_call_target",
+    "walk_scoped",
+]

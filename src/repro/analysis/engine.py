@@ -1,0 +1,265 @@
+"""The lint engine: collect files, run rules in scope, apply suppressions.
+
+The pipeline for each ``.py`` file under the given paths:
+
+1. parse it (a syntax error becomes a ``syntax-error`` finding —
+   unsuppressible and immune to ``--select``/``--ignore``, because a
+   file the analyzer cannot read satisfies no invariant);
+2. run every selected rule whose :attr:`~repro.analysis.registry.
+   LintRule.scope` matches the file's resolved path;
+3. drop findings whose source line carries an inline
+   ``# repro-lint: disable=RULE`` suppression (counted, so reports
+   show how many deliberate violations the tree carries);
+4. sort everything into a deterministic :class:`LintResult`.
+
+Scope matching is purely lexical — a bare directory name matches a path
+component, a ``/``-containing pattern matches a path suffix — so the
+fixture suite can reproduce any scope under a tmp directory
+(``tmp/core/bad.py`` is "in core" exactly like
+``src/repro/core/compact.py`` is).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.findings import FileContext, Finding
+from repro.analysis.registry import LintRule, rule_names, rule_specs
+
+#: Inline suppression syntax: ``# repro-lint: disable=rule-a,rule-b``
+#: (no spaces in the id list; trailing prose after a space is ignored,
+#: so justifications ride in the same comment).
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,-]+)")
+
+#: Directory names never descended into.
+_SKIP_DIRS = ("__pycache__",)
+
+#: The pseudo-rule id attached to unparsable files.
+SYNTAX_ERROR_RULE = "syntax-error"
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """One lint run: ordered findings plus coverage counters.
+
+    Example
+    -------
+    >>> LintResult(findings=(), files_checked=3, suppressed=1).clean
+    True
+    """
+
+    findings: Tuple[Finding, ...]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run produced no (unsuppressed) findings."""
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (the ``--format json`` envelope)."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def iter_python_files(
+    paths: Sequence[Union[str, Path]]
+) -> List[Tuple[str, Path]]:
+    """``(reported name, filesystem path)`` for every ``.py`` under ``paths``.
+
+    Files are reported with the prefix the caller gave (so ``repro lint
+    src`` prints ``src/…`` paths); directories are walked recursively,
+    skipping hidden directories and ``__pycache__``.  Missing paths and
+    non-Python files raise :class:`ValueError` — a typo'd path silently
+    linting nothing would read as a clean tree.
+    """
+    out: List[Tuple[str, Path]] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix != ".py":
+                raise ValueError(f"not a Python file: {raw}")
+            out.append((str(raw), path))
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                parts = sub.relative_to(path).parts
+                if any(
+                    p.startswith(".") or p in _SKIP_DIRS for p in parts
+                ):
+                    continue
+                out.append((str(sub), sub))
+        else:
+            raise ValueError(f"no such file or directory: {raw}")
+    return out
+
+
+def scope_matches(relpath: str, scope: Tuple[str, ...]) -> bool:
+    """Whether a resolved POSIX path falls under a rule's scope.
+
+    Example
+    -------
+    >>> scope_matches("/repo/src/repro/core/compact.py", ("core",))
+    True
+    >>> scope_matches("/tmp/fixtures/api/spec.py", ("api/spec.py",))
+    True
+    >>> scope_matches("/repo/src/repro/graph/io.py", ("core", "stats"))
+    False
+    """
+    if not scope:
+        return True
+    parts = PurePosixPath(relpath).parts
+    directories = parts[:-1]
+    for pattern in scope:
+        if "/" in pattern or pattern.endswith(".py"):
+            if relpath == pattern or relpath.endswith("/" + pattern):
+                return True
+        elif pattern in directories:
+            return True
+    return False
+
+
+def suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """1-based line → rule ids disabled on that line.
+
+    Example
+    -------
+    >>> suppressions("x = 1  # repro-lint: disable=rng-discipline ok\\n")
+    {1: frozenset({'rng-discipline'})}
+    """
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is not None:
+            out[lineno] = frozenset(
+                name for name in match.group(1).split(",") if name
+            )
+    return out
+
+
+def _select_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> Tuple[LintRule, ...]:
+    known = set(rule_names())
+    for label, requested in (("--select", select), ("--ignore", ignore)):
+        unknown = sorted(set(requested or ()) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) for {label}: {', '.join(unknown)}; "
+                f"known rules: {', '.join(sorted(known))}"
+            )
+    selected = rule_specs()
+    if select is not None:
+        wanted = set(select)
+        selected = tuple(r for r in selected if r.name in wanted)
+    if ignore is not None:
+        dropped = set(ignore)
+        selected = tuple(r for r in selected if r.name not in dropped)
+    return selected
+
+
+def lint_file(
+    name: str, path: Path, rules: Sequence[LintRule]
+) -> Tuple[List[Finding], int]:
+    """Run ``rules`` over one file; returns (findings, suppressed count)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    rule=SYNTAX_ERROR_RULE,
+                    severity="error",
+                    path=name,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    relpath = path.resolve().as_posix()
+    context = FileContext(
+        path=name, relpath=relpath, source=source, tree=tree
+    )
+    disabled = suppressions(source)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not scope_matches(relpath, rule.scope):
+            continue
+        for line, col, message in rule.checker(context):
+            if rule.name in disabled.get(line, frozenset()):
+                suppressed += 1
+                continue
+            findings.append(
+                Finding(
+                    rule=rule.name,
+                    severity=rule.severity,
+                    path=name,
+                    line=line,
+                    col=col,
+                    message=message,
+                )
+            )
+    return findings, suppressed
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` with the registered rules.
+
+    ``select`` restricts the run to the named rules, ``ignore`` drops
+    rules from it; unknown ids raise :class:`ValueError` (a typo'd rule
+    silently matching nothing would read as a clean tree).
+
+    Example
+    -------
+    >>> import tempfile, pathlib
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     core = pathlib.Path(tmp) / "core"
+    ...     core.mkdir()
+    ...     _ = (core / "bad.py").write_text(
+    ...         "import random\\nx = random.random()\\n")
+    ...     result = lint_paths([tmp])
+    >>> [f.rule for f in result.findings]
+    ['rng-discipline']
+    """
+    rules = _select_rules(select, ignore)
+    findings: List[Finding] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for name, path in files:
+        file_findings, file_suppressed = lint_file(name, path, rules)
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    findings.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=tuple(findings),
+        files_checked=len(files),
+        suppressed=suppressed,
+    )
+
+
+__all__ = [
+    "SYNTAX_ERROR_RULE",
+    "LintResult",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "scope_matches",
+    "suppressions",
+]

@@ -1,0 +1,88 @@
+"""Data model of the invariant analyzer: findings and file contexts.
+
+A *rule* (see :mod:`repro.analysis.registry`) inspects one parsed file
+— a :class:`FileContext` — and emits zero or more raw ``(line, col,
+message)`` triples.  The engine (:mod:`repro.analysis.engine`) stamps
+each triple with the rule's identity and severity into an immutable
+:class:`Finding`, applies inline suppressions, and assembles the
+:class:`~repro.analysis.engine.LintResult` the reporters render.
+
+Everything here is a frozen value object with a JSON-safe ``to_dict``,
+mirroring the repo's spec discipline (``repro.api.spec``): findings can
+be diffed between runs, shipped as ``--format json``, and asserted on
+in fixture tests without touching reporter formatting.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Rule severities.  ``error`` findings are invariant breaks; ``warning``
+#: findings are discipline gaps.  Both make ``repro lint`` exit nonzero —
+#: severity is reporting metadata, not an exit-code switch.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+#: What a rule checker emits: ``(line, col, message)``, 1-based line.
+RawFinding = Tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """One parsed file as the rules see it.
+
+    Attributes
+    ----------
+    path:
+        The path as given on the command line (used for reporting).
+    relpath:
+        Resolved POSIX path string used for rule scope matching.
+    source:
+        The file's full text.
+    tree:
+        The parsed :class:`ast.Module`.
+    """
+
+    path: str
+    relpath: str
+    source: str
+    tree: ast.Module
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Example
+    -------
+    >>> finding = Finding(rule="rng-discipline", severity="error",
+    ...                   path="src/x.py", line=3, col=0, message="boom")
+    >>> finding.to_dict()["rule"]
+    'rng-discipline'
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe plain-dict form (the ``--format json`` cell shape)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable report order: path, then location, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+
+__all__ = ["FileContext", "Finding", "RawFinding", "SEVERITIES"]

@@ -1,0 +1,248 @@
+"""Rule registry: every invariant the analyzer enforces, as data.
+
+Mirrors the :mod:`repro.api.registry` idiom: one frozen spec per rule,
+registered under a stable id by a decorator, duplicate ids rejected,
+and the whole catalog renderable as Markdown — ``docs/invariants.md``
+is generated from here (``python -m repro lint --markdown``) with a
+sync test, exactly like ``docs/methods.md`` is generated from the
+method registry.  Registering a rule therefore *is* documenting it.
+
+Each :class:`LintRule` carries, besides its checker, the material the
+catalog needs: a one-line summary, the rationale (which repo invariant
+it guards and why), a minimal violating example, the fixture path the
+example must sit at to be in scope (the test suite lints every example
+at its ``example_path`` and asserts the rule fires — catalog examples
+are guaranteed real), and the fix guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis.findings import SEVERITIES, FileContext, RawFinding
+
+#: A rule's checker: one parsed file in, raw findings out.
+Checker = Callable[[FileContext], List[RawFinding]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered invariant check.
+
+    Attributes
+    ----------
+    name:
+        Stable rule id (``--select``/``--ignore`` value, suppression
+        target, finding field).
+    severity:
+        ``"error"`` (invariant break) or ``"warning"`` (discipline gap).
+        Any finding makes ``repro lint`` exit nonzero; severity is
+        reporting metadata.
+    scope:
+        Path patterns the rule applies to.  A bare name (``"core"``)
+        matches any file with that directory component; a pattern
+        containing ``/`` or ending in ``.py`` (``"api/spec.py"``)
+        matches as a path suffix.  Empty scope = every file.
+    summary:
+        One-line description for listings.
+    rationale:
+        Which repo invariant the rule guards and what breaks without it
+        (the catalog body).
+    example:
+        Minimal violating snippet; linted at :attr:`example_path` by the
+        test suite, so the catalog never documents a non-firing example.
+    example_path:
+        Relative path the example must live at to be in scope.
+    fix:
+        How to bring violating code into compliance.
+    checker:
+        The AST checker itself.
+    """
+
+    name: str
+    severity: str
+    scope: Tuple[str, ...]
+    summary: str
+    rationale: str
+    example: str
+    example_path: str
+    fix: str
+    checker: Checker = field(repr=False)
+
+
+_RULES: Dict[str, LintRule] = {}
+
+
+def register_rule(
+    name: str,
+    *,
+    severity: str,
+    scope: Tuple[str, ...],
+    summary: str,
+    rationale: str,
+    example: str,
+    example_path: str,
+    fix: str,
+) -> Callable[[Checker], Checker]:
+    """Decorator registering a checker under a stable rule id.
+
+    Registration is global and id-keyed; duplicate ids are rejected so
+    two modules cannot silently shadow each other's rules — the same
+    contract :func:`repro.api.registry.register_method` enforces.
+
+    Example
+    -------
+    >>> @register_rule("demo-rule", severity="error", scope=("core",),
+    ...                summary="s", rationale="r", example="x = 1\\n",
+    ...                example_path="core/demo.py", fix="f")
+    ... def _check(ctx):
+    ...     return []                                  # doctest: +SKIP
+    """
+    if severity not in SEVERITIES:
+        raise ValueError(
+            f"severity must be one of {SEVERITIES}, got {severity!r}"
+        )
+
+    def decorate(checker: Checker) -> Checker:
+        if name in _RULES:
+            raise ValueError(f"lint rule {name!r} is already registered")
+        _RULES[name] = LintRule(
+            name=name,
+            severity=severity,
+            scope=scope,
+            summary=summary,
+            rationale=rationale,
+            example=example,
+            example_path=example_path,
+            fix=fix,
+            checker=checker,
+        )
+        return checker
+
+    return decorate
+
+
+def get_rule(name: str) -> LintRule:
+    """Look a rule up by id; unknown ids raise with the known set.
+
+    Example
+    -------
+    >>> get_rule("rng-discipline").severity
+    'error'
+    """
+    try:
+        return _RULES[name]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise ValueError(
+            f"unknown lint rule {name!r}; known rules: {known}"
+        ) from None
+
+
+def rule_names() -> Tuple[str, ...]:
+    """Registered rule ids in registration order.
+
+    Example
+    -------
+    >>> "rng-discipline" in rule_names()
+    True
+    """
+    return tuple(_RULES)
+
+
+def rule_specs() -> Tuple[LintRule, ...]:
+    """Registered :class:`LintRule` values in registration order.
+
+    Example
+    -------
+    >>> all(spec.example_path for spec in rule_specs())
+    True
+    """
+    return tuple(_RULES.values())
+
+
+def _scope_markdown(scope: Tuple[str, ...]) -> str:
+    if not scope:
+        return "every linted file"
+    return ", ".join(
+        f"`{pattern}`" if "/" in pattern or pattern.endswith(".py")
+        else f"`{pattern}/`"
+        for pattern in scope
+    )
+
+
+def rules_markdown() -> str:
+    """The invariant catalog as Markdown, generated from the registry.
+
+    This is the single source of ``docs/invariants.md``:
+    ``python -m repro lint --markdown`` emits it, and a sync test (plus
+    a CI step) fails when the checked-in file drifts from the registry
+    — the ``docs/methods.md`` mechanism applied to lint rules.
+
+    Example
+    -------
+    >>> "## rng-discipline" in rules_markdown()
+    True
+    """
+    lines = [
+        "# Invariant catalog (`repro lint`)",
+        "",
+        "<!-- GENERATED FILE - DO NOT EDIT. -->",
+        "<!-- Regenerate with: python -m repro lint --markdown > docs/invariants.md -->",
+        "",
+        "The repo's bit-exactness guarantee rests on conventions no",
+        "interpreter enforces. `python -m repro lint [paths]` turns them",
+        "into machine-checked rules: every rule below is an AST check",
+        "with a stable id, runnable standalone (`--select RULE`),",
+        "excludable (`--ignore RULE`), and reportable as text or",
+        "machine-readable JSON (`--format json`). Any finding makes the",
+        "command exit nonzero; CI runs it before the test matrix.",
+        "",
+        "Suppress a deliberate violation inline with",
+        "`# repro-lint: disable=RULE` (comma-separate several ids, no",
+        "spaces) on the flagged line, and justify it in the same",
+        "comment — an unexplained suppression is a review smell.",
+        "",
+        "| rule | severity | scope |",
+        "|---|---|---|",
+    ]
+    for spec in rule_specs():
+        lines.append(
+            f"| [{spec.name}](#{spec.name}) | {spec.severity} "
+            f"| {_scope_markdown(spec.scope)} |"
+        )
+    for spec in rule_specs():
+        lines += [
+            "",
+            f"## {spec.name}",
+            "",
+            f"**{spec.summary}** (severity: {spec.severity}; scope: "
+            f"{_scope_markdown(spec.scope)})",
+            "",
+            spec.rationale,
+            "",
+            f"Violation (as `{spec.example_path}`):",
+            "",
+            "```python",
+            spec.example.rstrip("\n"),
+            "```",
+            "",
+            f"Fix: {spec.fix}",
+            "",
+            f"Suppress with `# repro-lint: disable={spec.name}` on the",
+            "flagged line, with an inline justification.",
+        ]
+    lines.append("")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Checker",
+    "LintRule",
+    "get_rule",
+    "register_rule",
+    "rule_names",
+    "rule_specs",
+    "rules_markdown",
+]

@@ -1,0 +1,58 @@
+"""Render a :class:`~repro.analysis.engine.LintResult` for humans or tools.
+
+Text findings use the conventional ``path:line:col: rule [severity]
+message`` shape (clickable in editors, greppable in CI logs) followed
+by a one-line summary; JSON is the :meth:`LintResult.to_dict` envelope,
+which round-trips through the fixture tests so the schema cannot drift
+silently.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+
+
+def format_text(result: LintResult) -> str:
+    """Human-readable report, one line per finding plus a summary.
+
+    Example
+    -------
+    >>> print(format_text(LintResult(findings=(), files_checked=2,
+    ...                              suppressed=0)), end="")
+    2 files checked: clean
+    """
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} [{f.severity}] {f.message}"
+        for f in result.findings
+    ]
+    plural = "" if result.files_checked == 1 else "s"
+    if result.findings:
+        summary = (
+            f"{result.files_checked} file{plural} checked: "
+            f"{len(result.findings)} finding(s)"
+        )
+    else:
+        summary = f"{result.files_checked} file{plural} checked: clean"
+    if result.suppressed:
+        summary += f" ({result.suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def format_json(result: LintResult) -> str:
+    """Machine-readable report (the ``--format json`` payload).
+
+    Example
+    -------
+    >>> import json
+    >>> payload = json.loads(format_json(
+    ...     LintResult(findings=(), files_checked=1, suppressed=0)))
+    >>> payload["version"], payload["findings"]
+    (1, [])
+    """
+    return json.dumps(result.to_dict(), indent=2)
+
+
+__all__ = ["format_json", "format_text"]

@@ -1,0 +1,63 @@
+"""Rule ``api-doctest``: the public facade stays example-driven.
+
+Every public function in :mod:`repro.api` carries a doctest, and the
+tier-1 suite executes them (``tests/test_api_doctests.py``) — the
+examples in the docs are therefore guaranteed to run.  A new facade
+function without one silently erodes that guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import FileContext, RawFinding
+from repro.analysis.registry import register_rule
+
+
+@register_rule(
+    "api-doctest",
+    severity="warning",
+    scope=("api",),
+    summary="Public repro.api module functions carry a doctest",
+    rationale=(
+        "The facade's documentation *is* its doctest suite: "
+        "`tests/test_api_doctests.py` executes every example, so what "
+        "the docstrings show is what the code does. A public api "
+        "function without a `>>>` example is the one entry point whose "
+        "documented behaviour nothing checks — exactly where drift "
+        "starts. (Severity `warning`: a missing example is a "
+        "discipline gap, not an invariant break, but it still fails "
+        "the lint gate.)"
+    ),
+    example=(
+        "def run_everything(spec):\n"
+        "    \"\"\"Run the spec (no example, nothing executes this doc).\"\"\"\n"
+        "    return spec\n"
+    ),
+    example_path="api/example.py",
+    fix=(
+        "Add a runnable `Example` section with `>>>` lines to the "
+        "docstring (see any function in `repro.api.registry`); it is "
+        "picked up by the doctest suite automatically."
+    ),
+)
+def check_api_doctest(ctx: FileContext) -> List[RawFinding]:
+    out: List[RawFinding] = []
+    for node in ctx.tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        docstring = ast.get_docstring(node) or ""
+        if ">>>" not in docstring:
+            out.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f"public api function {node.name}() has no doctest; "
+                    "the facade's documented behaviour must execute in "
+                    "the doctest suite",
+                )
+            )
+    return out

@@ -479,6 +479,7 @@ def _gps_post_from_bundles(in_stream, post_stream) -> Dict[str, float]:
     from_bundles=_gps_shared_from_bundles,
     wants_post_stream=True,
     supports_core=True,
+    reads_labels=False,
 )
 def _make_gps(budget, stream_length, seed, weight_fn=None, core=DEFAULT_CORE):
     return make_in_stream_estimator(
@@ -493,6 +494,7 @@ def _make_gps(budget, stream_length, seed, weight_fn=None, core=DEFAULT_CORE):
     from_bundles=_gps_post_from_bundles,
     wants_post_stream=True,
     supports_core=True,
+    reads_labels=False,
 )
 def _make_gps_post(budget, stream_length, seed, weight_fn=None,
                    core=DEFAULT_CORE):
@@ -509,6 +511,7 @@ def _make_gps_post(budget, stream_length, seed, weight_fn=None,
     extract=_gps_in_stream_extract,
     from_bundles=_gps_in_stream_from_bundles,
     supports_core=True,
+    reads_labels=False,
 )
 def _make_gps_in_stream(budget, stream_length, seed, weight_fn=None,
                         core=DEFAULT_CORE):
@@ -527,6 +530,7 @@ def _probability(budget: int, stream_length: int) -> float:
 @register_method(
     "triest",
     description="TRIEST-BASE uniform reservoir (De Stefani et al., KDD 2016)",
+    reads_labels=False,
 )
 def _make_triest(budget, stream_length, seed):
     return TriestBase(budget, seed=seed)
@@ -535,6 +539,7 @@ def _make_triest(budget, stream_length, seed):
 @register_method(
     "triest-impr",
     description="TRIEST-IMPR: never-decremented weighted estimate",
+    reads_labels=False,
 )
 def _make_triest_impr(budget, stream_length, seed):
     return TriestImpr(budget, seed=seed)
@@ -544,6 +549,7 @@ def _make_triest_impr(budget, stream_length, seed):
     "mascot",
     description="MASCOT local+global with p = budget/|K| (Lim & Kang, KDD 2015)",
     needs_stream_length=True,
+    reads_labels=False,
 )
 def _make_mascot(budget, stream_length, seed):
     return Mascot(_probability(budget, stream_length), seed=seed)
@@ -553,6 +559,7 @@ def _make_mascot(budget, stream_length, seed):
     "mascot-c",
     description="MASCOT-C basic variant with p = budget/|K|",
     needs_stream_length=True,
+    reads_labels=False,
 )
 def _make_mascot_c(budget, stream_length, seed):
     return MascotBasic(_probability(budget, stream_length), seed=seed)
@@ -561,6 +568,7 @@ def _make_mascot_c(budget, stream_length, seed):
 @register_method(
     "nsamp",
     description="NSAMP r-estimator array (Pavan et al., VLDB 2013)",
+    reads_labels=False,
 )
 def _make_nsamp(budget, stream_length, seed):
     return NeighborhoodSampling(budget, seed=seed)
@@ -569,6 +577,7 @@ def _make_nsamp(budget, stream_length, seed):
 @register_method(
     "jsp",
     description="Jha–Seshadhri–Pinar wedge sampling; half edges, half wedges",
+    reads_labels=False,
 )
 def _make_jsp(budget, stream_length, seed):
     half = max(2, budget // 2)
@@ -580,6 +589,7 @@ def _make_jsp(budget, stream_length, seed):
     description="Graph sample-and-hold gSH(p, 2p) with p = budget/|K| "
     "(Ahmed et al., KDD 2014)",
     needs_stream_length=True,
+    reads_labels=False,
 )
 def _make_gsh(budget, stream_length, seed):
     # Hold-everything-adjacent explodes memory; use q = 2p capped at 1.
@@ -590,6 +600,7 @@ def _make_gsh(budget, stream_length, seed):
 @register_method(
     "buriol",
     description="Buriol et al. estimator array adapted to the adjacency model",
+    reads_labels=False,
 )
 def _make_buriol(budget, stream_length, seed):
     return BuriolSampler(budget, seed=seed)

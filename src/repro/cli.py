@@ -32,6 +32,10 @@ Commands:
 * ``methods``    list the registered stream-sampling methods
                  (``--markdown`` emits the ``docs/methods.md`` catalog);
 * ``weights``    list the registered weight functions;
+* ``lint``       static invariant analysis of the source tree (RNG,
+                 dtype, shared-memory lifecycle, determinism, spec and
+                 registry discipline — see ``docs/invariants.md``,
+                 which ``--markdown`` emits); exits nonzero on findings;
 * ``bench``      regenerate the BENCH_*.json performance trajectories
                  (``engine``/``replication``/``sweep`` targets,
                  ``--quick`` for CI-smoke sizes);
@@ -267,6 +271,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true",
                        help="emit the SweepReport as JSON")
 
+    lint = commands.add_parser(
+        "lint", help="static invariant analysis (AST lint) of Python sources"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"], metavar="path",
+                      help="files and/or directories to lint (default: src)")
+    lint.add_argument("--select", nargs="+", default=None, metavar="RULE",
+                      help="run only these rule ids (comma- or "
+                           "space-separated)")
+    lint.add_argument("--ignore", nargs="+", default=None, metavar="RULE",
+                      help="skip these rule ids")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--markdown", action="store_true",
+                      help="emit the docs/invariants.md rule catalog "
+                           "instead of linting")
+
     methods = commands.add_parser(
         "methods", help="list registered sampling methods"
     )
@@ -307,6 +327,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "track": _cmd_track,
         "replicate": _cmd_replicate,
         "sweep": _cmd_sweep,
+        "lint": _cmd_lint,
         "methods": _cmd_methods,
         "weights": _cmd_weights,
         "bench": _cmd_bench,
@@ -558,6 +579,43 @@ def _cmd_sweep(args) -> int:
     if report.cache_dir:
         print(f"cache directory: {report.cache_dir}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    # Imported lazily: the analyzer (and its rule registrations) are
+    # only needed by this command.
+    from repro.analysis import (
+        format_json,
+        format_text,
+        lint_paths,
+        rules_markdown,
+    )
+
+    if args.markdown:
+        sys.stdout.write(rules_markdown())
+        return 0
+    flatten = lambda values: [  # noqa: E731 - tiny comma-list splitter
+        name
+        for value in (values or [])
+        for name in value.split(",")
+        if name
+    ]
+    select = flatten(args.select)
+    ignore = flatten(args.ignore)
+    try:
+        result = lint_paths(
+            args.paths,
+            select=select or None,
+            ignore=ignore or None,
+        )
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        sys.stdout.write(format_text(result))
+    return 1 if result.findings else 0
 
 
 def _cmd_methods(args) -> int:

@@ -795,11 +795,13 @@ class CompactGraphPrioritySampler:
         rng = self._rng
         if n < self._BULK_DRAW_MIN:
             rand = rng.random
-            return _np.array([rand() for _ in range(n)])
+            return _np.array([rand() for _ in range(n)], dtype=_np.float64)
         version, internal, gauss = rng.getstate()
         mt = self._mt
         if mt is None:
-            mt = self._mt = _np.random.MT19937()
+            # State is transplanted from self._rng below before any
+            # draw, so the construction-time seed is never observed.
+            mt = self._mt = _np.random.MT19937()  # repro-lint: disable=rng-discipline
             self._mt_rs = _np.random.RandomState(mt)
         mt.state = {
             "bit_generator": "MT19937",

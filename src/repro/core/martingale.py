@@ -104,9 +104,12 @@ def snapshot_covariance(first: Snapshot, second: Snapshot) -> float:
     for key, (p, _t) in second.probabilities.items():
         if key not in shared:
             disjoint *= 1.0 / p
+    # Iterate the insertion-ordered mapping, not `shared`: set order is
+    # hash order, and the float product must not depend on it.
     later_shared = 1.0
-    for key in shared:
-        p1, t1 = first.probabilities[key]
+    for key, (p1, t1) in first.probabilities.items():
+        if key not in shared:
+            continue
         p2, t2 = second.probabilities[key]
         later_shared *= 1.0 / (p1 if t1 >= t2 else p2)
     return product_all - disjoint * later_shared
@@ -137,7 +140,10 @@ def post_stream_covariance(
     for key, p in second_probs.items():
         if key not in first_probs:
             union *= 1.0 / p
+    # Iterate the insertion-ordered dict, not `shared`: set order is
+    # hash order, and the float product must not depend on it.
     intersection = 1.0
-    for key in shared:
-        intersection *= 1.0 / first_probs[key]
+    for key, p in first_probs.items():
+        if key in second_probs:
+            intersection *= 1.0 / p
     return union * (intersection - 1.0)

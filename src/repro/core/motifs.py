@@ -137,10 +137,13 @@ class MotifCensusEstimator:
         s1: Dict[Tuple[Node, Node], float] = defaultdict(float)
         s2: Dict[Tuple[Node, Node], float] = defaultdict(float)
         s4: Dict[Tuple[Node, Node], float] = defaultdict(float)
-        centers = set()
+        # Dict, not set: iteration below accumulates floats per pair
+        # key, so the visit order must be insertion order, not hash
+        # order.
+        centers: Dict[Node, None] = {}
         for record in sample.records():
-            centers.add(record.u)
-            centers.add(record.v)
+            centers[record.u] = None
+            centers[record.v] = None
         for center in centers:
             incident = [
                 (rec.other_endpoint(center), 1.0 / rec.inclusion_probability(threshold))

@@ -200,9 +200,12 @@ def _pair_covariance(
     for key, p in second.items():
         if key not in first:
             union *= 1.0 / p
+    # Iterate the insertion-ordered dict, not `shared`: set order is
+    # hash order, and the float product must not depend on it.
     intersection = 1.0
-    for key in shared:
-        intersection *= 1.0 / first[key]
+    for key, p in first.items():
+        if key in second:
+            intersection *= 1.0 / p
     return union * (intersection - 1.0)
 
 

@@ -13,6 +13,10 @@ import doctest
 
 import pytest
 
+import repro.analysis
+import repro.analysis.engine
+import repro.analysis.findings
+import repro.analysis.registry
 import repro.api.execution
 import repro.api.ground_truth
 import repro.api.registry
@@ -26,6 +30,10 @@ import repro.heap.slot_heap
 import repro.streams.interner
 
 MODULES = [
+    repro.analysis,
+    repro.analysis.engine,
+    repro.analysis.findings,
+    repro.analysis.registry,
     repro.api.execution,
     repro.api.ground_truth,
     repro.api.registry,

@@ -11,10 +11,12 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis import rule_names, rules_markdown
 from repro.api.registry import registry_markdown
 from repro.cli import main
 
 DOCS = Path(__file__).resolve().parent.parent / "docs" / "methods.md"
+INVARIANTS = DOCS.parent / "invariants.md"
 
 
 def test_methods_markdown_in_sync_with_registry():
@@ -51,7 +53,34 @@ def test_catalog_escapes_table_pipes():
     assert "budget/\\|K\\|" in text
 
 
-@pytest.mark.parametrize("doc", ["architecture.md", "methods.md"])
+def test_invariants_markdown_in_sync_with_rule_registry():
+    assert INVARIANTS.exists(), (
+        "docs/invariants.md is missing; regenerate with "
+        "`python -m repro lint --markdown > docs/invariants.md`"
+    )
+    assert INVARIANTS.read_text() == rules_markdown(), (
+        "docs/invariants.md drifted from the lint rule registry; "
+        "regenerate with `python -m repro lint --markdown > "
+        "docs/invariants.md`"
+    )
+
+
+def test_lint_markdown_flag_emits_the_catalog(capsys):
+    assert main(["lint", "--markdown"]) == 0
+    assert capsys.readouterr().out == rules_markdown()
+
+
+def test_invariant_catalog_lists_every_rule():
+    text = rules_markdown()
+    for name in rule_names():
+        assert f"## {name}" in text
+        assert f"| [{name}](#{name}) |" in text
+
+
+@pytest.mark.parametrize(
+    "doc",
+    ["architecture.md", "methods.md", "performance.md", "invariants.md"],
+)
 def test_documentation_suite_present(doc):
     assert (DOCS.parent / doc).exists()
 
