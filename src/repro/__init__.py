@@ -29,6 +29,9 @@ Package map
 ``repro.streams``     Edge-stream model and transforms.
 ``repro.engine``      High-throughput stream driving and parallel
                       multi-seed replication.
+``repro.serve``       Live sampling service: concurrent ingestion with
+                      epoch-stamped snapshot queries (``ServeSpec`` +
+                      ``SamplingService`` + ``python -m repro serve``).
 ``repro.stats``       HT estimation, confidence intervals, error metrics.
 ``repro.baselines``   TRIEST, MASCOT, NSAMP, JSP, Buriol, gSH, uniform
                       reservoir — the paper's comparison methods.
@@ -65,6 +68,7 @@ from repro.engine.replication import (
     ReplicationResult,
 )
 from repro.engine.stream_engine import EngineStats, StreamEngine
+from repro.serve import SamplingService, ServeSpec
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.exact import (
     ExactStreamCounter,
@@ -111,6 +115,8 @@ __all__ = [
     "ReplicatedSummary",
     "ReplicationResult",
     "StreamEngine",
+    "SamplingService",
+    "ServeSpec",
     "AdjacencyGraph",
     "ExactStreamCounter",
     "GraphStatistics",

@@ -146,12 +146,13 @@ class _SetIterVisitor(ast.NodeVisitor):
 @register_rule(
     "nondet-ban",
     severity="error",
-    scope=("core", "stats"),
+    scope=("core", "stats", "serve"),
     summary="No wall clocks, OS entropy, or hash-ordered set iteration "
     "in estimator layers",
     rationale=(
         "`core/` and `stats/` compute the numbers the paper's tables "
-        "assert on; they must be pure functions of (stream, seed). "
+        "assert on, and `serve/` replays them live; they must be pure "
+        "functions of (stream, seed). "
         "`time.time`/`datetime.now`/`os.urandom` are obviously impure. "
         "Set iteration is the stealth variant: float accumulation is "
         "order-sensitive and a set's order is hash order, so a product "

@@ -1,10 +1,11 @@
 """``python -m repro bench`` — the one way BENCH_*.json files are made.
 
-Three targets, one JSON envelope::
+Four targets, one JSON envelope::
 
     python -m repro bench engine       # → BENCH_engine.json
     python -m repro bench replication  # → BENCH_replication.json
     python -m repro bench sweep        # → BENCH_sweep.json
+    python -m repro bench serve        # → BENCH_serve.json
 
 Every payload carries the same envelope — ``benchmark``, ``mode``
 (``full``/``quick``), ``generated_by``, ``python``, ``params``,
@@ -30,6 +31,11 @@ Every payload carries the same envelope — ``benchmark``, ``mode``
 * **sweep** measures the grid layer: a cold sweep into a fresh cache
   versus the same sweep resumed from it (ground truth and cell reports
   replayed, no recount).
+* **serve** measures the live service: sustained ingestion over the
+  steady-state uniform synthetic stream against a ladder of concurrent
+  query-reader threads (queries/sec × edges/sec, per-query latency),
+  with the final served estimates asserted bit-identical to a batch
+  pass over the same stream.
 """
 
 from __future__ import annotations
@@ -45,12 +51,13 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-TARGETS = ("engine", "replication", "sweep")
+TARGETS = ("engine", "replication", "sweep", "serve")
 
 DEFAULT_OUTPUTS = {
     "engine": "BENCH_engine.json",
     "replication": "BENCH_replication.json",
     "sweep": "BENCH_sweep.json",
+    "serve": "BENCH_serve.json",
 }
 
 
@@ -441,6 +448,172 @@ def bench_sweep(quick: bool) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def bench_serve(quick: bool) -> Dict:
+    """Sustained-load ladder: ingestion rate × concurrent query latency.
+
+    Drives the live service over the steady-state uniform synthetic
+    stream (the ≥1M-edges/sec regime: budget ≪ stream, vectorised
+    admission gate) while ``readers`` threads hammer ``estimates``
+    queries, and reports sustained edges/sec against per-query wall
+    latency for each rung of the reader ladder.  A second rung serves
+    the in-stream estimator (O(1) global answers, scalar fused
+    ingestion).  Before any timing counts, the service's final snapshot
+    is asserted bit-identical to a batch pass over the same stream —
+    concurrency must never buy a different number.
+    """
+    import threading
+
+    from repro.api.execution import _estimates_dict
+    from repro.api.registry import get_method, get_weight
+    from repro.serve import SamplingService, ServeSpec
+    from repro.serve.source import SyntheticSource
+
+    def batch_oracle(spec: ServeSpec) -> Dict:
+        """The same spec's stream, run to completion without threads."""
+        method = get_method(spec.method)
+        weight_fn = (
+            get_weight(spec.weight).factory()
+            if spec.weight is not None else None
+        )
+        counter = method.factory(
+            spec.budget, 0, spec.sampler_seed,
+            weight_fn=weight_fn, core="compact",
+        )
+        for us, vs in SyntheticSource(
+            spec.nodes, spec.stream_seed, chunk_size=spec.chunk_size,
+            max_edges=spec.max_edges,
+        ):
+            counter.process_chunk(us, vs)
+        estimates_fn = getattr(counter, "estimates", None)
+        if estimates_fn is not None:
+            return _estimates_dict(estimates_fn())
+        from repro.core.post_stream import PostStreamEstimator
+
+        sampler = getattr(counter, "sampler", counter)
+        return _estimates_dict(PostStreamEstimator(sampler).estimate())
+
+    def run_rung(spec: ServeSpec, readers: int) -> Dict:
+        service = SamplingService(spec)
+        done = threading.Event()
+        latencies: List[List[float]] = [[] for _ in range(readers)]
+
+        def read_loop(slot: List[float]) -> None:
+            while not done.is_set():
+                started = time.perf_counter()
+                response = service.query({"op": "estimates"})
+                slot.append(time.perf_counter() - started)
+                assert response["ok"], response
+
+        threads = [
+            threading.Thread(target=read_loop, args=(slot,), daemon=True)
+            for slot in latencies
+        ]
+        gc.collect()
+        service.start()
+        for thread in threads:
+            thread.start()
+        service.join()  # bounded source: pump runs the stream dry
+        done.set()
+        for thread in threads:
+            thread.join()
+        stats = service.stats
+        assert stats is not None
+        all_latencies = sorted(lat for slot in latencies for lat in slot)
+        final = _estimates_dict(service.latest().estimates())
+        rung = {
+            "readers": readers,
+            "ingest_edges_per_sec": round(
+                spec.max_edges / stats.elapsed_seconds, 1
+            ),
+            "elapsed_seconds": round(stats.elapsed_seconds, 4),
+            "queries": len(all_latencies),
+            "backpressure_stalls": service.stalls,
+        }
+        if all_latencies:
+            rung["queries_per_sec"] = round(
+                len(all_latencies) / stats.elapsed_seconds, 1
+            )
+            rung["query_latency_ms"] = {
+                "mean": round(
+                    sum(all_latencies) / len(all_latencies) * 1e3, 4
+                ),
+                "p95": round(
+                    all_latencies[int(0.95 * (len(all_latencies) - 1))]
+                    * 1e3, 4
+                ),
+                "max": round(all_latencies[-1] * 1e3, 4),
+            }
+        return rung, final
+
+    if quick:
+        post_spec = ServeSpec(
+            source="synthetic", method="gps-post", budget=600,
+            weight="uniform", nodes=100_000, max_edges=500_000,
+            stream_seed=0, sampler_seed=1,
+        )
+        in_spec = post_spec.replace(
+            method="gps", budget=400, max_edges=120_000
+        )
+        ladders = [0, 2]
+    else:
+        post_spec = ServeSpec(
+            source="synthetic", method="gps-post", budget=1000,
+            weight="uniform", nodes=100_000, max_edges=4_000_000,
+            stream_seed=0, sampler_seed=1,
+        )
+        in_spec = post_spec.replace(
+            method="gps", budget=1000, max_edges=500_000
+        )
+        ladders = [0, 1, 4]
+
+    # Correctness gate: concurrency must not change a single bit.
+    oracle = batch_oracle(post_spec)
+    results: Dict[str, Dict] = {"post_stream": {"ladder": []}}
+    for readers in ladders:
+        rung, final = run_rung(post_spec, readers)
+        assert final == oracle, (
+            f"served estimates diverged from the batch oracle at "
+            f"readers={readers}"
+        )
+        results["post_stream"]["ladder"].append(rung)
+        latency = rung.get("query_latency_ms", {}).get("mean", 0.0)
+        print(
+            f"serve [gps-post] readers={readers}: "
+            f"{rung['ingest_edges_per_sec']:>12,.0f} e/s   "
+            f"{rung['queries']:>6} queries   "
+            f"mean latency {latency:.3f} ms   "
+            f"stalls {rung['backpressure_stalls']}"
+        )
+    results["post_stream"]["bit_identical_to_batch"] = True
+
+    in_oracle = batch_oracle(in_spec)
+    rung, final = run_rung(in_spec, 2)
+    assert final == in_oracle, "in-stream serve diverged from batch"
+    results["in_stream"] = {
+        "ladder": [rung],
+        "bit_identical_to_batch": True,
+    }
+    print(
+        f"serve [gps]      readers=2: "
+        f"{rung['ingest_edges_per_sec']:>12,.0f} e/s   "
+        f"{rung['queries']:>6} queries   "
+        f"mean latency "
+        f"{rung.get('query_latency_ms', {}).get('mean', 0.0):.3f} ms"
+    )
+    return _envelope(
+        "serve", quick,
+        params={
+            "post_stream_spec": post_spec.to_dict(),
+            "in_stream_spec": in_spec.to_dict(),
+            "reader_ladder": ladders,
+        },
+        results=results,
+    )
+
+
+# ----------------------------------------------------------------------
 # CLI plumbing
 # ----------------------------------------------------------------------
 def run_target(
@@ -456,6 +629,8 @@ def run_target(
         payload = bench_replication(quick)
     elif target == "sweep":
         payload = bench_sweep(quick)
+    elif target == "serve":
+        payload = bench_serve(quick)
     else:
         raise ValueError(
             f"unknown bench target {target!r}; known: {TARGETS}"

@@ -29,6 +29,10 @@ Commands:
                  shared process pool, exact ground truth is cached
                  content-addressed, ``--resume`` skips already-computed
                  cells; per-cell error summaries, CSV/JSON export;
+* ``serve``      long-running sampling service: background ingestion
+                 (file / file tail / synthetic generator / TCP feed)
+                 with concurrent JSON-lines estimate queries over
+                 stdin/stdout or TCP — see ``docs/serving.md``;
 * ``methods``    list the registered stream-sampling methods
                  (``--markdown`` emits the ``docs/methods.md`` catalog);
 * ``weights``    list the registered weight functions;
@@ -271,6 +275,44 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true",
                        help="emit the SweepReport as JSON")
 
+    serve = commands.add_parser(
+        "serve", help="live sampling service answering JSON-lines queries"
+    )
+    serve.add_argument("source", nargs="?", default=None,
+                       help="edge-list path, dataset name, 'synthetic', or "
+                            "tcp://host:port")
+    serve.add_argument("--spec", metavar="FILE",
+                       help="load a ServeSpec JSON file (other service "
+                            "flags are then rejected)")
+    serve.add_argument("-m", "--capacity", type=int, default=None,
+                       help="reservoir capacity (default: 1000)")
+    serve.add_argument("--method", choices=sorted(method_names()),
+                       default=None,
+                       help="registered method to serve (default: gps)")
+    _add_weight_option(serve)
+    serve.add_argument("--seed", type=int, default=None,
+                       help="sampler seed (default: 1)")
+    serve.add_argument("--stream-seed", type=int, default=None,
+                       help="stream permutation / generator seed "
+                            "(default: 0; negative keeps source order)")
+    serve.add_argument("--chunk-size", type=int, default=None,
+                       help="ingestion block size in edges")
+    serve.add_argument("--queue-chunks", type=int, default=None,
+                       help="ingestion queue bound in blocks "
+                            "(backpressure knob, default: 8)")
+    serve.add_argument("--snapshot-every", type=int, default=None,
+                       help="publish a snapshot every N blocks (default: 1)")
+    serve.add_argument("--max-edges", type=int, default=None,
+                       help="stop ingesting after this many edges")
+    serve.add_argument("--nodes", type=int, default=None,
+                       help="node population of the synthetic source "
+                            "(default: 10000)")
+    serve.add_argument("--follow", action="store_true",
+                       help="tail a file source for appended edges")
+    serve.add_argument("--port", type=int, default=None, metavar="PORT",
+                       help="answer queries over TCP on PORT (0 binds an "
+                            "ephemeral port) instead of stdin/stdout")
+
     lint = commands.add_parser(
         "lint", help="static invariant analysis (AST lint) of Python sources"
     )
@@ -297,7 +339,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench", help="regenerate the BENCH_*.json performance benchmarks"
     )
-    bench.add_argument("target", choices=("engine", "replication", "sweep"),
+    bench.add_argument("target",
+                       choices=("engine", "replication", "sweep", "serve"),
                        help="which benchmark to run")
     bench.add_argument("--quick", action="store_true",
                        help="CI-smoke sizes (same JSON schema)")
@@ -327,6 +370,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "track": _cmd_track,
         "replicate": _cmd_replicate,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
         "methods": _cmd_methods,
         "weights": _cmd_weights,
@@ -578,6 +622,82 @@ def _cmd_sweep(args) -> int:
         print(f"skipped (budget > |K|): {names}")
     if report.cache_dir:
         print(f"cache directory: {report.cache_dir}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from repro.serve import SamplingService, ServeSpec
+    from repro.serve.protocol import serve_stdio, serve_tcp
+
+    if args.spec:
+        overridden = [
+            flag
+            for flag, value in (
+                ("source", args.source),
+                ("--capacity", args.capacity),
+                ("--method", args.method),
+                ("--weight", args.weight),
+                ("--seed", args.seed),
+                ("--stream-seed", args.stream_seed),
+                ("--chunk-size", args.chunk_size),
+                ("--queue-chunks", args.queue_chunks),
+                ("--snapshot-every", args.snapshot_every),
+                ("--max-edges", args.max_edges),
+                ("--nodes", args.nodes),
+                ("--follow", args.follow or None),
+            )
+            if value is not None
+        ]
+        if overridden:
+            print(f"serve: --spec and {', '.join(overridden)} are "
+                  f"mutually exclusive — edit the spec file instead",
+                  file=sys.stderr)
+            return 2
+        spec = ServeSpec.from_json(Path(args.spec).read_text())
+    else:
+        if not args.source:
+            print("serve: a source is required (or load one with "
+                  "--spec FILE)", file=sys.stderr)
+            return 2
+        overrides = {
+            "method": args.method,
+            "budget": args.capacity,
+            "weight": args.weight,
+            "sampler_seed": args.seed,
+            "chunk_size": args.chunk_size,
+            "queue_chunks": args.queue_chunks,
+            "snapshot_every": args.snapshot_every,
+            "max_edges": args.max_edges,
+            "nodes": args.nodes,
+        }
+        overrides = {k: v for k, v in overrides.items() if v is not None}
+        if args.stream_seed is not None:
+            # Negative = "keep source order" (None is unspellable on a CLI),
+            # so this must land after the unset-flag filter above.
+            overrides["stream_seed"] = (
+                None if args.stream_seed < 0 else args.stream_seed
+            )
+        if args.follow:
+            overrides["follow"] = True
+        spec = ServeSpec(source=args.source, **overrides)
+    try:
+        service = SamplingService(spec)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        if args.port is not None:
+            serve_tcp(
+                service,
+                port=args.port,
+                ready=lambda host, port: print(
+                    f"serving on tcp://{host}:{port}", file=sys.stderr
+                ),
+            )
+        else:
+            serve_stdio(service)
     return 0
 
 

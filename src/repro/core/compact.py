@@ -221,6 +221,84 @@ class CompactSample:
 _EMPTY: Dict[Node, int] = {}
 
 
+class SlotArrays:
+    """Dtype-pinned copy of the live slot prefix plus the heap root.
+
+    The cheap snapshot shape: where :meth:`CompactSample.materialize`
+    builds an O(m) object graph (one :class:`EdgeRecord` per slot plus
+    two dict levels), this is five flat ``float64``/``int64`` column
+    copies, two label lists and three scalars — the raw material the
+    serving layer's :class:`~repro.serve.snapshot.SampleSnapshot`
+    captures at every chunk boundary and materialises lazily only when
+    a retrospective query actually arrives.
+
+    Only the first :attr:`size` entries of each column are live (slots
+    are allocated densely: admissions fill ``0..size-1`` and evictions
+    overwrite in place, so the live slots are exactly that prefix).
+    Columns are numpy arrays of length :attr:`capacity` when numpy is
+    available (so instances can be recycled as double buffers via the
+    ``out=`` parameter of :meth:`CompactGraphPrioritySampler.
+    snapshot_arrays`) and plain list copies otherwise.  Instances are
+    value containers, not views: mutating the sampler afterwards never
+    changes a snapshot, and vice versa.
+    """
+
+    __slots__ = (
+        "size",
+        "capacity",
+        "u",
+        "v",
+        "weight",
+        "priority",
+        "arrival",
+        "cov_triangle",
+        "cov_wedge",
+        "heap_root",
+        "threshold",
+        "stream_position",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.size = 0
+        self.u: List[Node] = []
+        self.v: List[Node] = []
+        if _np is not None:
+            self.weight = _np.empty(capacity, dtype=_np.float64)
+            self.priority = _np.empty(capacity, dtype=_np.float64)
+            self.arrival = _np.empty(capacity, dtype=_np.int64)
+            self.cov_triangle = _np.empty(capacity, dtype=_np.float64)
+            self.cov_wedge = _np.empty(capacity, dtype=_np.float64)
+        else:  # pragma: no cover - numpy is a declared dependency
+            self.weight = []
+            self.priority = []
+            self.arrival = []
+            self.cov_triangle = []
+            self.cov_wedge = []
+        self.heap_root: Optional[Tuple[float, int]] = None
+        self.threshold = 0.0
+        self.stream_position = 0
+
+    def record(self, slot: int) -> EdgeRecord:
+        """Materialise one slot as an :class:`EdgeRecord` (cold path).
+
+        Numpy scalars are unboxed back to plain Python floats/ints so a
+        record built from a snapshot is field-for-field ``==`` (and
+        bit-identical in float payloads) to one built live by
+        :meth:`CompactGraphPrioritySampler._materialize`.
+        """
+        record = EdgeRecord(
+            self.u[slot],
+            self.v[slot],
+            weight=float(self.weight[slot]),
+            priority=float(self.priority[slot]),
+            arrival=int(self.arrival[slot]),
+        )
+        record.cov_triangle = float(self.cov_triangle[slot])
+        record.cov_wedge = float(self.cov_wedge[slot])
+        return record
+
+
 class CompactGraphPrioritySampler:
     """GPS(m) on slot-indexed parallel arrays (Algorithm 1, compact core).
 
@@ -1053,6 +1131,67 @@ class CompactGraphPrioritySampler:
         record.cov_wedge = self._cov_wedge[slot]
         return record
 
+    def snapshot_arrays(
+        self, out: Optional[SlotArrays] = None
+    ) -> SlotArrays:
+        """Cheap state snapshot: dtype-pinned slot columns + heap root.
+
+        O(m) flat copies (no per-edge allocation, no dict walk) of the
+        live slot prefix — the fields :meth:`CompactSample.materialize`
+        would box into records, as five ``float64``/``int64`` columns,
+        the ``u``/``v`` label lists, the heap root ``(priority, slot)``
+        pair, the threshold ``z*`` and the stream position.  Pass a
+        previous snapshot as ``out`` to overwrite its columns in place
+        (the serving layer's double-buffer recycling); the caller owns
+        the guarantee that no reader still holds it.
+
+        >>> sampler = CompactGraphPrioritySampler(capacity=4, seed=1)
+        >>> sampler.process_many([(0, 1), (1, 2)])
+        2
+        >>> snap = sampler.snapshot_arrays()
+        >>> snap.size, snap.stream_position
+        (2, 2)
+        """
+        size = len(self._heap)
+        heap_arr = self._heap._heap
+        if (
+            out is None
+            or out.capacity != self._capacity
+            or (_np is not None and not isinstance(out.weight, _np.ndarray))
+        ):
+            out = SlotArrays(self._capacity)
+        if _np is not None:
+            out.weight[:size] = self._weight[:size]
+            out.priority[:size] = self._priority[:size]
+            out.arrival[:size] = self._arrival[:size]
+            out.cov_triangle[:size] = self._cov_tri[:size]
+            out.cov_wedge[:size] = self._cov_wedge[:size]
+        else:  # pragma: no cover - numpy is a declared dependency
+            out.weight = self._weight[:size]
+            out.priority = self._priority[:size]
+            out.arrival = self._arrival[:size]
+            out.cov_triangle = self._cov_tri[:size]
+            out.cov_wedge = self._cov_wedge[:size]
+        out.u = self._su[:size]
+        out.v = self._sv[:size]
+        out.size = size
+        out.heap_root = heap_arr[0] if size else None
+        out.threshold = self._threshold
+        out.stream_position = self._arrivals
+        return out
+
+    def snapshot_adjacency(self) -> Dict[Node, Dict[Node, int]]:
+        """Order-preserving copy of the slot adjacency (node → nbr → slot).
+
+        The companion of :meth:`snapshot_arrays` for consumers that
+        need bit-identical *retrospective* estimates: the adjacency's
+        dict insertion orders determine the float accumulation order of
+        Algorithm 2 and every other retrospective estimator, and the
+        slot columns alone cannot recover them.  The copy is two dict
+        levels deep — mutating the sampler afterwards never changes it.
+        """
+        return {u: dict(nbrs) for u, nbrs in self._adj.items()}
+
     def records(self) -> Iterator[EdgeRecord]:
         """Records of all currently sampled edges (materialised views)."""
         return self._view.records()
@@ -1446,6 +1585,22 @@ class CompactInStreamEstimator:
                 yield t, self.estimates()
                 next_idx += 1
 
+    def snapshot_arrays(
+        self, out: Optional[SlotArrays] = None
+    ) -> SlotArrays:
+        """The sampler's slot snapshot (see the sampler's method).
+
+        The estimator's own Algorithm-3 accumulators are already O(1)
+        to read (:meth:`estimates` assembles them without touching the
+        slots), so the reservoir columns are the only state worth a
+        bulk copy.
+        """
+        return self._sampler.snapshot_arrays(out)
+
+    def snapshot_adjacency(self) -> Dict[Node, Dict[Node, int]]:
+        """Order-preserving slot-adjacency copy (see the sampler's method)."""
+        return self._sampler.snapshot_adjacency()
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
@@ -1550,6 +1705,7 @@ __all__ = [
     "CompactGraphPrioritySampler",
     "CompactInStreamEstimator",
     "CompactSample",
+    "SlotArrays",
     "make_in_stream_estimator",
     "make_priority_sampler",
     "validate_core",

@@ -68,6 +68,7 @@ _TAIL_BATCH = 65536
 Counter = object
 
 CheckpointCallback = Callable[[int], None]
+ChunkObserver = Callable[[int], None]
 
 
 @dataclass(frozen=True)
@@ -120,7 +121,7 @@ class StreamEngine:
     3
     """
 
-    __slots__ = ("_counter", "_companions", "_chunk_size")
+    __slots__ = ("_counter", "_companions", "_chunk_size", "_on_chunk")
 
     def __init__(
         self,
@@ -133,6 +134,29 @@ class StreamEngine:
         self._counter = counter
         self._companions = tuple(companions)
         self._chunk_size = chunk_size
+        self._on_chunk: Tuple[ChunkObserver, ...] = ()
+
+    def on_chunk(self, callback: "ChunkObserver") -> "ChunkObserver":
+        """Subscribe ``callback(position)`` to segment boundaries.
+
+        Fires after every contiguous segment the engine feeds to the
+        counter(s) — each columnar block (and each checkpoint split) in
+        the chunked drive, each materialised batch in the batched
+        drive, each arrival in the per-edge lockstep — with the 1-based
+        stream position processed so far.  Unlike ``checkpoints``, no
+        positions need to be predeclared: observers (the serving
+        layer's snapshot publisher, metrics sinks) see every natural
+        pause point of whatever drive the engine picked.
+
+        Observers are ordinary Python callbacks on the driving thread;
+        they must not feed the counters.  When no observer is
+        registered the drives skip the dispatch entirely (a no-op cost
+        guarantee the regression tests pin down: hooks never perturb
+        RNG state or counts).  Returns ``callback`` so the method works
+        as a decorator.
+        """
+        self._on_chunk += (callback,)
+        return callback
 
     @property
     def counter(self) -> Counter:
@@ -204,6 +228,7 @@ class StreamEngine:
             blocks = iter_chunks(stream, size)
         process_chunk = self._counter.process_chunk
         companions = [c.process_many for c in self._companions]
+        hooks = self._on_chunk
         mark_iter = iter(marks)
         next_mark = next(mark_iter, 0)
         position = 0
@@ -222,6 +247,8 @@ class StreamEngine:
                 offset = cut
                 if on_checkpoint is not None:
                     on_checkpoint(position)
+                for hook in hooks:
+                    hook(position)
                 next_mark = next(mark_iter, 0)
             if offset < block_len:
                 su, sv = cu[offset:], cv[offset:]
@@ -231,6 +258,8 @@ class StreamEngine:
                     for feed in companions:
                         feed(pairs)
                 position += block_len - offset
+                for hook in hooks:
+                    hook(position)
         return position
 
     def _run_batched(
@@ -240,6 +269,7 @@ class StreamEngine:
         on_checkpoint: Optional[CheckpointCallback],
     ) -> int:
         process_many = self._counter.process_many
+        hooks = self._on_chunk
         it = iter(stream)
         position = 0
         if not self._companions:
@@ -249,10 +279,25 @@ class StreamEngine:
                 consumed = process_many(islice(it, mark - position))
                 position += consumed
                 if position < mark:  # stream ended before the checkpoint
+                    if consumed:
+                        for hook in hooks:
+                            hook(position)
                     return position
                 if on_checkpoint is not None:
                     on_checkpoint(position)
-            return position + process_many(it)
+                for hook in hooks:
+                    hook(position)
+            if not hooks:
+                return position + process_many(it)
+            # Observers want segment boundaries: bound the tail into
+            # _TAIL_BATCH slices so they keep firing past the last mark.
+            while True:
+                consumed = process_many(islice(it, _TAIL_BATCH))
+                if not consumed:
+                    return position
+                position += consumed
+                for hook in hooks:
+                    hook(position)
         # Companions replay each batch, so batches are materialised —
         # checkpoint-to-checkpoint, then bounded tail blocks.
         companions = [c.process_many for c in self._companions]
@@ -267,15 +312,22 @@ class StreamEngine:
             feed(batch)
             position += len(batch)
             if position < mark:
+                if batch:
+                    for hook in hooks:
+                        hook(position)
                 return position
             if on_checkpoint is not None:
                 on_checkpoint(position)
+            for hook in hooks:
+                hook(position)
         while True:
             batch = list(islice(it, _TAIL_BATCH))
             if not batch:
                 return position
             feed(batch)
             position += len(batch)
+            for hook in hooks:
+                hook(position)
 
     def _run_lockstep(
         self,
@@ -285,10 +337,11 @@ class StreamEngine:
     ) -> int:
         consumers = [self._counter.process]
         consumers.extend(c.process for c in self._companions)
+        hooks = self._on_chunk
         mark_iter = iter(marks)
         next_mark = next(mark_iter, 0)
         t = 0
-        if len(consumers) == 1:
+        if len(consumers) == 1 and not hooks:
             process = consumers[0]
             for u, v in stream:
                 process(u, v)
@@ -306,6 +359,9 @@ class StreamEngine:
                 if on_checkpoint is not None:
                     on_checkpoint(t)
                 next_mark = next(mark_iter, 0)
+            # Lockstep's natural segment is one arrival.
+            for hook in hooks:
+                hook(t)
         return t
 
 
@@ -315,5 +371,6 @@ __all__ = [
     "StreamEngine",
     "EngineStats",
     "CheckpointCallback",
+    "ChunkObserver",
     "validate_pipeline",
 ]

@@ -1,0 +1,39 @@
+"""Live sampling service: continuous ingestion, snapshot queries.
+
+The paper's setting is *continuous* monitoring of graph statistics
+over unbounded streams; this package turns the repo's batch machinery
+into a long-running service.  A pump thread feeds a bounded queue from
+a pluggable block source (file / file tail / synthetic generator /
+TCP line feed), a drive thread runs the chunked
+:class:`~repro.engine.StreamEngine` over it, and immutable epoch-
+stamped reservoir snapshots are published at chunk boundaries so any
+number of query threads read consistent state without ever pausing
+ingestion.
+
+Entry points: the programmatic :class:`SamplingService`, the
+``python -m repro serve`` JSON-lines protocol (stdin or TCP), and
+``python -m repro bench serve`` for the sustained-load ladder.
+"""
+
+from repro.serve.service import SamplingService
+from repro.serve.snapshot import SampleSnapshot, SnapshotStore
+from repro.serve.source import (
+    FileTailSource,
+    ResolvedSource,
+    SocketLineSource,
+    SyntheticSource,
+    make_source,
+)
+from repro.serve.spec import ServeSpec
+
+__all__ = [
+    "SamplingService",
+    "SampleSnapshot",
+    "SnapshotStore",
+    "ServeSpec",
+    "SyntheticSource",
+    "ResolvedSource",
+    "FileTailSource",
+    "SocketLineSource",
+    "make_source",
+]

@@ -1,0 +1,441 @@
+"""The live sampling service: concurrent ingestion + snapshot queries.
+
+:class:`SamplingService` wires the pieces together:
+
+* a **pump thread** iterates the spec's block source and feeds a
+  bounded :class:`queue.Queue` (backpressure: when the drive falls
+  behind, the pump blocks and the stall is counted);
+* a **drive thread** runs the chunked :class:`~repro.engine.StreamEngine`
+  over the queue, and — via the engine's ``on_chunk`` observer —
+  captures an immutable :class:`~repro.serve.snapshot.SampleSnapshot`
+  every ``snapshot_every`` blocks, publishing it to a
+  :class:`~repro.serve.snapshot.SnapshotStore` under a monotone epoch;
+* **query callers** (any number of threads) read the latest snapshot
+  with one lock acquisition and compute answers entirely on private
+  copies, so queries never pause ingestion and ingestion never tears a
+  query's view.
+
+Shutdown is graceful by default: ``stop(drain=True)`` stops the pump,
+lets the drive consume everything already queued, publishes a final
+snapshot and joins both threads; ``drain=False`` aborts, discarding
+queued blocks at the next block boundary.  The final snapshot of a
+drained finite source is bit-identical to a batch ``run()`` over the
+same stream — the concurrency stress tests pin this down prefix by
+prefix.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.stream_engine import EngineStats, StreamEngine
+from repro.serve.snapshot import SampleSnapshot, SnapshotStore
+from repro.serve.source import make_source
+from repro.serve.spec import ServeSpec
+
+#: Ops answered without a published snapshot (everything else reads one).
+_SNAPSHOT_FREE_OPS = ("ping", "spec", "status", "wait", "drain", "shutdown")
+
+
+class _QueueStream:
+    """Engine-facing view of the ingestion queue.
+
+    ``chunks(size)`` yields the transport's blocks as they arrive
+    (``size`` is advisory — the chunked pipeline is bit-identical
+    across block boundaries); a ``None`` sentinel ends the stream, and
+    the abort event ends it early at the next boundary.
+    """
+
+    def __init__(
+        self,
+        blocks: "queue.Queue",
+        abort: threading.Event,
+        poll_interval: float,
+    ) -> None:
+        self._queue = blocks
+        self._abort = abort
+        self._poll = poll_interval
+
+    def _next(self):
+        while True:
+            if self._abort.is_set():
+                return None
+            try:
+                return self._queue.get(timeout=self._poll)
+            except queue.Empty:
+                continue
+
+    def chunks(self, size: int):
+        while True:
+            block = self._next()
+            if block is None:
+                return
+            yield block
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        from repro.streams.chunks import pairs_from_columns
+
+        for us, vs in self.chunks(0):
+            yield from pairs_from_columns(us, vs)
+
+
+class SamplingService:
+    """A long-running sampler answering queries while it ingests.
+
+    Construct from a :class:`ServeSpec` (optionally injecting a
+    prebuilt block ``source``), then either use as a context manager or
+    call :meth:`start` / :meth:`stop` explicitly::
+
+        spec = ServeSpec(source="synthetic", budget=500, max_edges=100_000)
+        with SamplingService(spec) as service:
+            service.wait_for_epoch(2)
+            answer = service.query({"op": "estimates"})
+
+    Every query answer carries the snapshot's ``epoch`` and
+    ``stream_position``, so callers can reason about freshness and
+    tests can match answers against prefix-exact batch runs.
+    """
+
+    def __init__(self, spec: ServeSpec, source: Optional[Any] = None) -> None:
+        from repro.api.registry import get_method, get_weight
+
+        method = get_method(spec.method)
+        if method.needs_stream_length:
+            raise ValueError(
+                f"method {spec.method!r} interprets its budget via the "
+                "stream length, which a live service cannot know; pick a "
+                "length-free method (the GPS family)"
+            )
+        weight_fn = None
+        if spec.weight is not None:
+            if not method.uses_weight:
+                raise ValueError(
+                    f"method {spec.method!r} does not use a weight function"
+                )
+            weight_fn = get_weight(spec.weight).factory()
+        kwargs: Dict[str, Any] = {}
+        if method.uses_weight:
+            kwargs["weight_fn"] = weight_fn
+        if method.supports_core:
+            kwargs["core"] = "compact"
+        counter = method.factory(
+            spec.budget, 0, spec.sampler_seed, **kwargs
+        )
+        sampler = getattr(counter, "sampler", counter)
+        if not hasattr(sampler, "snapshot_arrays"):
+            raise ValueError(
+                f"method {spec.method!r} does not expose the compact "
+                "snapshot surface (snapshot_arrays); the serving layer "
+                "supports the GPS family"
+            )
+
+        self._spec = spec
+        self._counter = counter
+        self._source = source if source is not None else make_source(spec)
+        self._store = SnapshotStore()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=spec.queue_chunks)
+        self._stop_event = threading.Event()
+        self._abort = threading.Event()
+        self._engine = StreamEngine(counter, chunk_size=spec.chunk_size)
+        self._engine.on_chunk(self._chunk_boundary)
+        self._pump_thread: Optional[threading.Thread] = None
+        self._drive_thread: Optional[threading.Thread] = None
+        self._stats: Optional[EngineStats] = None
+        self._errors: List[str] = []
+        self._stalls = 0
+        self._blocks_ingested = 0
+        self._chunks_processed = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> ServeSpec:
+        return self._spec
+
+    @property
+    def store(self) -> SnapshotStore:
+        return self._store
+
+    @property
+    def stats(self) -> Optional[EngineStats]:
+        """Engine timing of the finished drive (None while running)."""
+        return self._stats
+
+    @property
+    def stalls(self) -> int:
+        """How often the pump hit the full queue (backpressure events)."""
+        return self._stalls
+
+    def start(self) -> "SamplingService":
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        # Epoch 1 is the empty reservoir: queries are answerable from
+        # the first instant, with no startup race.
+        self._publish()
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="repro-serve-pump", daemon=True
+        )
+        self._drive_thread = threading.Thread(
+            target=self._drive, name="repro-serve-drive", daemon=True
+        )
+        self._pump_thread.start()
+        self._drive_thread.start()
+        return self
+
+    def __enter__(self) -> "SamplingService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    @property
+    def running(self) -> bool:
+        drive = self._drive_thread
+        return drive is not None and drive.is_alive()
+
+    def stop(
+        self, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Stop ingestion and join.
+
+        ``drain=True`` finishes a *bounded* source completely (the pump
+        runs the stream to its end) and, for unbounded sources, stops
+        the pump at the next block and lets the drive consume whatever
+        is queued; ``drain=False`` aborts, discarding queued blocks at
+        the next block boundary.
+        """
+        bounded = bool(getattr(self._source, "bounded", False))
+        if not (drain and bounded):
+            self._stop_event.set()
+            source_stop = getattr(self._source, "stop", None)
+            if source_stop is not None:
+                source_stop()
+        if not drain:
+            self._abort.set()
+        self.join(timeout)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for both threads; re-raises the first worker error."""
+        for thread in (self._pump_thread, self._drive_thread):
+            if thread is not None:
+                thread.join(timeout)
+        if self._errors:
+            raise RuntimeError(
+                f"service worker failed: {'; '.join(self._errors)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Worker threads
+    # ------------------------------------------------------------------
+    def _put(self, block: Any) -> bool:
+        try:
+            self._queue.put_nowait(block)
+            return True
+        except queue.Full:
+            self._stalls += 1
+        poll = self._spec.poll_interval
+        while not self._abort.is_set():
+            try:
+                self._queue.put(block, timeout=poll)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _pump(self) -> None:
+        try:
+            for block in self._source:
+                if self._stop_event.is_set():
+                    break
+                if not self._put(block):
+                    break
+                self._blocks_ingested += 1
+        except Exception as exc:  # noqa: BLE001 - surfaced via join()
+            self._errors.append(f"pump: {exc!r}")
+        finally:
+            self._put(None)  # end-of-stream sentinel
+
+    def _drive(self) -> None:
+        try:
+            stream = _QueueStream(
+                self._queue, self._abort, self._spec.poll_interval
+            )
+            self._stats = self._engine.run(stream)
+            # Final state: the drained reservoir, even when the last
+            # segment didn't land on a snapshot_every boundary.
+            self._publish()
+        except Exception as exc:  # noqa: BLE001 - surfaced via join()
+            self._errors.append(f"drive: {exc!r}")
+
+    def _chunk_boundary(self, position: int) -> None:
+        self._chunks_processed += 1
+        if self._chunks_processed % self._spec.snapshot_every == 0:
+            self._publish()
+
+    def _publish(self) -> None:
+        snapshot = SampleSnapshot.capture(
+            self._counter, out=self._store.take_buffer()
+        )
+        self._store.publish(snapshot)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def latest(self) -> Optional[SampleSnapshot]:
+        return self._store.latest()
+
+    def wait_for_epoch(
+        self, epoch: int, timeout: Optional[float] = None
+    ) -> Optional[SampleSnapshot]:
+        return self._store.wait_for(epoch, timeout)
+
+    def status(self) -> Dict[str, Any]:
+        latest = self._store.latest()
+        return {
+            "running": self.running,
+            "epoch": latest.epoch if latest is not None else 0,
+            "stream_position": (
+                latest.stream_position if latest is not None else 0
+            ),
+            "sample_size": latest.sample_size if latest is not None else 0,
+            "blocks_ingested": self._blocks_ingested,
+            "chunks_processed": self._chunks_processed,
+            "backpressure": {
+                "stalls": self._stalls,
+                "queue_depth": self._queue.qsize(),
+                "queue_chunks": self._spec.queue_chunks,
+            },
+            "errors": list(self._errors),
+        }
+
+    def query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one JSON-shaped query; never raises for bad requests."""
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        if not isinstance(op, str):
+            return {"ok": False, "error": "request needs a string 'op'"}
+        try:
+            return self._dispatch(op, request)
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return {"ok": False, "op": op, "error": repr(exc)}
+
+    def _dispatch(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        if op == "ping":
+            return {"ok": True, "op": op, "epoch": self._store.epoch}
+        if op == "spec":
+            return {"ok": True, "op": op, "spec": self._spec.to_dict()}
+        if op == "status":
+            return {"ok": True, "op": op, "status": self.status()}
+        if op == "wait":
+            target = int(request.get("epoch", self._store.epoch + 1))
+            timeout = request.get("timeout")
+            snapshot = self._store.wait_for(
+                target, None if timeout is None else float(timeout)
+            )
+            if snapshot is None:
+                return {
+                    "ok": False,
+                    "op": op,
+                    "error": f"timed out waiting for epoch {target}",
+                    "epoch": self._store.epoch,
+                }
+            return self._head(op, snapshot)
+        if op == "drain":
+            self.stop(drain=True)
+            return {"ok": True, "op": op, "status": self.status()}
+        if op == "shutdown":
+            self.stop(drain=False)
+            return {"ok": True, "op": op, "status": self.status()}
+
+        snapshot = self._snapshot_for(request)
+        if snapshot is None:
+            return {"ok": False, "op": op, "error": "no snapshot published"}
+        if op == "estimates":
+            from repro.api.execution import _estimates_dict
+
+            head = self._head(op, snapshot)
+            head["estimates"] = _estimates_dict(snapshot.estimates())
+            return head
+        if op == "occupancy":
+            head = self._head(op, snapshot)
+            head["occupancy"] = snapshot.occupancy()
+            return head
+        if op == "local":
+            return self._local(op, snapshot, request)
+        if op == "motifs":
+            return self._motifs(op, snapshot)
+        return {
+            "ok": False,
+            "op": op,
+            "error": f"unknown op {op!r}; known ops: ping, spec, status, "
+            "wait, estimates, occupancy, local, motifs, drain, shutdown",
+        }
+
+    def _snapshot_for(
+        self, request: Dict[str, Any]
+    ) -> Optional[SampleSnapshot]:
+        epoch = request.get("epoch")
+        if epoch is None:
+            return self._store.latest()
+        timeout = request.get("timeout")
+        return self._store.wait_for(
+            int(epoch), None if timeout is None else float(timeout)
+        )
+
+    @staticmethod
+    def _head(op: str, snapshot: SampleSnapshot) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "op": op,
+            "epoch": snapshot.epoch,
+            "stream_position": snapshot.stream_position,
+            "sample_size": snapshot.sample_size,
+            "threshold": snapshot.threshold,
+        }
+
+    def _local(
+        self,
+        op: str,
+        snapshot: SampleSnapshot,
+        request: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        from repro.core.local import LocalTriangleEstimator
+
+        estimator = LocalTriangleEstimator(snapshot)
+        triangles = estimator.node_triangles()
+        wedges = estimator.node_wedges()
+        head = self._head(op, snapshot)
+        node = request.get("node")
+        if node is not None:
+            head["node"] = node
+            head["triangles"] = triangles.get(node, 0.0)
+            head["wedges"] = wedges.get(node, 0.0)
+            return head
+        head["triangles"] = triangles
+        head["wedges"] = wedges
+        return head
+
+    def _motifs(self, op: str, snapshot: SampleSnapshot) -> Dict[str, Any]:
+        from repro.core.motifs import MotifCensusEstimator
+
+        head = self._head(op, snapshot)
+        census = {}
+        for name, est in MotifCensusEstimator(snapshot).estimate().items():
+            low, high = est.confidence_bounds()
+            census[name] = {
+                "value": est.value,
+                "variance": est.variance,
+                "ci_low": low,
+                "ci_high": high,
+            }
+        head["motifs"] = census
+        return head
+
+
+__all__ = ["SamplingService"]

@@ -1,0 +1,254 @@
+"""Versioned, copy-on-read snapshots of a live GPS reservoir.
+
+The serving layer's central mechanism.  Ingestion mutates the compact
+slot arrays continuously; queries must never observe a half-applied
+admission.  Instead of locking the reservoir around every query, the
+drive thread captures an immutable :class:`SampleSnapshot` at chunk
+boundaries — when the counter is quiescent by construction — and
+publishes it through a :class:`SnapshotStore` under a monotone epoch
+counter.  Readers grab the latest snapshot with one lock acquisition
+and then work entirely on private copies; a reader holding epoch *k*
+keeps a consistent view forever, no matter how far ingestion advances.
+
+Snapshots are cheap on the write side (``snapshot_arrays`` copies five
+flat columns plus the order-preserving slot adjacency) and lazy on the
+read side: the object-graph view and the retrospective estimate bundle
+are materialised at most once per snapshot, on first use, and cached.
+The store double-buffers the column arrays — when a snapshot is
+garbage-collected its buffers return to a small free list, so a
+steady-state service recycles two arenas instead of allocating per
+publication.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any, Dict, List, Optional
+
+from repro.core.compact import SlotArrays
+from repro.core.estimates import GraphEstimates
+from repro.core.records import EdgeRecord
+from repro.graph.edge import Node
+
+
+class SampleSnapshot:
+    """One immutable, epoch-stamped view of a GPS reservoir.
+
+    Implements the sampler read protocol (``sample`` / ``threshold`` /
+    ``stream_position`` / ``sample_size``) that the retrospective
+    estimators consume, so a snapshot plugs directly into
+    :class:`~repro.core.post_stream.PostStreamEstimator`,
+    :class:`~repro.core.local.LocalTriangleEstimator` and
+    :class:`~repro.core.motifs.MotifCensusEstimator` — and their
+    answers are bit-identical to a batch run over the same stream
+    prefix, because the copied adjacency preserves the slot dict's
+    insertion order (float accumulation order included).
+    """
+
+    __slots__ = (
+        "epoch",
+        "arrays",
+        "adjacency",
+        "_in_stream",
+        "_graph",
+        "_post",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        arrays: SlotArrays,
+        adjacency: Dict[Node, Dict[Node, int]],
+        in_stream: Optional[GraphEstimates] = None,
+        epoch: int = 0,
+    ) -> None:
+        self.epoch = epoch
+        self.arrays = arrays
+        self.adjacency = adjacency
+        self._in_stream = in_stream
+        self._graph: Optional[Any] = None
+        self._post: Optional[GraphEstimates] = None
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        counter: Any,
+        out: Optional[SlotArrays] = None,
+        epoch: int = 0,
+    ) -> "SampleSnapshot":
+        """Freeze ``counter``'s reservoir state into a snapshot.
+
+        ``counter`` is any registry-made GPS counter: the compact
+        in-stream estimator (snapshotted with its O(1) Algorithm-3
+        estimate bundle attached) or an adapter owning a bare compact
+        sampler (``.sampler`` attribute; estimates then come lazily
+        from the retrospective pass).  Must run while the counter is
+        quiescent — the serving layer calls it from the drive thread at
+        chunk boundaries.
+        """
+        sampler = getattr(counter, "sampler", counter)
+        snapshot_arrays = getattr(sampler, "snapshot_arrays", None)
+        if snapshot_arrays is None:
+            raise TypeError(
+                f"{type(sampler).__name__} has no snapshot_arrays(); the "
+                "serving layer needs the compact core's snapshot surface"
+            )
+        arrays = snapshot_arrays(out)
+        adjacency = sampler.snapshot_adjacency()
+        estimates_fn = getattr(counter, "estimates", None)
+        in_stream = estimates_fn() if estimates_fn is not None else None
+        return cls(arrays, adjacency, in_stream=in_stream, epoch=epoch)
+
+    # ------------------------------------------------------------------
+    # Sampler read protocol (what the retrospective estimators consume)
+    # ------------------------------------------------------------------
+    @property
+    def stream_position(self) -> int:
+        return self.arrays.stream_position
+
+    @property
+    def sample_size(self) -> int:
+        return self.arrays.size
+
+    @property
+    def threshold(self) -> float:
+        return self.arrays.threshold
+
+    @property
+    def sample(self) -> Any:
+        """The materialised object-graph view (built once, cached)."""
+        return self.materialize()
+
+    def materialize(self) -> Any:
+        """Object-core view with the slot adjacency's iteration orders.
+
+        The frozen twin of
+        :meth:`repro.core.compact.CompactSample.materialize`: one shared
+        :class:`EdgeRecord` per live slot, outer and inner dict orders
+        copied from the reservoir at capture time, so every
+        retrospective accumulation visits records in the exact order a
+        batch pass over the same prefix would.
+        """
+        graph = self._graph
+        if graph is None:
+            from repro.core.reservoir import SampledGraph
+
+            record_of = self.arrays.record
+            records: Dict[int, EdgeRecord] = {}
+            adj: Dict[Node, Dict[Node, EdgeRecord]] = {}
+            for u, nbrs in self.adjacency.items():
+                row: Dict[Node, EdgeRecord] = {}
+                for v, slot in nbrs.items():
+                    record = records.get(slot)
+                    if record is None:
+                        record = records[slot] = record_of(slot)
+                    row[v] = record
+                adj[u] = row
+            graph = SampledGraph.from_adjacency(adj, len(records))
+            self._graph = graph
+        return graph
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+    def estimates(self) -> GraphEstimates:
+        """Global triangle/wedge/clustering bundle for this epoch.
+
+        In-stream counters answer O(1) from the bundle frozen at
+        capture; bare samplers answer with one retrospective
+        (Algorithm 2) pass over the materialised view, computed on
+        first call and cached on the snapshot.
+        """
+        if self._in_stream is not None:
+            return self._in_stream
+        post = self._post
+        if post is None:
+            from repro.core.post_stream import PostStreamEstimator
+
+            post = PostStreamEstimator(self).estimate()
+            self._post = post
+        return post
+
+    def occupancy(self) -> Dict[str, Any]:
+        """Reservoir occupancy facts (no estimation pass)."""
+        capacity = self.arrays.capacity
+        return {
+            "epoch": self.epoch,
+            "stream_position": self.stream_position,
+            "sample_size": self.sample_size,
+            "capacity": capacity,
+            "fill": self.sample_size / capacity if capacity else 0.0,
+            "threshold": self.threshold,
+        }
+
+
+class SnapshotStore:
+    """Single-writer, many-reader epoch store with buffer recycling.
+
+    The drive thread is the only publisher; queries read concurrently.
+    ``publish`` stamps the snapshot with the next epoch and swaps it in
+    under the condition lock (readers holding the previous snapshot are
+    unaffected — snapshots are immutable).  ``wait_for`` blocks until a
+    target epoch is visible, giving tests and the ``wait`` query op a
+    race-free ordering primitive.
+
+    Buffer recycling: ``take_buffer`` hands the publisher a previously
+    retired :class:`SlotArrays` arena when one is available, and a
+    weakref finalizer returns each snapshot's arena to the free list
+    when the snapshot is garbage-collected — bounded double buffering
+    without reference counting in the query path.
+    """
+
+    def __init__(self, max_buffers: int = 2) -> None:
+        self._cond = threading.Condition()
+        self._latest: Optional[SampleSnapshot] = None
+        self._epoch = 0
+        self._free: List[SlotArrays] = []
+        self._max_buffers = max_buffers
+
+    @property
+    def epoch(self) -> int:
+        with self._cond:
+            return self._epoch
+
+    def take_buffer(self) -> Optional[SlotArrays]:
+        """A retired arena for the next capture, when one is free."""
+        with self._cond:
+            return self._free.pop() if self._free else None
+
+    def _recycle(self, arrays: SlotArrays) -> None:
+        with self._cond:
+            if len(self._free) < self._max_buffers:
+                self._free.append(arrays)
+
+    def publish(self, snapshot: SampleSnapshot) -> int:
+        """Make ``snapshot`` the latest view; returns its epoch."""
+        with self._cond:
+            self._epoch += 1
+            snapshot.epoch = self._epoch
+            self._latest = snapshot
+            weakref.finalize(snapshot, self._recycle, snapshot.arrays)
+            self._cond.notify_all()
+            return self._epoch
+
+    def latest(self) -> Optional[SampleSnapshot]:
+        with self._cond:
+            return self._latest
+
+    def wait_for(
+        self, epoch: int, timeout: Optional[float] = None
+    ) -> Optional[SampleSnapshot]:
+        """Block until epoch ≥ ``epoch`` is published; latest or None."""
+        with self._cond:
+            if self._cond.wait_for(
+                lambda: self._epoch >= epoch, timeout=timeout
+            ):
+                return self._latest
+            return None
+
+
+__all__ = ["SampleSnapshot", "SnapshotStore"]

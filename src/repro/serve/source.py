@@ -1,0 +1,312 @@
+"""Pluggable edge sources for the live sampling service.
+
+A source is an iterable of *blocks*.  Columnar sources yield
+``(u_col, v_col)`` int32 array pairs — the input shape of the compact
+core's vectorised admission gate — and declare ``columnar = True`` so
+the service drives them through the chunked engine pipeline.  Block
+sizes are a transport detail: the chunked pipeline is bit-identical
+across block boundaries, so a socket source trickling 7-edge blocks
+and a file source streaming 16384-edge blocks produce the same sample
+under the same seeds.
+
+Four shapes ship here, resolved from :class:`~repro.serve.spec.ServeSpec`
+by :func:`make_source`:
+
+* :class:`ResolvedSource` — a dataset-registry name or edge-list file,
+  resolved and seed-permuted exactly like the batch executor, so the
+  service's final answer is bit-identical to ``run()`` on the same spec
+  fields.
+* :class:`FileTailSource` — a file streamed lazily block-by-block; with
+  ``follow=True`` it keeps polling for appended lines (``tail -f``).
+* :class:`SyntheticSource` — a seeded uniform edge generator, the
+  steady-state stream of the sustained-load benchmark.
+* :class:`SocketLineSource` — a ``tcp://host:port`` line protocol
+  (``u v`` per line; comment lines ignored), for live feeds.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.spec import SYNTHETIC_SOURCE, TCP_PREFIX, ServeSpec
+from repro.streams.chunks import DEFAULT_CHUNK_SIZE
+
+#: One columnar ingestion block.
+Block = Tuple[np.ndarray, np.ndarray]
+
+
+def _limit_blocks(
+    blocks: Iterator[Block], max_edges: Optional[int]
+) -> Iterator[Block]:
+    """Truncate a block iterator to ``max_edges`` total edges."""
+    if max_edges is None:
+        yield from blocks
+        return
+    remaining = max_edges
+    for us, vs in blocks:
+        if remaining <= 0:
+            return
+        if len(us) > remaining:
+            yield us[:remaining], vs[:remaining]
+            return
+        remaining -= len(us)
+        yield us, vs
+
+
+class SyntheticSource:
+    """Seeded uniform edge blocks over ``nodes`` int labels.
+
+    Deterministic in ``(seed, chunk_size, nodes)``: block *k* is always
+    the same int32 column pair, so two services over the same spec see
+    the same stream.  Unbounded unless ``max_edges`` caps it — the
+    shape of the paper's "unbounded stream" setting and the
+    steady-state load generator of ``bench serve``.
+    """
+
+    columnar = True
+
+    def __init__(
+        self,
+        nodes: int,
+        seed: Optional[int],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_edges: Optional[int] = None,
+    ) -> None:
+        if nodes < 2:
+            raise ValueError("nodes must be at least 2")
+        self.bounded = max_edges is not None
+        self._nodes = nodes
+        self._seed = 0 if seed is None else seed
+        self._chunk_size = chunk_size
+        self._max_edges = max_edges
+
+    def _blocks(self) -> Iterator[Block]:
+        rng = np.random.RandomState(self._seed)
+        size = self._chunk_size
+        nodes = self._nodes
+        while True:
+            us = rng.randint(0, nodes, size=size).astype(np.int32)
+            vs = rng.randint(0, nodes, size=size).astype(np.int32)
+            yield us, vs
+
+    def __iter__(self) -> Iterator[Block]:
+        return _limit_blocks(self._blocks(), self._max_edges)
+
+
+class ResolvedSource:
+    """The batch executor's edge population, streamed as blocks.
+
+    Resolution and permutation defer to the same helpers the batch
+    ``run()`` path uses, so a service over a finite resolved source
+    ends in exactly the arrival order a :class:`~repro.api.RunSpec`
+    with the same ``source``/``stream_seed`` would replay.
+    """
+
+    columnar = True
+    bounded = True
+
+    def __init__(
+        self,
+        source: str,
+        stream_seed: Optional[int],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_edges: Optional[int] = None,
+    ) -> None:
+        self._source = source
+        self._stream_seed = stream_seed
+        self._chunk_size = chunk_size
+        self._max_edges = max_edges
+
+    def __iter__(self) -> Iterator[Block]:
+        # Lazy imports: execution pulls the dataset registry.
+        from repro.api.execution import _permute, _resolve_edges
+
+        edges = _resolve_edges(self._source, None)
+        stream = _permute(edges, self._stream_seed)
+        return _limit_blocks(
+            stream.chunks(self._chunk_size), self._max_edges
+        )
+
+
+class FileTailSource:
+    """Lazy block reads from an edge-list file, optionally following.
+
+    Without ``follow`` this is a lazy pass over the file (arrival order
+    = file order, matching ``stream_seed=None`` batch semantics).  With
+    ``follow`` the source polls for appended complete lines after
+    end-of-file until :meth:`stop` is called — the live-tail shape for
+    services fed by log shippers.
+    """
+
+    columnar = True
+
+    def __init__(
+        self,
+        path: str,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_edges: Optional[int] = None,
+        follow: bool = False,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.bounded = not follow
+        self._path = path
+        self._chunk_size = chunk_size
+        self._max_edges = max_edges
+        self._follow = follow
+        self._poll = poll_interval
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """End a ``follow`` pass at the next poll."""
+        self._stop.set()
+
+    def _parse(self, lines: List[str]) -> Optional[Block]:
+        us: List[int] = []
+        vs: List[int] = []
+        for line in lines:
+            parts = line.split()
+            if len(parts) < 2 or parts[0].startswith("#"):
+                continue
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+        if not us:
+            return None
+        return (
+            np.asarray(us, dtype=np.int32),
+            np.asarray(vs, dtype=np.int32),
+        )
+
+    def _blocks(self) -> Iterator[Block]:
+        if not self._follow:
+            from repro.graph.io import iter_edge_chunks
+
+            yield from iter_edge_chunks(self._path, self._chunk_size)
+            return
+        with open(self._path, "r", encoding="utf-8") as handle:
+            pending: List[str] = []
+            carry = ""
+            while not self._stop.is_set():
+                text = handle.read()
+                if text:
+                    lines = (carry + text).split("\n")
+                    carry = lines.pop()  # tail without newline yet
+                    pending.extend(lines)
+                    while len(pending) >= self._chunk_size:
+                        block = self._parse(pending[: self._chunk_size])
+                        del pending[: self._chunk_size]
+                        if block is not None:
+                            yield block
+                    continue
+                # Quiet file: flush what we have, then poll.
+                if pending:
+                    block = self._parse(pending)
+                    pending = []
+                    if block is not None:
+                        yield block
+                self._stop.wait(self._poll)
+            if pending:
+                block = self._parse(pending)
+                if block is not None:
+                    yield block
+
+    def __iter__(self) -> Iterator[Block]:
+        return _limit_blocks(self._blocks(), self._max_edges)
+
+
+class SocketLineSource:
+    """Edges from a ``tcp://host:port`` line feed (``u v`` per line)."""
+
+    columnar = True
+    bounded = False
+
+    def __init__(
+        self,
+        address: str,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_edges: Optional[int] = None,
+    ) -> None:
+        if not address.startswith(TCP_PREFIX):
+            raise ValueError(f"socket source needs a {TCP_PREFIX} address")
+        rest = address[len(TCP_PREFIX):]
+        host, _, port = rest.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"malformed socket address {address!r}; expected "
+                f"{TCP_PREFIX}host:port"
+            )
+        self._host = host
+        self._port = int(port)
+        self._chunk_size = chunk_size
+        self._max_edges = max_edges
+
+    def _blocks(self) -> Iterator[Block]:
+        import socket
+
+        us: List[int] = []
+        vs: List[int] = []
+        with socket.create_connection((self._host, self._port)) as conn:
+            with conn.makefile("r", encoding="utf-8") as handle:
+                for line in handle:
+                    parts = line.split()
+                    if len(parts) < 2 or parts[0].startswith("#"):
+                        continue
+                    us.append(int(parts[0]))
+                    vs.append(int(parts[1]))
+                    if len(us) >= self._chunk_size:
+                        yield (
+                            np.asarray(us, dtype=np.int32),
+                            np.asarray(vs, dtype=np.int32),
+                        )
+                        us, vs = [], []
+        if us:
+            yield (
+                np.asarray(us, dtype=np.int32),
+                np.asarray(vs, dtype=np.int32),
+            )
+
+    def __iter__(self) -> Iterator[Block]:
+        return _limit_blocks(self._blocks(), self._max_edges)
+
+
+def make_source(spec: ServeSpec):
+    """Resolve a spec's ``source`` field to a block source."""
+    if spec.source == SYNTHETIC_SOURCE:
+        return SyntheticSource(
+            spec.nodes,
+            spec.stream_seed,
+            chunk_size=spec.chunk_size,
+            max_edges=spec.max_edges,
+        )
+    if spec.source.startswith(TCP_PREFIX):
+        return SocketLineSource(
+            spec.source,
+            chunk_size=spec.chunk_size,
+            max_edges=spec.max_edges,
+        )
+    if spec.follow:
+        return FileTailSource(
+            spec.source,
+            chunk_size=spec.chunk_size,
+            max_edges=spec.max_edges,
+            follow=True,
+            poll_interval=spec.poll_interval,
+        )
+    return ResolvedSource(
+        spec.source,
+        spec.stream_seed,
+        chunk_size=spec.chunk_size,
+        max_edges=spec.max_edges,
+    )
+
+
+__all__ = [
+    "Block",
+    "SyntheticSource",
+    "ResolvedSource",
+    "FileTailSource",
+    "SocketLineSource",
+    "make_source",
+]

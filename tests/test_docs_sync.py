@@ -79,7 +79,13 @@ def test_invariant_catalog_lists_every_rule():
 
 @pytest.mark.parametrize(
     "doc",
-    ["architecture.md", "methods.md", "performance.md", "invariants.md"],
+    [
+        "architecture.md",
+        "methods.md",
+        "performance.md",
+        "invariants.md",
+        "serving.md",
+    ],
 )
 def test_documentation_suite_present(doc):
     assert (DOCS.parent / doc).exists()
@@ -89,5 +95,5 @@ def test_readme_present_and_covers_quickstart():
     readme = DOCS.parent.parent / "README.md"
     assert readme.exists()
     text = readme.read_text()
-    for command in ("sample", "track", "replicate", "sweep"):
+    for command in ("sample", "track", "replicate", "sweep", "serve"):
         assert command in text

@@ -1,0 +1,180 @@
+"""Concurrency stress: live answers are prefix-exact, never torn.
+
+Satellite 3 of the serving PR.  One service ingests a finite seeded
+stream while N reader threads hammer the query API.  Every answer a
+reader ever receives must be *bit-identical* to a batch run over the
+exact stream prefix its ``stream_position`` names — if ingestion and
+queries shared mutable state, a torn read would produce an estimate
+matching no prefix at all.  Epochs must also be non-decreasing per
+reader (the store never publishes backwards).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.api.execution import _estimates_dict
+from repro.api.registry import get_method
+from repro.serve import SamplingService, ServeSpec, SyntheticSource
+
+NODES = 3000
+MAX_EDGES = 120_000
+CHUNK = 4096
+BUDGET = 300
+STREAM_SEED = 13
+SAMPLER_SEED = 4
+READERS = 4
+
+
+def _spec(method: str) -> ServeSpec:
+    return ServeSpec(
+        source="synthetic",
+        method=method,
+        budget=BUDGET,
+        stream_seed=STREAM_SEED,
+        sampler_seed=SAMPLER_SEED,
+        chunk_size=CHUNK,
+        max_edges=MAX_EDGES,
+        nodes=NODES,
+    )
+
+
+def _oracle(method_name: str) -> dict:
+    """Batch-exact state at every block boundary of the same stream.
+
+    The engine's segment boundaries over a queue source are exactly the
+    transport blocks, so the publishable positions are the cumulative
+    block lengths (plus position 0, the epoch-1 empty reservoir).
+    """
+    method = get_method(method_name)
+    kwargs = {}
+    if method.uses_weight:
+        kwargs["weight_fn"] = None
+    if method.supports_core:
+        kwargs["core"] = "compact"
+    counter = method.factory(BUDGET, 0, SAMPLER_SEED, **kwargs)
+    sampler = getattr(counter, "sampler", counter)
+
+    def fact():
+        if hasattr(counter, "estimates"):
+            bundle = counter.estimates()
+        else:
+            from repro.core.post_stream import PostStreamEstimator
+
+            bundle = PostStreamEstimator(sampler).estimate()
+        return {
+            "estimates": _estimates_dict(bundle),
+            "sample_size": sampler.sample_size,
+            "threshold": sampler.threshold,
+        }
+
+    source = SyntheticSource(
+        NODES, STREAM_SEED, chunk_size=CHUNK, max_edges=MAX_EDGES
+    )
+    # Keys are the *sampler's* stream position (self-loops and other
+    # skipped arrivals excluded), matching what snapshots report.
+    by_position = {0: fact()}
+    for us, vs in source:
+        counter.process_chunk(us, vs)
+        by_position[sampler.stream_position] = fact()
+    return by_position
+
+
+def _stress(method_name: str):
+    oracle = _oracle(method_name)
+    service = SamplingService(_spec(method_name)).start()
+    answers = [[] for _ in range(READERS)]
+    failures = []
+
+    def read(slot: int) -> None:
+        try:
+            while True:
+                alive = service.running
+                answer = service.query({"op": "estimates"})
+                assert answer["ok"], answer
+                answers[slot].append(answer)
+                if not alive:
+                    return
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            failures.append(f"reader {slot}: {exc!r}")
+
+    threads = [
+        threading.Thread(target=read, args=(slot,), daemon=True)
+        for slot in range(READERS)
+    ]
+    for thread in threads:
+        thread.start()
+    service.join()
+    for thread in threads:
+        thread.join(30.0)
+    assert not failures, failures
+    return oracle, answers, service
+
+
+def _check(oracle, answers):
+    total = 0
+    positions_seen = set()
+    for per_reader in answers:
+        assert per_reader, "a reader never completed a query"
+        epochs = [answer["epoch"] for answer in per_reader]
+        assert epochs == sorted(epochs), "epochs went backwards"
+        for answer in per_reader:
+            position = answer["stream_position"]
+            assert position in oracle, (
+                f"position {position} matches no block boundary — torn read"
+            )
+            expected = oracle[position]
+            assert answer["estimates"] == expected["estimates"]
+            assert answer["sample_size"] == expected["sample_size"]
+            assert answer["threshold"] == expected["threshold"]
+            positions_seen.add(position)
+            total += 1
+    assert total >= READERS
+    return positions_seen
+
+
+def test_concurrent_readers_always_see_prefix_exact_state():
+    oracle, answers, service = _stress("gps")
+    _check(oracle, answers)
+    # The drained final state is itself one of the matched prefixes.
+    end = max(oracle)
+    final = service.query({"op": "estimates"})
+    assert final["stream_position"] == end
+    assert final["estimates"] == oracle[end]["estimates"]
+
+
+def test_concurrent_readers_prefix_exact_post_stream():
+    oracle, answers, service = _stress("gps-post")
+    _check(oracle, answers)
+    final = service.query({"op": "estimates"})
+    assert final["estimates"] == oracle[max(oracle)]["estimates"]
+
+
+def test_wait_readers_walk_every_epoch_in_order():
+    """Blocking on each next epoch yields the exact boundary ladder."""
+    oracle = _oracle("gps")
+    end = max(oracle)
+    service = SamplingService(_spec("gps")).start()
+    walked = []
+
+    def walk():
+        epoch = 1
+        while True:
+            snapshot = service.wait_for_epoch(epoch, timeout=30.0)
+            if snapshot is None:
+                return
+            walked.append((snapshot.epoch, snapshot.stream_position))
+            if snapshot.stream_position >= end:
+                return
+            epoch = snapshot.epoch + 1
+
+    walker = threading.Thread(target=walk, daemon=True)
+    walker.start()
+    service.join()
+    walker.join(30.0)
+    assert walked
+    epochs = [epoch for epoch, _ in walked]
+    assert epochs == sorted(set(epochs)), "duplicate or backward epochs"
+    for _, position in walked:
+        assert position in oracle
+    assert walked[-1][1] == end
