@@ -37,7 +37,7 @@ _CREATORS = frozenset(
 @register_rule(
     "dtype-explicit",
     severity="error",
-    scope=("core", "baselines", "streams", "engine"),
+    scope=("core", "baselines", "streams", "engine", "shard"),
     summary="numpy array creation in the chunk path must pin dtype= "
     "explicitly",
     rationale=(

@@ -106,7 +106,7 @@ class RunReport:
     """
 
     spec: RunSpec
-    mode: str  # "single" | "track" | "replicate"
+    mode: str  # "single" | "track" | "replicate" | "sharded"
     edges: int
     estimates: Dict[str, float]
     metrics: Dict[str, MetricSummary] = field(default_factory=dict)
@@ -344,6 +344,7 @@ def _lazy_file_stream(spec: RunSpec, method: MethodSpec, graph: Optional[Any]):
         or spec.stream_seed is not None
         or spec.checkpoints > 0
         or spec.replications > 1
+        or spec.shards > 1
         or method.needs_stream_length
     ):
         return None
@@ -409,6 +410,9 @@ def run(
 
     edges = _resolve_edges(spec.source, graph)
 
+    if spec.shards > 1:
+        return _run_sharded(spec, edges, resolved_weight)
+
     if spec.replications > 1:
         return _run_replicated(spec, edges, resolved_weight)
 
@@ -466,7 +470,97 @@ def replicate(
     method = get_method(spec.method)
     resolved_weight = _resolve_weight(spec, method, weight_fn)
     edges = _resolve_edges(spec.source, graph)
+    if spec.shards > 1:
+        return _run_sharded(spec, edges, resolved_weight,
+                            force_replicate=True)
     return _run_replicated(spec, edges, resolved_weight)
+
+
+def _run_sharded(
+    spec: RunSpec,
+    edges: Sequence[Edge],
+    weight_fn: Optional[WeightFunction],
+    force_replicate: bool = False,
+) -> RunReport:
+    """Sharded dispatch: route across ``spec.shards`` samplers and merge.
+
+    One pass per replication; every replication ``i`` shifts the stream
+    permutation (``stream_seed + i``) and the sampler-seed base
+    (``sampler_seed + i``; shard ``s`` then seeds ``base·shards + s``)
+    exactly like the replicated single-sampler protocol.
+    """
+    from repro.shard.runner import ShardedRunner
+    from repro.shard.spec import ShardSpec
+
+    runner = ShardedRunner.from_layout(
+        edges,
+        ShardSpec(shards=spec.shards),
+        budget=spec.budget,
+        method=spec.method,
+        weight_fn=weight_fn,
+        stream_seed=spec.stream_seed,
+        sampler_seed=spec.sampler_seed,
+        core=spec.core,
+        pipeline=spec.pipeline,
+        workers=spec.workers,
+    )
+    stats = ("triangles", "wedges", "clustering")
+    if spec.replications > 1 or force_replicate:
+        started = time.perf_counter()
+        values: List[Dict[str, float]] = []
+        workers_used = 0
+        pipeline = "scalar"
+        assert spec.stream_seed is not None  # spec validation enforces it
+        for i in range(spec.replications):
+            result = runner.run(
+                stream_seed=spec.stream_seed + i,
+                sampler_seed=spec.sampler_seed + i,
+            )
+            workers_used = max(workers_used, result.workers)
+            pipeline = result.pipeline
+            bundle = result.estimates
+            values.append(
+                {name: getattr(bundle, name).value for name in stats}
+            )
+        elapsed = time.perf_counter() - started
+        metrics = {
+            name: MetricSummary.from_values([v[name] for v in values])
+            for name in stats
+        }
+        total = len(edges) * spec.replications
+        return RunReport(
+            spec=spec,
+            mode="replicate",
+            edges=len(edges),
+            estimates={name: s.mean for name, s in metrics.items()},
+            metrics=metrics,
+            elapsed_seconds=elapsed,
+            update_time_us=elapsed / max(1, total) * 1e6,
+            edges_per_second=total / elapsed if elapsed > 0 else float("inf"),
+            replications=spec.replications,
+            workers=workers_used,
+            pipeline=pipeline,
+        )
+
+    result = runner.run()
+    bundle = result.estimates
+    elapsed = result.elapsed_seconds
+    return RunReport(
+        spec=spec,
+        mode="sharded",
+        edges=result.edges,
+        estimates={name: getattr(bundle, name).value for name in stats},
+        elapsed_seconds=elapsed,
+        update_time_us=elapsed / max(1, result.edges) * 1e6,
+        edges_per_second=(
+            result.edges / elapsed if elapsed > 0 else float("inf")
+        ),
+        workers=result.workers,
+        sample_size=bundle.sample_size,
+        threshold=bundle.threshold,
+        post_stream=bundle,
+        pipeline=result.pipeline,
+    )
 
 
 def _run_replicated(

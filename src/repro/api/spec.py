@@ -67,6 +67,15 @@ class RunSpec:
         weights and methods auto-fall-back), ``"scalar"`` always keeps
         the tuple-at-a-time loops.  Bit-identical results either way;
         the executed pipeline is recorded on the report.
+    shards:
+        Number of independent samplers the stream is partitioned across
+        by the seeded edge-hash router (:mod:`repro.shard`).  ``1``
+        (default) is today's single-sampler path, bit-identical to every
+        prior release; values > 1 give each shard budget
+        ``budget/shards`` (the budget must divide evenly) and merge the
+        per-shard reservoirs through the union Horvitz–Thompson pass
+        (:mod:`repro.stats.merge`).  Sharded estimation is post-stream
+        only, so it excludes checkpoints.
     """
 
     source: str
@@ -80,6 +89,7 @@ class RunSpec:
     workers: Optional[int] = None
     core: str = DEFAULT_CORE
     pipeline: str = DEFAULT_PIPELINE
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.source, str) or not self.source:
@@ -111,6 +121,22 @@ class RunSpec:
                 "replicated pass aggregates final estimates only and would "
                 "silently drop the tracking schedule"
             )
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shards > 1:
+            if self.budget % self.shards != 0:
+                raise ValueError(
+                    f"budget ({self.budget}) must divide evenly across "
+                    f"the {self.shards} shards so every sampler gets the "
+                    f"same capacity"
+                )
+            if self.checkpoints > 0:
+                raise ValueError(
+                    "checkpoints and sharded execution are mutually "
+                    "exclusive: the Horvitz-Thompson merge is a "
+                    "post-stream pass and would silently drop the "
+                    "tracking schedule"
+                )
 
     # ------------------------------------------------------------------
     # Serialisation

@@ -67,7 +67,7 @@ from repro.stats.metrics import absolute_relative_error
 from repro.streams.interner import NodeInterner
 
 #: Axes a per-source override may replace.
-_OVERRIDE_AXES = ("budgets", "methods", "runs", "weights")
+_OVERRIDE_AXES = ("budgets", "methods", "runs", "shards", "weights")
 
 #: What to do with a cell whose budget exceeds its source's edge count.
 BUDGET_POLICIES = ("keep", "clip", "skip")
@@ -99,13 +99,17 @@ class SweepSpec:
     ----------
     sources:
         Dataset-registry names and/or edge-list paths; the outermost axis.
-    methods / budgets / weights:
+    methods / budgets / weights / shards:
         The remaining grid axes (cells enumerate source → method →
-        budget → weight).  A weight is only meaningful for weight-aware
-        methods; for weight-free methods the weight axis collapses to
-        ``None`` and the duplicate cells are deduplicated, so mixed grids
-        like ``methods=("gps", "triest"), weights=("triangle", "uniform")``
-        do the right thing.
+        budget → weight → shard count).  A weight is only meaningful for
+        weight-aware methods; for weight-free methods the weight axis
+        collapses to ``None`` and the duplicate cells are deduplicated,
+        so mixed grids like
+        ``methods=("gps", "triest"), weights=("triangle", "uniform")``
+        do the right thing.  Shard counts > 1 likewise collapse to 1 for
+        methods outside :data:`repro.shard.runner.SHARDABLE_METHODS`
+        (sharded merging is a post-stream Horvitz–Thompson pass), so
+        variance-vs-S grids can mix sharded GPS with baselines.
     runs:
         Seed replications per cell: run ``i`` uses
         ``(base_stream_seed + i, base_sampler_seed + i)``, the protocol
@@ -151,6 +155,7 @@ class SweepSpec:
     methods: Tuple[str, ...] = ("gps",)
     budgets: Tuple[int, ...] = (1000,)
     weights: Tuple[Optional[str], ...] = (None,)
+    shards: Tuple[int, ...] = (1,)
     runs: int = 1
     base_stream_seed: int = 0
     base_sampler_seed: int = 1
@@ -163,12 +168,12 @@ class SweepSpec:
     overrides: Any = ()
 
     def __post_init__(self) -> None:
-        for axis in ("sources", "methods", "budgets", "weights"):
+        for axis in ("sources", "methods", "budgets", "weights", "shards"):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
         object.__setattr__(
             self, "overrides", _normalise_overrides(self.overrides)
         )
-        for axis in ("sources", "methods", "budgets", "weights"):
+        for axis in ("sources", "methods", "budgets", "weights", "shards"):
             if not getattr(self, axis):
                 raise ValueError(f"sweep axis {axis!r} must not be empty")
         for source in self.sources:
@@ -177,6 +182,9 @@ class SweepSpec:
         for budget in self.budgets:
             if not isinstance(budget, int) or budget <= 0:
                 raise ValueError("budgets must be positive integers")
+        for shard_count in self.shards:
+            if not isinstance(shard_count, int) or shard_count < 1:
+                raise ValueError("shards must be integers >= 1")
         if self.runs < 1:
             raise ValueError("runs must be >= 1")
         if self.checkpoints < 0:
@@ -231,13 +239,16 @@ class SweepSpec:
     def expand(self) -> Tuple["SweepCell", ...]:
         """The grid as concrete cells, deduplicated, in grid order.
 
-        Cells enumerate source → method → budget → weight (per-source
-        overrides applied); each cell carries its ``runs`` seeded
-        :class:`RunSpec` replications.  Weights collapse to ``None`` for
-        weight-free methods and exact duplicate cells (repeated axis
-        values, collapsed weights) are dropped, keeping the first.
+        Cells enumerate source → method → budget → weight → shard count
+        (per-source overrides applied); each cell carries its ``runs``
+        seeded :class:`RunSpec` replications.  Weights collapse to
+        ``None`` for weight-free methods, shard counts collapse to 1 for
+        methods outside the shardable set, and exact duplicate cells
+        (repeated axis values, collapsed weights/shards) are dropped,
+        keeping the first.
         """
         from repro.api.registry import get_method
+        from repro.shard.runner import SHARDABLE_METHODS
 
         cells: List[SweepCell] = []
         seen: set = set()
@@ -245,14 +256,19 @@ class SweepSpec:
             runs = self._axis(source, "runs")
             for method in self._axis(source, "methods"):
                 uses_weight = get_method(method).uses_weight
+                shardable = method in SHARDABLE_METHODS
                 for budget in self._axis(source, "budgets"):
                     for weight in self._axis(source, "weights"):
                         effective = weight if uses_weight else None
-                        key = CellKey(source, method, budget, effective)
-                        if key in seen:
-                            continue
-                        seen.add(key)
-                        cells.append(_make_cell(key, runs, self))
+                        for shard_count in self._axis(source, "shards"):
+                            layout = shard_count if shardable else 1
+                            key = CellKey(
+                                source, method, budget, effective, layout
+                            )
+                            if key in seen:
+                                continue
+                            seen.add(key)
+                            cells.append(_make_cell(key, runs, self))
         return tuple(cells)
 
     # ------------------------------------------------------------------
@@ -267,7 +283,7 @@ class SweepSpec:
         'keep'
         """
         out = dataclasses.asdict(self)
-        for axis in ("sources", "methods", "budgets", "weights"):
+        for axis in ("sources", "methods", "budgets", "weights", "shards"):
             out[axis] = list(out[axis])
         out["overrides"] = {
             source: {
@@ -350,12 +366,13 @@ def _normalise_overrides(overrides: Any) -> Tuple[Any, ...]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CellKey:
-    """One logical grid point: ``(source, method, budget, weight)``."""
+    """One logical grid point: ``(source, method, budget, weight, shards)``."""
 
     source: str
     method: str
     budget: int
     weight: Optional[str] = None
+    shards: int = 1
 
 
 @dataclass(frozen=True)
@@ -380,6 +397,7 @@ def _make_cell(key: CellKey, runs: int, sweep: SweepSpec) -> SweepCell:
                 checkpoints=sweep.checkpoints,
                 core=sweep.core,
                 pipeline=sweep.pipeline,
+                shards=key.shards,
             )
             for i in range(runs)
         ),
@@ -417,6 +435,7 @@ class CellResult:
             "method": self.key.method,
             "budget": self.key.budget,
             "weight": self.key.weight,
+            "shards": self.key.shards,
             "runs": self.runs,
             "cached_runs": self.cached_runs,
             "ground_truth": self.ground_truth.as_dict(),
@@ -463,13 +482,14 @@ class SweepReport:
         method: str,
         budget: Any = ANY,
         weight: Any = ANY,
+        shards: Any = ANY,
     ) -> CellResult:
         """Look one cell up; unspecified axes must match uniquely.
 
-        ``budget``/``weight`` default to the :data:`ANY` wildcard;
-        ``weight=None`` selects cells whose weight is *literally* None
-        (the method's default weight), which is why the wildcard is a
-        sentinel rather than None.
+        ``budget``/``weight``/``shards`` default to the :data:`ANY`
+        wildcard; ``weight=None`` selects cells whose weight is
+        *literally* None (the method's default weight), which is why the
+        wildcard is a sentinel rather than None.
         """
         matches = [
             c
@@ -478,6 +498,7 @@ class SweepReport:
             and c.key.method == method
             and (budget is ANY or c.key.budget == budget)
             and (weight is ANY or c.key.weight == weight)
+            and (shards is ANY or c.key.shards == shards)
         ]
         if not matches:
             raise KeyError(
@@ -497,7 +518,9 @@ class SweepReport:
         Returns ``{"methods": […], "budgets": […], "errors": rows}``
         where ``rows[i][j]`` is the relative error of method ``i`` at
         budget ``j`` (None for skipped/absent cells).  Cells differing
-        only in weight are reported as separate "method[weight]" rows.
+        only in weight are reported as separate "method[weight]" rows;
+        sharded cells get "method@Sn" rows (variance-vs-S curves read
+        straight off the matrix).
         """
         labels: List[str] = []
         budgets: List[int] = []
@@ -507,7 +530,7 @@ class SweepReport:
                 continue
             label = cell.key.method + (
                 f"[{cell.key.weight}]" if cell.key.weight else ""
-            )
+            ) + (f"@S{cell.key.shards}" if cell.key.shards > 1 else "")
             if label not in labels:
                 labels.append(label)
             if cell.key.budget not in budgets:
@@ -551,7 +574,7 @@ class SweepReport:
         writer = csv.writer(buffer, lineterminator="\n")
         writer.writerow(
             [
-                "source", "method", "budget", "weight", "runs",
+                "source", "method", "budget", "weight", "runs", "shards",
                 "triangles_mean", "triangles_ci_low", "triangles_ci_high",
                 "exact_triangles", "relative_error", "update_time_us",
                 "cached_runs",
@@ -566,6 +589,7 @@ class SweepReport:
                     cell.key.budget,
                     cell.key.weight or "",
                     cell.runs,
+                    cell.key.shards,
                     "" if tri is None else repr(tri.mean),
                     "" if tri is None else repr(tri.ci_low),
                     "" if tri is None else repr(tri.ci_high),
@@ -857,7 +881,12 @@ def _apply_budget_policy(
         if spec.budget_policy == "skip":
             skipped.append(cell.key)
             continue
-        clipped_key = dataclasses.replace(cell.key, budget=max(1, edges))
+        clipped = max(1, edges)
+        if cell.key.shards > 1:
+            # Keep the per-shard split exact: round down to a multiple
+            # of the shard count (never below one edge per shard).
+            clipped = max(cell.key.shards, clipped - clipped % cell.key.shards)
+        clipped_key = dataclasses.replace(cell.key, budget=clipped)
         if clipped_key in seen:  # two budgets clip onto the same cell
             continue
         seen.add(clipped_key)

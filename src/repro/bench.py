@@ -1,11 +1,12 @@
 """``python -m repro bench`` — the one way BENCH_*.json files are made.
 
-Four targets, one JSON envelope::
+Five targets, one JSON envelope::
 
     python -m repro bench engine       # → BENCH_engine.json
     python -m repro bench replication  # → BENCH_replication.json
     python -m repro bench sweep        # → BENCH_sweep.json
     python -m repro bench serve        # → BENCH_serve.json
+    python -m repro bench shard        # → BENCH_shard.json
 
 Every payload carries the same envelope — ``benchmark``, ``mode``
 (``full``/``quick``), ``generated_by``, ``python``, ``params``,
@@ -36,6 +37,16 @@ Every payload carries the same envelope — ``benchmark``, ``mode``
   query-reader threads (queries/sec × edges/sec, per-query latency),
   with the final served estimates asserted bit-identical to a batch
   pass over the same stream.
+* **shard** measures sharded GPS over the steady-state ladder: every
+  shard's substream is driven *independently* (each shard is its own
+  sampler over its own router partition, exactly what one host of an
+  S-host fleet would run) and the fleet throughput is the full stream
+  over the slowest shard's wall clock — the parallel capacity the
+  seeded edge-hash router unlocks.  The single-process inline wall
+  clock is recorded alongside, so a one-core box's numbers stay
+  honest.  A second section replicates merged vs single-sampler
+  estimates at equal *total* budget against exact triangle counts
+  (relative error of the mean, per shard count).
 """
 
 from __future__ import annotations
@@ -51,13 +62,14 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-TARGETS = ("engine", "replication", "sweep", "serve")
+TARGETS = ("engine", "replication", "sweep", "serve", "shard")
 
 DEFAULT_OUTPUTS = {
     "engine": "BENCH_engine.json",
     "replication": "BENCH_replication.json",
     "sweep": "BENCH_sweep.json",
     "serve": "BENCH_serve.json",
+    "shard": "BENCH_shard.json",
 }
 
 
@@ -614,6 +626,154 @@ def bench_serve(quick: bool) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# shard
+# ----------------------------------------------------------------------
+def bench_shard(quick: bool, repeats: Optional[int] = None) -> Dict:
+    """Sharded GPS: fleet throughput per shard count + merged accuracy.
+
+    Throughput rungs partition the steady-state uniform stream with the
+    seeded router, then time every shard's chunked drive *independently*
+    (best-of-``repeats``, GC between runs) — one shard ≙ one host of an
+    S-host fleet, so the fleet ingests the whole stream in the slowest
+    shard's wall clock.  ``speedup_vs_single`` is that fleet rate over
+    the S=1 rung; the inline single-process wall clock (all shards
+    sequentially on this machine) is recorded next to it.  The accuracy
+    section replicates sharded and unsharded gps-post at equal *total*
+    budget over seeded passes and reports the relative error of the
+    mean merged triangle estimate against the exact count.
+    """
+    from repro.core.compact import CompactGraphPrioritySampler
+    from repro.core.weights import UniformWeight
+    from repro.graph.exact import compute_statistics
+    from repro.graph.generators import chung_lu
+    from repro.shard.router import shard_columns
+    from repro.shard.runner import ShardedRunner
+    from repro.streams.chunks import DEFAULT_CHUNK_SIZE
+    from repro.streams.stream import EdgeStream
+
+    if quick:
+        graph = chung_lu(8_000, 40_000, exponent=2.3, seed=43)
+        budget = 1_000
+        ladder = (1, 2, 4)
+        repeats = repeats if repeats is not None else 1
+        accuracy_graph = chung_lu(2_000, 10_000, exponent=2.3, seed=44)
+        accuracy_budget, replications = 800, 8
+    else:
+        graph = chung_lu(40_000, 200_000, exponent=2.3, seed=43)
+        budget = 4_000
+        ladder = (1, 2, 4, 8)
+        repeats = repeats if repeats is not None else 3
+        accuracy_graph = chung_lu(4_000, 20_000, exponent=2.3, seed=44)
+        accuracy_budget, replications = 1_600, 24
+
+    stream = EdgeStream.from_graph(graph, seed=0)
+    edges = list(stream)
+    us, vs = stream.columnar()
+
+    # Warm-up drive (untimed): the first chunked pass pays numpy import
+    # and allocator warm-up that would otherwise tax whichever rung runs
+    # first and skew the S=1 baseline.
+    warm = CompactGraphPrioritySampler(
+        budget, weight_fn=UniformWeight(), seed=7
+    )
+    for at in range(0, len(us), DEFAULT_CHUNK_SIZE):
+        warm.process_chunk(us[at:at + DEFAULT_CHUNK_SIZE],
+                          vs[at:at + DEFAULT_CHUNK_SIZE])
+    del warm
+
+    throughput: List[Dict] = []
+    single_rate = 0.0
+    for shards in ladder:
+        ids = shard_columns(us, vs, shards, seed=0)
+        partitions = [
+            (us[ids == s], vs[ids == s]) for s in range(shards)
+        ] if shards > 1 else [(us, vs)]
+        capacity = budget // shards
+        per_shard_seconds: List[float] = []
+        for shard_us, shard_vs in partitions:
+            n = len(shard_us)
+            best = float("inf")
+            for _ in range(repeats):
+                gc.collect()
+                counter = CompactGraphPrioritySampler(
+                    capacity, weight_fn=UniformWeight(), seed=7
+                )
+                started = time.perf_counter()
+                for at in range(0, n, DEFAULT_CHUNK_SIZE):
+                    counter.process_chunk(
+                        shard_us[at:at + DEFAULT_CHUNK_SIZE],
+                        shard_vs[at:at + DEFAULT_CHUNK_SIZE],
+                    )
+                best = min(best, time.perf_counter() - started)
+                del counter
+            per_shard_seconds.append(best)
+        fleet_wall = max(per_shard_seconds)
+        fleet_rate = len(edges) / fleet_wall
+        if shards == 1:
+            single_rate = fleet_rate
+        runner = ShardedRunner(
+            edges, shards=shards, budget=budget, method="gps-post",
+            weight_fn=UniformWeight(), workers=0,
+        )
+        inline = runner.run()
+        rung = {
+            "shards": shards,
+            "per_shard_edges": [len(p[0]) for p in partitions],
+            "per_shard_seconds": [round(t, 6) for t in per_shard_seconds],
+            "fleet_wall_seconds": round(fleet_wall, 6),
+            "fleet_edges_per_sec": round(fleet_rate, 1),
+            "speedup_vs_single": round(fleet_rate / single_rate, 3),
+            "inline_wall_seconds": round(inline.elapsed_seconds, 6),
+            "merged_sample_size": inline.estimates.sample_size,
+        }
+        throughput.append(rung)
+        print(
+            f"shard S={shards}: fleet {fleet_rate:>12,.0f} e/s "
+            f"({rung['speedup_vs_single']:.2f}x vs single)   "
+            f"inline wall {inline.elapsed_seconds:.3f}s"
+        )
+
+    exact = compute_statistics(accuracy_graph)
+    accuracy_edges = EdgeStream.canonical_edges(accuracy_graph)
+    accuracy: List[Dict] = []
+    for shards in ladder:
+        runner = ShardedRunner(
+            accuracy_edges, shards=shards, budget=accuracy_budget,
+            method="gps-post", workers=0,
+        )
+        estimates = [
+            runner.run(stream_seed=i, sampler_seed=1 + i)
+            .estimates.triangles.value
+            for i in range(replications)
+        ]
+        mean = sum(estimates) / len(estimates)
+        error = abs(mean - exact.triangles) / exact.triangles
+        accuracy.append({
+            "shards": shards,
+            "mean_triangles": round(mean, 2),
+            "relative_error": round(error, 4),
+        })
+        print(
+            f"accuracy S={shards}: mean {mean:,.0f} vs exact "
+            f"{exact.triangles:,} (rel err {error:.2%})"
+        )
+
+    return _envelope(
+        "shard", quick,
+        params={
+            "stream_edges": len(edges), "budget": budget,
+            "shard_ladder": list(ladder), "repeats": repeats,
+            "router_seed": 0,
+            "accuracy_edges": len(accuracy_edges),
+            "accuracy_budget": accuracy_budget,
+            "accuracy_replications": replications,
+            "exact_triangles": exact.triangles,
+        },
+        results={"throughput": throughput, "accuracy": accuracy},
+    )
+
+
+# ----------------------------------------------------------------------
 # CLI plumbing
 # ----------------------------------------------------------------------
 def run_target(
@@ -631,6 +791,8 @@ def run_target(
         payload = bench_sweep(quick)
     elif target == "serve":
         payload = bench_serve(quick)
+    elif target == "shard":
+        payload = bench_shard(quick, repeats=repeats)
     else:
         raise ValueError(
             f"unknown bench target {target!r}; known: {TARGETS}"

@@ -25,7 +25,7 @@ Commands:
                  reports mean / variance / 95% CI of its estimates — the
                  paper's error-bar protocol;
 * ``sweep``      a whole evaluation grid (sources × methods × budgets ×
-                 weights × seeds) in one command: cells fan across a
+                 weights × shards × seeds) in one command: cells fan across a
                  shared process pool, exact ground truth is cached
                  content-addressed, ``--resume`` skips already-computed
                  cells; per-cell error summaries, CSV/JSON export;
@@ -41,8 +41,8 @@ Commands:
                  registry discipline — see ``docs/invariants.md``,
                  which ``--markdown`` emits); exits nonzero on findings;
 * ``bench``      regenerate the BENCH_*.json performance trajectories
-                 (``engine``/``replication``/``sweep`` targets,
-                 ``--quick`` for CI-smoke sizes);
+                 (``engine``/``replication``/``sweep``/``serve``/``shard``
+                 targets, ``--quick`` for CI-smoke sizes);
 * ``reproduce``  regenerate the paper's tables and figures.
 
 GPS-family commands accept ``--core compact|object`` selecting the
@@ -216,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     replicate.add_argument("-R", "--replications", type=int, default=8)
     replicate.add_argument("--workers", type=int, default=None,
                            help="process-pool size (0 runs inline)")
+    replicate.add_argument("--shards", type=int, default=1,
+                           help="partition each pass across this many "
+                                "samplers via the seeded edge-hash router "
+                                "and merge post-stream (gps-post only; "
+                                "default: 1, the single-sampler path)")
     _add_weight_option(replicate)
     replicate.add_argument("--stream-seed", type=int, default=0)
     replicate.add_argument("--sampler-seed", type=int, default=10_000)
@@ -240,6 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(weight_names()),
                        help="weights for weight-aware methods "
                             "(default: each method's own default)")
+    sweep.add_argument("--shards", nargs="+", type=int, default=None,
+                       help="shard counts for shardable methods "
+                            "(variance-vs-S curves; default: 1)")
     # Defaults are applied when the SweepSpec is built, not here: None
     # means "not passed", which lets --spec reject any explicit flag —
     # even one spelled at its default value.
@@ -340,7 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="regenerate the BENCH_*.json performance benchmarks"
     )
     bench.add_argument("target",
-                       choices=("engine", "replication", "sweep", "serve"),
+                       choices=("engine", "replication", "sweep", "serve",
+                                "shard"),
                        help="which benchmark to run")
     bench.add_argument("--quick", action="store_true",
                        help="CI-smoke sizes (same JSON schema)")
@@ -485,6 +494,7 @@ def _cmd_replicate(args) -> int:
         workers=args.workers,
         core=args.core,
         pipeline=args.pipeline,
+        shards=args.shards,
     )
     report = run_replicated(spec)
     if args.json:
@@ -526,6 +536,7 @@ def _cmd_sweep(args) -> int:
                 ("--method", args.method),
                 ("--budget", args.budget),
                 ("--weight", args.weight),
+                ("--shards", args.shards),
                 ("--runs", args.runs),
                 ("--stream-seed", args.stream_seed),
                 ("--sampler-seed", args.sampler_seed),
@@ -553,6 +564,7 @@ def _cmd_sweep(args) -> int:
             methods=tuple(args.method) if args.method else ("gps",),
             budgets=tuple(args.budget) if args.budget else (1000,),
             weights=tuple(args.weight) if args.weight else (None,),
+            shards=tuple(args.shards) if args.shards else (1,),
             runs=args.runs if args.runs is not None else 1,
             base_stream_seed=args.stream_seed
             if args.stream_seed is not None else 0,

@@ -1,0 +1,459 @@
+"""``ShardedRunner``: S per-shard engine passes plus the HT merge.
+
+One sharded pass is:
+
+1. **permute** — the stream permutation seeded exactly like every other
+   entry point (index-permutation trick on columnar streams, so the
+   arrival order is bit-identical to the scalar shuffle);
+2. **route** — the seeded splitmix64 edge hash
+   (:mod:`repro.shard.router`) assigns every canonical edge to one of
+   ``S`` shards; boolean-mask selection keeps each substream in arrival
+   order;
+3. **drive** — each shard's substream runs through its own chunked
+   :class:`~repro.engine.stream_engine.StreamEngine` over a GPS sampler
+   with budget ``m/S`` and its own seed (``sampler_seed·S + s``, so
+   replications never collide with shard offsets);
+4. **merge** — per-shard reservoirs are read out as ``(u, v, p)``
+   records at the owner shard's final threshold and fed to
+   :func:`repro.stats.merge.merge_estimates`, the union Algorithm-2
+   pass; the result assembles into an ordinary
+   :class:`~repro.core.estimates.GraphEstimates` bundle.
+
+Inline mode (``workers=0``) runs the shards sequentially in-process —
+the deterministic test path.  Pool mode fans shards across a
+:class:`~concurrent.futures.ProcessPoolExecutor` over the existing
+shared-memory edge population (publish once, attach per worker);
+results are bit-identical to inline because every worker replays the
+same permutation and routing on the same columns.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.compact import DEFAULT_CORE, validate_core
+from repro.core.estimates import GraphEstimates
+from repro.core.reservoir import snapshot_view
+from repro.core.weights import WeightFunction, is_label_free
+from repro.engine.shared_edges import SharedEdgePopulation
+from repro.engine.stream_engine import (
+    DEFAULT_PIPELINE,
+    StreamEngine,
+    validate_pipeline,
+)
+from repro.shard.router import shard_columns, split_stream
+from repro.shard.spec import ShardSpec
+from repro.stats.merge import ShardRecord, merge_estimates
+from repro.streams.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    columnar_or_none,
+    numpy_or_none,
+)
+
+#: Methods whose counters expose a GPS reservoir the HT merge can read.
+#: The merged path is post-stream only — in-stream (Algorithm 3)
+#: snapshots are blind to subgraphs spanning shards and cannot be
+#: merged unbiasedly — so only the retrospective GPS entry qualifies.
+SHARDABLE_METHODS = ("gps-post",)
+
+
+def _get_method(name: str):
+    """Lazy registry lookup: repro.api imports this package at load time."""
+    from repro.api.registry import get_method
+
+    return get_method(name)
+
+
+def validate_shardable_method(name: str) -> str:
+    """Reject methods the HT merge cannot read; returns ``name``."""
+    if name not in SHARDABLE_METHODS:
+        raise ValueError(
+            f"method {name!r} cannot run sharded: the Horvitz-Thompson "
+            f"merge reads per-shard GPS reservoirs post-stream, so only "
+            f"{SHARDABLE_METHODS} qualify (in-stream snapshots miss "
+            f"cross-shard subgraphs and cannot be merged unbiasedly)"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class ShardedResult:
+    """Outcome of one sharded pass (the merge plus per-shard telemetry)."""
+
+    estimates: GraphEstimates
+    edges: int
+    shards: int
+    elapsed_seconds: float
+    pipeline: str  # "chunked" | "scalar" — the per-shard drive used
+    workers: int
+    shard_edges: Tuple[int, ...]
+    shard_sample_sizes: Tuple[int, ...]
+    shard_thresholds: Tuple[float, ...]
+
+
+class _ColumnStream:
+    """Routed columns presented through the engine's ``chunks`` protocol."""
+
+    __slots__ = ("_us", "_vs")
+
+    def __init__(self, us, vs) -> None:
+        self._us = us
+        self._vs = vs
+
+    def __len__(self) -> int:
+        return len(self._us)
+
+    def __iter__(self):
+        return zip(self._us.tolist(), self._vs.tolist())
+
+    def chunks(self, size: int):
+        for at in range(0, len(self._us), size):
+            yield self._us[at:at + size], self._vs[at:at + size]
+
+
+def _extract_sample(counter: Any) -> Tuple[List[ShardRecord], int, float]:
+    """A shard's reservoir as ``(u, v, p)`` records at its threshold."""
+    sampler = getattr(counter, "sampler", counter)
+    threshold = sampler.threshold
+    view = snapshot_view(sampler.sample)
+    records = [
+        (record.u, record.v, record.inclusion_probability(threshold))
+        for record in view.records()
+    ]
+    return records, sampler.sample_size, threshold
+
+
+def _permuted_columns(columns, stream_seed: Optional[int]):
+    """The stream permutation on columns, bit-identical to tuple shuffle."""
+    if stream_seed is None:
+        return columns
+    np = numpy_or_none()
+    n = len(columns[0])
+    # Shuffling an index permutation consumes the very same RNG sequence
+    # as shuffling the edge list (Fisher-Yates swaps are value-blind).
+    perm = list(range(n))
+    random.Random(stream_seed).shuffle(perm)
+    idx = np.asarray(perm, dtype=np.intp)
+    return columns[0][idx], columns[1][idx]
+
+
+def _drive_shard(counter: Any, substream, chunked: bool):
+    """One shard's engine pass; returns the engine's edge count."""
+    if chunked:
+        engine = StreamEngine(counter, chunk_size=DEFAULT_CHUNK_SIZE)
+    else:
+        engine = StreamEngine(counter)
+    return engine.run(substream).edges
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing (shared-memory fan-out, one task per shard)
+# ----------------------------------------------------------------------
+_SHARD_STATE: Optional[Tuple] = None
+
+
+def _shard_pool_initializer(
+    descriptor,
+    shards: int,
+    router_seed: int,
+    capacity: int,
+    weight_fn: Optional[WeightFunction],
+    method: str,
+    core: str,
+    stream_seed: Optional[int],
+    sampler_seed: int,
+) -> None:
+    """Attach the published columns once per worker; permute once too."""
+    global _SHARD_STATE
+    columns = SharedEdgePopulation.attach_columnar(descriptor)
+    us, vs = _permuted_columns(columns, stream_seed)
+    ids = shard_columns(us, vs, shards, router_seed)
+    _SHARD_STATE = (
+        us, vs, ids, shards, router_seed, capacity, weight_fn, method,
+        core, sampler_seed,
+    )
+
+
+def _run_shard_task(shard: int):
+    """Worker entry point: drive one shard and report its reservoir."""
+    (us, vs, ids, shards, _router_seed, capacity, weight_fn, method,
+     core, sampler_seed) = _SHARD_STATE
+    mask = ids == shard
+    sub_us = us[mask]
+    sub_vs = vs[mask]
+    counter = _get_method(method).make(
+        capacity, len(sub_us), sampler_seed * shards + shard,
+        weight_fn=weight_fn, core=core,
+    )
+    edges = _drive_shard(counter, _ColumnStream(sub_us, sub_vs), chunked=True)
+    records, sample_size, threshold = _extract_sample(counter)
+    return shard, records, sample_size, threshold, edges
+
+
+class ShardedRunner:
+    """Partition a stream across ``S`` GPS samplers and merge the HT sums.
+
+    Parameters
+    ----------
+    edges:
+        The edge population in canonical (pre-shuffle) order, exactly as
+        ``run(spec)`` resolves it.
+    shards:
+        Number of samplers; must divide ``budget`` evenly.
+    budget:
+        The *total* memory budget ``m``; each shard gets ``m / shards``.
+    method:
+        Registered method name; must expose a GPS reservoir
+        (:data:`SHARDABLE_METHODS`).
+    weight_fn:
+        Shared weight-function instance (``None`` = method default).
+    stream_seed / sampler_seed:
+        The usual seeds; shard ``s`` seeds its sampler with
+        ``sampler_seed * shards + s`` so replications (which bump
+        ``sampler_seed`` by one) never collide with shard offsets.
+    router_seed:
+        Seed of the edge-hash partition.
+    workers:
+        ``0`` runs shards inline (sequential, deterministic test path);
+        ``None`` auto-sizes ``min(shards, cpu)``; ``> 0`` caps the pool.
+        The pool path requires a columnar (int-labelled) stream and a
+        chunk-capable configuration; anything else falls back inline.
+
+    Example
+    -------
+    >>> runner = ShardedRunner([(0, 1), (1, 2), (0, 2), (2, 3)],
+    ...                        shards=2, budget=4)
+    >>> result = runner.run()
+    >>> result.shards, result.edges
+    (2, 4)
+    """
+
+    def __init__(
+        self,
+        edges: Sequence[Tuple[Any, Any]],
+        *,
+        shards: int,
+        budget: int,
+        method: str = "gps-post",
+        weight_fn: Optional[WeightFunction] = None,
+        stream_seed: Optional[int] = 0,
+        sampler_seed: int = 1,
+        router_seed: int = 0,
+        core: str = DEFAULT_CORE,
+        pipeline: str = DEFAULT_PIPELINE,
+        workers: Optional[int] = 0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if budget < shards or budget % shards != 0:
+            raise ValueError(
+                f"budget ({budget}) must divide evenly across the "
+                f"{shards} shards so every sampler gets the same capacity"
+            )
+        validate_shardable_method(method)
+        validate_core(core)
+        validate_pipeline(pipeline)
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be >= 0 (0 runs inline)")
+        self._edges = list(edges)
+        if self._edges and not (
+            isinstance(self._edges[0][0], int)
+            and isinstance(self._edges[0][1], int)
+        ):
+            raise ValueError(
+                "sharded execution requires integer node labels (the "
+                "edge-hash router mixes 64-bit integers); intern the "
+                "stream first"
+            )
+        self._shards = shards
+        self._budget = budget
+        self._method = method
+        self._weight_fn = weight_fn
+        self._stream_seed = stream_seed
+        self._sampler_seed = sampler_seed
+        self._router_seed = router_seed
+        self._core = core
+        self._pipeline = pipeline
+        self._workers = workers
+        self._columns = (
+            columnar_or_none(self._edges)
+            if pipeline == "chunked" and numpy_or_none() is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_layout(
+        cls,
+        edges: Sequence[Tuple[Any, Any]],
+        layout: "ShardSpec",
+        **kwargs: Any,
+    ) -> "ShardedRunner":
+        """Build a runner from a declarative :class:`ShardSpec` layout."""
+        return cls(
+            edges,
+            shards=layout.shards,
+            router_seed=layout.router_seed,
+            **kwargs,
+        )
+
+    @property
+    def layout(self) -> "ShardSpec":
+        """The runner's shard layout as a declarative value object."""
+        return ShardSpec(shards=self._shards, router_seed=self._router_seed)
+
+    # ------------------------------------------------------------------
+    def _chunk_capable(self) -> bool:
+        """Whether the per-shard drives may use the columnar gate."""
+        if self._columns is None:
+            return False
+        method = _get_method(self._method)
+        if method.reads_labels:
+            return False
+        if self._weight_fn is not None and not is_label_free(self._weight_fn):
+            return False
+        probe = method.make(
+            self._budget // self._shards, 0, self._sampler_seed,
+            weight_fn=self._weight_fn, core=self._core,
+        )
+        return bool(getattr(probe, "chunk_vectorized", False))
+
+    def _resolve_workers(self) -> int:
+        import os
+
+        if self._workers is None:
+            return min(self._shards, os.cpu_count() or 1)
+        return min(self._workers, self._shards)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stream_seed: Optional[int] = None,
+        sampler_seed: Optional[int] = None,
+    ) -> ShardedResult:
+        """One sharded pass; seed overrides support replication loops."""
+        stream_seed = (
+            self._stream_seed if stream_seed is None else stream_seed
+        )
+        sampler_seed = (
+            self._sampler_seed if sampler_seed is None else sampler_seed
+        )
+        # Wall time feeds only the throughput report, never an estimate.
+        started = time.perf_counter()  # repro-lint: disable=nondet-ban
+        chunked = self._chunk_capable()
+        workers = self._resolve_workers() if self._shards > 1 else 0
+        if workers > 1 and chunked:
+            outcome = self._run_pooled(stream_seed, sampler_seed, workers)
+        else:
+            outcome = self._run_inline(stream_seed, sampler_seed, chunked)
+            workers = 0
+        samples, sizes, thresholds, shard_edges = outcome
+        merged = merge_estimates(samples)
+        estimates = GraphEstimates.from_raw(
+            triangle_count=merged.triangle_count,
+            triangle_variance=merged.triangle_variance,
+            wedge_count=merged.wedge_count,
+            wedge_variance=merged.wedge_variance,
+            tri_wedge_covariance=merged.tri_wedge_covariance,
+            stream_position=len(self._edges),
+            sample_size=merged.sample_size,
+            threshold=max(thresholds) if thresholds else 0.0,
+        )
+        return ShardedResult(
+            estimates=estimates,
+            edges=len(self._edges),
+            shards=self._shards,
+            elapsed_seconds=time.perf_counter()  # repro-lint: disable=nondet-ban
+            - started,
+            pipeline="chunked" if chunked else "scalar",
+            workers=workers,
+            shard_edges=tuple(shard_edges),
+            shard_sample_sizes=tuple(sizes),
+            shard_thresholds=tuple(thresholds),
+        )
+
+    # ------------------------------------------------------------------
+    def _run_inline(
+        self,
+        stream_seed: Optional[int],
+        sampler_seed: int,
+        chunked: bool,
+    ):
+        method = _get_method(self._method)
+        capacity = self._budget // self._shards
+        samples: List[List[ShardRecord]] = []
+        sizes: List[int] = []
+        thresholds: List[float] = []
+        shard_edges: List[int] = []
+        if chunked:
+            us, vs = _permuted_columns(self._columns, stream_seed)
+            ids = shard_columns(us, vs, self._shards, self._router_seed)
+            substreams = [
+                _ColumnStream(us[ids == s], vs[ids == s])
+                for s in range(self._shards)
+            ]
+        else:
+            order = list(self._edges)
+            if stream_seed is not None:
+                random.Random(stream_seed).shuffle(order)
+            substreams = split_stream(order, self._shards, self._router_seed)
+        for s, substream in enumerate(substreams):
+            counter = method.make(
+                capacity, len(substream), sampler_seed * self._shards + s,
+                weight_fn=self._weight_fn, core=self._core,
+            )
+            shard_edges.append(_drive_shard(counter, substream, chunked))
+            records, size, threshold = _extract_sample(counter)
+            samples.append(records)
+            sizes.append(size)
+            thresholds.append(threshold)
+        return samples, sizes, thresholds, shard_edges
+
+    def _run_pooled(
+        self,
+        stream_seed: Optional[int],
+        sampler_seed: int,
+        workers: int,
+    ):
+        population = SharedEdgePopulation.publish(self._edges)
+        try:
+            initargs = (
+                population.descriptor,
+                self._shards,
+                self._router_seed,
+                self._budget // self._shards,
+                self._weight_fn,
+                self._method,
+                self._core,
+                stream_seed,
+                sampler_seed,
+            )
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_shard_pool_initializer,
+                initargs=initargs,
+            ) as pool:
+                outcomes = list(
+                    pool.map(_run_shard_task, range(self._shards))
+                )
+        finally:
+            population.close()
+            population.unlink()
+        outcomes.sort(key=lambda item: item[0])
+        samples = [item[1] for item in outcomes]
+        sizes = [item[2] for item in outcomes]
+        thresholds = [item[3] for item in outcomes]
+        shard_edges = [item[4] for item in outcomes]
+        return samples, sizes, thresholds, shard_edges
+
+
+__all__ = [
+    "SHARDABLE_METHODS",
+    "ShardedResult",
+    "ShardedRunner",
+    "validate_shardable_method",
+]

@@ -1,0 +1,97 @@
+"""Declarative shard layouts: a shard topology is data, not code.
+
+A :class:`ShardSpec` freezes everything that determines how a stream is
+partitioned across samplers — the shard count and the router seed —
+into a hashable value object with a lossless JSON round trip, mirroring
+:class:`~repro.api.spec.RunSpec` and :class:`~repro.serve.spec.ServeSpec`.
+Two processes holding equal specs compute the identical partition, which
+is what lets a sharded study be resumed, distributed, and replayed
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One declarative shard layout.
+
+    Attributes
+    ----------
+    shards:
+        Number of independent samplers the stream is partitioned
+        across.  ``1`` is the degenerate single-sampler layout (every
+        edge routes to shard 0).
+    router_seed:
+        Seed of the splitmix64 edge hash (:mod:`repro.shard.router`).
+        Different seeds give independent partitions of the same stream;
+        equal seeds give the identical partition in every process.
+    """
+
+    shards: int = 1
+    router_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.router_seed < 0:
+            raise ValueError("router_seed must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe; inverse of :meth:`from_dict`).
+
+        Example
+        -------
+        >>> ShardSpec(shards=4).to_dict()["shards"]
+        4
+        """
+        return asdict(self)
+
+    def to_json(self, **kwargs: Any) -> str:
+        """JSON text form; :meth:`from_json` inverts it losslessly.
+
+        Example
+        -------
+        >>> spec = ShardSpec(shards=4, router_seed=7)
+        >>> ShardSpec.from_json(spec.to_json()) == spec
+        True
+        """
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardSpec":
+        """Rebuild a spec from :meth:`to_dict` output; unknown keys raise."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ShardSpec fields: {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes: Any) -> "ShardSpec":
+        """A copy with ``changes`` applied (re-runs validation).
+
+        Example
+        -------
+        >>> ShardSpec().replace(shards=8).shards
+        8
+        """
+        return dataclasses.replace(self, **changes)
+
+
+__all__ = ["ShardSpec"]

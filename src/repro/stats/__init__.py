@@ -11,7 +11,10 @@ statistics side, implemented from scratch:
   the global clustering coefficient);
 * error metrics: ARE (Sec. 6), MARE and max-ARE (Table 3), NRMSE, CI
   coverage;
-* Welford running moments for Monte-Carlo unbiasedness checks.
+* Welford running moments for Monte-Carlo unbiasedness checks;
+* the sharded merge layer: the union Horvitz–Thompson pass over
+  per-shard reservoirs and pooled variance across replicate groups
+  (:mod:`repro.stats.merge`, :mod:`repro.stats.variance`).
 """
 
 from repro.stats.confidence import confidence_interval, inverse_normal_cdf
@@ -27,8 +30,18 @@ from repro.stats.metrics import (
     mean_absolute_relative_error,
     normalized_rmse,
 )
+from repro.stats.merge import (
+    MergedEstimates,
+    PooledMetric,
+    merge_estimates,
+    merge_reports,
+)
 from repro.stats.running import RunningMoments
-from repro.stats.variance import ratio_variance_delta
+from repro.stats.variance import (
+    pooled_mean,
+    pooled_variance,
+    ratio_variance_delta,
+)
 
 __all__ = [
     "confidence_interval",
@@ -42,5 +55,11 @@ __all__ = [
     "mean_absolute_relative_error",
     "normalized_rmse",
     "RunningMoments",
+    "MergedEstimates",
+    "PooledMetric",
+    "merge_estimates",
+    "merge_reports",
+    "pooled_mean",
+    "pooled_variance",
     "ratio_variance_delta",
 ]

@@ -1,15 +1,25 @@
-"""Delta-method variance for ratio estimators (paper Eq. 11).
+"""Variance composition: the delta method and pooled group moments.
 
-The global clustering coefficient is estimated by the ratio
-``α̂ = 3·N̂(△)/N̂(Λ)``.  The paper approximates its variance with a
-first-order Taylor (delta-method) expansion:
+Two families live here:
 
-    Var(N̂(△)/N̂(Λ)) ≈ Var(N̂(△))/N̂(Λ)²
-                      + N̂(△)²·Var(N̂(Λ))/N̂(Λ)⁴
-                      − 2·N̂(△)·Cov(N̂(△), N̂(Λ))/N̂(Λ)³
+* the first-order Taylor (delta-method) variance for ratio estimators
+  (paper Eq. 11) behind the global clustering coefficient
+  ``α̂ = 3·N̂(△)/N̂(Λ)``:
+
+      Var(N̂(△)/N̂(Λ)) ≈ Var(N̂(△))/N̂(Λ)²
+                        + N̂(△)²·Var(N̂(Λ))/N̂(Λ)⁴
+                        − 2·N̂(△)·Cov(N̂(△), N̂(Λ))/N̂(Λ)³
+
+* pooled moments across groups of replicates
+  (:func:`pooled_mean`/:func:`pooled_variance`), the merge math behind
+  sharded studies: groups of possibly unequal size, each summarised by
+  ``(count, mean, sample variance)``, combine into the exact mean and
+  sample variance of the concatenated population.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 
 def ratio_variance_delta(
@@ -50,3 +60,77 @@ def clustering_variance(
     return 9.0 * ratio_variance_delta(
         triangles, wedges, variance_triangles, variance_wedges, covariance
     )
+
+
+def _check_groups(counts: Sequence[int], *series: Sequence[float]) -> None:
+    for other in series:
+        if len(other) != len(counts):
+            raise ValueError(
+                f"group series disagree on length: {len(counts)} counts vs "
+                f"{len(other)} values"
+            )
+    for count in counts:
+        if count < 0:
+            raise ValueError(f"group counts must be >= 0, got {count}")
+
+
+def pooled_mean(counts: Sequence[int], means: Sequence[float]) -> float:
+    """The mean of the concatenation of groups summarised by moments.
+
+    ``μ = Σ nᵢ·μᵢ / Σ nᵢ``; empty groups contribute nothing and an
+    entirely empty pool has mean 0 by convention.
+
+    Example
+    -------
+    >>> pooled_mean([2, 3], [10.0, 16.0])
+    13.6
+    """
+    _check_groups(counts, means)
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    return sum(n * m for n, m in zip(counts, means)) / total
+
+
+def pooled_variance(
+    counts: Sequence[int],
+    means: Sequence[float],
+    variances: Sequence[float],
+) -> float:
+    """Sample variance of the concatenation of groups, from moments only.
+
+    For groups of sizes ``nᵢ`` with means ``μᵢ`` and *sample* variances
+    ``sᵢ²`` (the ``n−1`` convention; a size-1 group carries ``s² = 0``),
+    the concatenated population of ``n = Σ nᵢ`` values has pooled mean
+    ``μ`` and sum of squared deviations
+
+        SS = Σᵢ [ (nᵢ − 1)·sᵢ² + nᵢ·(μᵢ − μ)² ]
+
+    so its sample variance is ``SS / (n − 1)`` — exactly what Welford
+    over the concatenated values would report.  Groups may be unequal;
+    empty groups are skipped; pools of fewer than two values have no
+    spread and return 0.
+
+    Example
+    -------
+    >>> values = [9.0, 11.0, 15.0, 16.0, 17.0]
+    >>> round(pooled_variance([2, 3], [10.0, 16.0], [2.0, 1.0]), 10)
+    11.8
+    >>> import statistics
+    >>> round(statistics.variance(values), 10)
+    11.8
+    """
+    _check_groups(counts, means, variances)
+    total = sum(counts)
+    if total < 2:
+        return 0.0
+    mean = pooled_mean(counts, means)
+    sum_squares = 0.0
+    for n, m, s2 in zip(counts, means, variances):
+        if n == 0:
+            continue
+        if s2 < 0:
+            raise ValueError(f"group variances must be >= 0, got {s2}")
+        delta = m - mean
+        sum_squares += (n - 1) * s2 + n * delta * delta
+    return sum_squares / (total - 1)

@@ -85,6 +85,7 @@ def test_invariant_catalog_lists_every_rule():
         "performance.md",
         "invariants.md",
         "serving.md",
+        "sharding.md",
     ],
 )
 def test_documentation_suite_present(doc):

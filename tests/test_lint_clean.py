@@ -34,11 +34,13 @@ def test_shipped_tree_lints_clean():
 
 
 def test_shipped_suppressions_are_exactly_the_documented_ones():
-    # One deliberate violation rides in the tree: compact.py transplants
-    # MT19937 state into a construction-time-unseeded bit generator
-    # (justified inline).  New suppressions must be accounted for here.
+    # Three deliberate violations ride in the tree: compact.py
+    # transplants MT19937 state into a construction-time-unseeded bit
+    # generator, and shard/runner.py reads perf_counter twice for the
+    # throughput report (wall time never feeds an estimate).  All are
+    # justified inline; new suppressions must be accounted for here.
     result = lint_paths([SRC])
-    assert result.suppressed == 1
+    assert result.suppressed == 3
 
 
 def test_analysis_package_lints_itself():

@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import math
 import random
+import statistics
 
 import pytest
 from scipy import stats as scipy_stats
 
 from repro.stats.confidence import confidence_interval, inverse_normal_cdf, z_score
+from repro.stats.merge import merge_reports
 from repro.stats.horvitz_thompson import (
     ht_estimate,
     ht_single_variance_term,
@@ -24,7 +26,12 @@ from repro.stats.metrics import (
     normalized_rmse,
 )
 from repro.stats.running import RunningMoments
-from repro.stats.variance import clustering_variance, ratio_variance_delta
+from repro.stats.variance import (
+    clustering_variance,
+    pooled_mean,
+    pooled_variance,
+    ratio_variance_delta,
+)
 
 
 class TestInverseNormal:
@@ -205,3 +212,101 @@ class TestDeltaMethod:
     def test_clustering_variance_scaling(self):
         base = ratio_variance_delta(30, 300, 9.0, 25.0, 2.0)
         assert clustering_variance(30, 300, 9.0, 25.0, 2.0) == pytest.approx(9 * base)
+
+
+class TestPooledMoments:
+    """Pooled group moments (the sharded-study merge math)."""
+
+    def test_pooled_mean_hand_computed_unequal_counts(self):
+        # Groups [3, 7] and [10, 20, 30]: mean of all five values is 14.
+        assert pooled_mean([2, 3], [5.0, 20.0]) == pytest.approx(14.0)
+
+    def test_pooled_variance_hand_computed_unequal_counts(self):
+        # Values [9, 11] (n=2, mean 10, s²=2) and [15, 16, 17]
+        # (n=3, mean 16, s²=1).  Concatenated: mean 13.6,
+        # SS = (1·2 + 2·(10−13.6)²) + (2·1 + 3·(16−13.6)²) = 47.2,
+        # sample variance 47.2/4 = 11.8.
+        assert pooled_variance(
+            [2, 3], [10.0, 16.0], [2.0, 1.0]
+        ) == pytest.approx(11.8)
+
+    def test_matches_statistics_variance_of_concatenation(self):
+        rng = random.Random(7)
+        groups = [
+            [rng.gauss(10, 3) for _ in range(n)] for n in (2, 5, 1, 9)
+        ]
+        counts = [len(g) for g in groups]
+        means = [sum(g) / len(g) for g in groups]
+        variances = [
+            statistics.variance(g) if len(g) > 1 else 0.0 for g in groups
+        ]
+        flat = [v for g in groups for v in g]
+        assert pooled_mean(counts, means) == pytest.approx(
+            statistics.mean(flat)
+        )
+        assert pooled_variance(counts, means, variances) == pytest.approx(
+            statistics.variance(flat)
+        )
+
+    def test_empty_groups_are_skipped(self):
+        assert pooled_mean([0, 3], [999.0, 4.0]) == pytest.approx(4.0)
+        assert pooled_variance(
+            [0, 3], [999.0, 4.0], [999.0, 2.5]
+        ) == pytest.approx(2.5)
+
+    def test_degenerate_pools_have_no_spread(self):
+        assert pooled_mean([], []) == 0.0
+        assert pooled_variance([], [], []) == 0.0
+        assert pooled_variance([1], [5.0], [0.0]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="disagree on length"):
+            pooled_mean([1, 2], [1.0])
+        with pytest.raises(ValueError, match="disagree on length"):
+            pooled_variance([1, 2], [1.0, 2.0], [0.0])
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            pooled_mean([-1], [1.0])
+
+    def test_negative_variance_raises(self):
+        with pytest.raises(ValueError, match="variances must be >= 0"):
+            pooled_variance([2, 2], [1.0, 2.0], [1.0, -0.5])
+
+
+class TestMergeReports:
+    """Cross-shard pooling of replicate report groups."""
+
+    def test_pools_unequal_groups_to_hand_computed_values(self):
+        merged = merge_reports([
+            {"triangles": (2, 10.0, 2.0)},
+            {"triangles": (3, 16.0, 1.0)},
+        ])
+        tri = merged["triangles"]
+        assert tri.count == 5
+        assert tri.mean == pytest.approx(13.6)
+        assert tri.variance == pytest.approx(11.8)
+        assert tri.std_error == pytest.approx((11.8 / 5) ** 0.5)
+
+    def test_confidence_interval_matches_direct_computation(self):
+        merged = merge_reports(
+            [{"x": (4, 8.0, 4.0)}, {"x": (4, 12.0, 4.0)}], level=0.95
+        )
+        metric = merged["x"]
+        low, high = confidence_interval(
+            metric.mean, metric.variance / metric.count, level=0.95
+        )
+        assert metric.ci_low == pytest.approx(low)
+        assert metric.ci_high == pytest.approx(high)
+        assert metric.to_dict()["ci_low"] == pytest.approx(low)
+
+    def test_metric_name_mismatch_raises(self):
+        with pytest.raises(ValueError, match="metric"):
+            merge_reports([
+                {"triangles": (2, 1.0, 0.0)},
+                {"wedges": (2, 1.0, 0.0)},
+            ])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            merge_reports([])
