@@ -10,6 +10,7 @@ and ``docs/invariants.md``, which is generated from the registrations):
 * :mod:`~repro.analysis.rules.spec` — frozen-spec
 * :mod:`~repro.analysis.rules.registration` — registry-flags
 * :mod:`~repro.analysis.rules.docs` — api-doctest
+* :mod:`~repro.analysis.rules.exceptions` — exception-discipline
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     determinism,
     docs,
     dtype,
+    exceptions,
     lifecycle,
     registration,
     rng,
@@ -28,6 +30,7 @@ __all__ = [
     "determinism",
     "docs",
     "dtype",
+    "exceptions",
     "lifecycle",
     "registration",
     "rng",

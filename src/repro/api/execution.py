@@ -126,6 +126,11 @@ class RunReport:
     #: ``"scalar"`` (label-reading weight, non-int labels, estimator
     #: counters …).  Results are bit-identical either way.
     pipeline: str = "scalar"
+    #: Fault-tolerance cost of pooled dispatch: tasks resubmitted after
+    #: worker failure / executors rebuilt after BrokenProcessPool (both
+    #: zero for inline runs and fault-free pools).
+    task_retries: int = 0
+    pool_rebuilds: int = 0
     counter: Any = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
@@ -157,6 +162,8 @@ class RunReport:
             "sample_size": self.sample_size,
             "threshold": self.threshold,
             "pipeline": self.pipeline,
+            "task_retries": self.task_retries,
+            "pool_rebuilds": self.pool_rebuilds,
         }
         if self.tracking:
             out["tracking"] = [
@@ -225,6 +232,8 @@ class RunReport:
             sample_size=data.get("sample_size"),
             threshold=data.get("threshold"),
             pipeline=data.get("pipeline", "scalar"),
+            task_retries=data.get("task_retries", 0),
+            pool_rebuilds=data.get("pool_rebuilds", 0),
         )
 
     @property
@@ -364,6 +373,7 @@ def run(
     graph: Optional[Any] = None,
     weight_fn: Optional[WeightFunction] = None,
     include_post: bool = False,
+    faults: Optional[Any] = None,
 ) -> RunReport:
     """Execute one declarative spec and return its uniform report.
 
@@ -382,6 +392,11 @@ def run(
         For tracking passes of GPS methods: also record the post-stream
         estimate bundle at every checkpoint (one Algorithm-2 evaluation
         per mark, so off by default).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or shared
+        :class:`~repro.faults.FaultInjector`) consulted by pooled
+        dispatch (replicated site ``"replication"``, sharded site
+        ``"shard"``).  Chaos testing only; inline modes ignore it.
 
     Example
     -------
@@ -411,10 +426,10 @@ def run(
     edges = _resolve_edges(spec.source, graph)
 
     if spec.shards > 1:
-        return _run_sharded(spec, edges, resolved_weight)
+        return _run_sharded(spec, edges, resolved_weight, faults=faults)
 
     if spec.replications > 1:
-        return _run_replicated(spec, edges, resolved_weight)
+        return _run_replicated(spec, edges, resolved_weight, faults=faults)
 
     stream = _permute(edges, spec.stream_seed)
     counter = method.make(
@@ -481,6 +496,7 @@ def _run_sharded(
     edges: Sequence[Edge],
     weight_fn: Optional[WeightFunction],
     force_replicate: bool = False,
+    faults: Optional[Any] = None,
 ) -> RunReport:
     """Sharded dispatch: route across ``spec.shards`` samplers and merge.
 
@@ -503,6 +519,7 @@ def _run_sharded(
         core=spec.core,
         pipeline=spec.pipeline,
         workers=spec.workers,
+        faults=faults,
     )
     stats = ("triangles", "wedges", "clustering")
     if spec.replications > 1 or force_replicate:
@@ -510,6 +527,8 @@ def _run_sharded(
         values: List[Dict[str, float]] = []
         workers_used = 0
         pipeline = "scalar"
+        task_retries = 0
+        pool_rebuilds = 0
         assert spec.stream_seed is not None  # spec validation enforces it
         for i in range(spec.replications):
             result = runner.run(
@@ -518,6 +537,8 @@ def _run_sharded(
             )
             workers_used = max(workers_used, result.workers)
             pipeline = result.pipeline
+            task_retries += result.task_retries
+            pool_rebuilds += result.pool_rebuilds
             bundle = result.estimates
             values.append(
                 {name: getattr(bundle, name).value for name in stats}
@@ -540,6 +561,8 @@ def _run_sharded(
             replications=spec.replications,
             workers=workers_used,
             pipeline=pipeline,
+            task_retries=task_retries,
+            pool_rebuilds=pool_rebuilds,
         )
 
     result = runner.run()
@@ -560,11 +583,16 @@ def _run_sharded(
         threshold=bundle.threshold,
         post_stream=bundle,
         pipeline=result.pipeline,
+        task_retries=result.task_retries,
+        pool_rebuilds=result.pool_rebuilds,
     )
 
 
 def _run_replicated(
-    spec: RunSpec, edges: Sequence[Edge], weight_fn: Optional[WeightFunction]
+    spec: RunSpec,
+    edges: Sequence[Edge],
+    weight_fn: Optional[WeightFunction],
+    faults: Optional[Any] = None,
 ) -> RunReport:
     runner = ReplicatedRunner(
         edges,
@@ -577,6 +605,7 @@ def _run_replicated(
         method=spec.method,
         core=spec.core,
         pipeline=spec.pipeline,
+        faults=faults,
     )
     started = time.perf_counter()
     summary = runner.run()
@@ -594,6 +623,8 @@ def _run_replicated(
         replications=summary.num_replications,
         workers=summary.workers,
         pipeline=summary.pipeline,
+        task_retries=summary.task_retries,
+        pool_rebuilds=summary.pool_rebuilds,
     )
 
 

@@ -133,8 +133,13 @@ class ContentAddressedStore:
     Keys are content hashes (see :func:`content_key`); payloads are
     JSON-safe dicts.  Reads of missing or undecodable entries return
     ``None`` — a corrupt cache degrades to recomputation, never to an
-    error.  With ``root=None`` the store is disabled (every read misses,
-    writes are dropped), which lets callers hold one code path.
+    error.  A structurally corrupt entry (undecodable bytes, or JSON
+    that is not our envelope) is additionally *quarantined*: renamed to
+    ``<key>.json.corrupt`` and counted on :attr:`quarantined`, so the
+    recomputed payload replaces it cleanly while the damaged bytes stay
+    available for forensics.  With ``root=None`` the store is disabled
+    (every read misses, writes are dropped), which lets callers hold
+    one code path.
 
     Example
     -------
@@ -143,8 +148,14 @@ class ContentAddressedStore:
     True
     """
 
+    #: Suffix quarantined (corrupt) entries are renamed to.
+    QUARANTINE_SUFFIX = ".corrupt"
+
     def __init__(self, root: Optional[Path]) -> None:
         self._root = Path(root) if root is not None else None
+        #: Corrupt entries set aside by :meth:`read` over this
+        #: instance's lifetime.
+        self.quarantined = 0
 
     @property
     def root(self) -> Optional[Path]:
@@ -162,16 +173,35 @@ class ContentAddressedStore:
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # Undecodable bytes and broken JSON are the same failure:
+            # the entry is structurally corrupt.
+            self._quarantine(path)
+            return None
+        except OSError:
             return None
         # Valid JSON that is not our envelope (null, a list, a bare
         # number …) is corruption too: degrade to a miss, never raise.
         if not isinstance(payload, dict):
+            self._quarantine(path)
             return None
         if payload.get("version") != _FORMAT_VERSION:
+            # A stale-but-intact format version is a plain miss, not
+            # corruption: nothing to set aside.
             return None
         data = payload.get("data")
-        return data if isinstance(data, dict) else None
+        if not isinstance(data, dict):
+            self._quarantine(path)
+            return None
+        return data
+
+    def _quarantine(self, path: Path) -> None:
+        """Set a corrupt entry aside so the recount can overwrite cleanly."""
+        try:
+            path.rename(path.with_name(path.name + self.QUARANTINE_SUFFIX))
+        except OSError:  # pragma: no cover - raced or read-only cache
+            return
+        self.quarantined += 1
 
     def write(self, key: str, data: Dict[str, Any]) -> None:
         path = self.path_for(key)
@@ -231,6 +261,11 @@ class GroundTruthCache:
     @property
     def root(self) -> Optional[Path]:
         return self._store.root
+
+    @property
+    def quarantined(self) -> int:
+        """Corrupt disk entries the store set aside (see the store)."""
+        return self._store.quarantined
 
     def key_for(self, source: str) -> str:
         """Content key of ``source`` (file hashing memoised per instance)."""

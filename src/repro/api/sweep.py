@@ -42,7 +42,6 @@ import io
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -56,8 +55,15 @@ from repro.api.ground_truth import (
 from repro.api.spec import RunSpec
 from repro.core.compact import CORES, DEFAULT_CORE
 from repro.core.weights import is_label_free
+from repro.engine.resilient import (
+    DEFAULT_RETRY_BUDGET,
+    RetryStats,
+    run_resilient,
+)
 from repro.engine.stream_engine import DEFAULT_PIPELINE, PIPELINES
 from repro.engine.replication import MetricSummary, default_max_workers
+from repro.faults.corruption import corrupt_entry
+from repro.faults.injector import FaultInjector, coerce_injector
 from repro.engine.shared_edges import (
     SharedEdgePopulation,
     shared_memory_available,
@@ -475,6 +481,12 @@ class SweepReport:
     workers: int = 0
     cache_dir: Optional[str] = None
     skipped: Tuple[CellKey, ...] = ()
+    #: Fault-tolerance cost: pooled replications resubmitted.
+    task_retries: int = 0
+    #: Fault-tolerance cost: executors rebuilt after BrokenProcessPool.
+    pool_rebuilds: int = 0
+    #: Corrupt cache entries set aside (and recounted) this run.
+    cache_quarantined: int = 0
 
     def cell(
         self,
@@ -561,6 +573,11 @@ class SweepReport:
                 "ground_truth_misses": self.ground_truth_misses,
                 "cell_hits": self.cell_cache_hits,
                 "cell_misses": self.cell_cache_misses,
+                "quarantined": self.cache_quarantined,
+            },
+            "resilience": {
+                "task_retries": self.task_retries,
+                "pool_rebuilds": self.pool_rebuilds,
             },
         }
 
@@ -698,6 +715,8 @@ def run_sweep(
     cache_dir: Optional[os.PathLike] = None,
     resume: bool = False,
     ground_truth: Optional[GroundTruthCache] = None,
+    faults=None,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
 ) -> SweepReport:
     """Execute one sweep grid and return its aggregated report.
 
@@ -721,6 +740,16 @@ def run_sweep(
     ground_truth:
         Inject a pre-warmed :class:`GroundTruthCache` (tests, long-lived
         services); defaults to a fresh cache rooted at ``cache_dir``.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or shared
+        :class:`~repro.faults.FaultInjector`): ``crash-worker`` /
+        ``raise-task`` faults target the pooled replications (site
+        ``"sweep"``), ``corrupt-cache`` faults mangle stored cell
+        entries (site ``"sweep-cache"``) before the resume scan reads
+        them.  Chaos testing only; production sweeps pass ``None``.
+    retry_budget:
+        Per-replication resubmissions allowed beyond the first attempt
+        (see :func:`repro.engine.resilient.run_resilient`).
 
     Example
     -------
@@ -730,6 +759,7 @@ def run_sweep(
     >>> report.cells[0].relative_error                        # doctest: +SKIP
     """
     started = time.perf_counter()
+    injector = coerce_injector(faults)
     root = Path(cache_dir) if cache_dir is not None else None
     gt_cache = ground_truth or GroundTruthCache(root)
     cell_store = ContentAddressedStore(
@@ -737,6 +767,9 @@ def run_sweep(
     )
     gt_hits_before = gt_cache.hits
     gt_misses_before = gt_cache.misses
+    gt_quarantined_before = gt_cache.quarantined
+    if injector is not None and cell_store.root is not None:
+        _apply_cache_faults(injector, cell_store.root)
 
     cells = spec.expand()
     truths = {
@@ -780,8 +813,12 @@ def run_sweep(
     ]
     if workers == 0:
         fresh = [_execute_payload(payload) for payload in payloads]
+        retry_stats = RetryStats()
     else:
-        fresh = _execute_pooled(spec, pending, payloads, workers)
+        fresh, retry_stats = _execute_pooled(
+            spec, pending, payloads, workers,
+            injector=injector, retry_budget=retry_budget,
+        )
     for (c, r, run_spec), report in zip(pending, fresh):
         reports[(c, r)] = report
         cached[(c, r)] = False
@@ -810,7 +847,31 @@ def run_sweep(
         workers=workers,
         cache_dir=str(root) if root is not None else None,
         skipped=skipped,
+        task_retries=retry_stats.task_retries,
+        pool_rebuilds=retry_stats.pool_rebuilds,
+        cache_quarantined=(
+            cell_store.quarantined
+            + (gt_cache.quarantined - gt_quarantined_before)
+        ),
     )
+
+
+def _apply_cache_faults(injector: FaultInjector, root: Path) -> None:
+    """Mangle stored cell entries as the plan's corrupt-cache faults ask.
+
+    Each armed fault corrupts the ``at``-th entry of the sorted cell
+    listing (modulo the entry count) — deterministic given a
+    deterministic cache population, which a seeded sweep is.
+    """
+    entries = sorted(root.glob("*.json"))
+    if not entries:
+        return
+    for fault in injector.cache_faults("sweep-cache"):
+        corrupt_entry(
+            entries[fault.at % len(entries)],
+            mode=fault.mode,
+            seed=injector.plan.seed,
+        )
 
 
 def _execute_pooled(
@@ -818,7 +879,10 @@ def _execute_pooled(
     pending: Sequence[Tuple[int, int, RunSpec]],
     payloads: Sequence[Tuple[Dict[str, Any], bool]],
     workers: int,
-) -> List[RunReport]:
+    *,
+    injector: Optional[FaultInjector] = None,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
+) -> Tuple[List[RunReport], RetryStats]:
     """Run pending replications on the shared pool.
 
     The distinct pending sources are interned and published once via
@@ -830,22 +894,48 @@ def _execute_pooled(
     node labels.
     """
     populations: List[SharedEdgePopulation] = []
-    descriptors: Dict[str, Any] = {}
+    current: Dict[str, SharedEdgePopulation] = {}
+    edges_of: Dict[str, List[Tuple[int, int]]] = {}
+
+    def publish(source: str) -> None:
+        population = SharedEdgePopulation.publish(edges_of[source])
+        populations.append(population)
+        current[source] = population
+
+    def descriptors() -> Tuple[Dict[str, Any]]:
+        return ({src: pop.descriptor for src, pop in current.items()},)
+
+    def refresh() -> Optional[Tuple[Dict[str, Any]]]:
+        # Re-publish any source whose segment a platform cleanup took
+        # with the crashed worker (a worker itself never unlinks).
+        lost = []
+        for source, population in current.items():
+            try:
+                SharedEdgePopulation.attach(population.descriptor)
+            except (OSError, ValueError):
+                lost.append(source)
+        for source in lost:
+            publish(source)
+        return descriptors() if lost else None
+
     try:
         if shared_memory_available() and _grid_label_free(spec):
             for source in dict.fromkeys(rs.source for _, _, rs in pending):
-                interned = NodeInterner().intern_edges(
+                edges_of[source] = NodeInterner().intern_edges(
                     _resolve_edges(source, None)
                 )
-                population = SharedEdgePopulation.publish(interned)
-                populations.append(population)
-                descriptors[source] = population.descriptor
-        with ProcessPoolExecutor(
-            max_workers=workers,
+                publish(source)
+        return run_resilient(
+            _execute_payload,
+            list(payloads),
+            workers=workers,
             initializer=_sweep_pool_initializer,
-            initargs=(descriptors,),
-        ) as pool:
-            return list(pool.map(_execute_payload, payloads))
+            initargs=descriptors(),
+            retry_budget=retry_budget,
+            injector=injector,
+            site="sweep",
+            refresh=refresh,
+        )
     finally:
         for population in populations:
             population.close()

@@ -699,7 +699,10 @@ def _cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
-    with service:
+    import json
+
+    service.start()
+    try:
         if args.port is not None:
             serve_tcp(
                 service,
@@ -710,6 +713,20 @@ def _cmd_serve(args) -> int:
             )
         else:
             serve_stdio(service)
+    except BaseException:
+        try:
+            service.stop(drain=False)
+        except RuntimeError:
+            pass  # the interrupting exception is the story
+        raise
+    try:
+        service.stop(drain=True)
+    except RuntimeError as exc:
+        # A worker (pump/drive) failed: clients deserve a final,
+        # machine-readable verdict and the shell a non-zero exit.
+        print(json.dumps({"ok": False, "fatal": True, "error": str(exc)}))
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

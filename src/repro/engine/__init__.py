@@ -17,6 +17,12 @@ from repro.engine.replication import (
     ReplicationResult,
     default_max_workers,
 )
+from repro.engine.resilient import (
+    DEFAULT_REBUILD_BUDGET,
+    DEFAULT_RETRY_BUDGET,
+    RetryStats,
+    run_resilient,
+)
 from repro.engine.shared_edges import (
     SharedEdgePopulation,
     shared_memory_available,
@@ -31,6 +37,8 @@ from repro.engine.stream_engine import (
 
 __all__ = [
     "DEFAULT_PIPELINE",
+    "DEFAULT_REBUILD_BUDGET",
+    "DEFAULT_RETRY_BUDGET",
     "PIPELINES",
     "EngineStats",
     "validate_pipeline",
@@ -38,8 +46,10 @@ __all__ = [
     "ReplicatedRunner",
     "ReplicatedSummary",
     "ReplicationResult",
+    "RetryStats",
     "SharedEdgePopulation",
     "StreamEngine",
     "default_max_workers",
+    "run_resilient",
     "shared_memory_available",
 ]

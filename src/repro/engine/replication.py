@@ -55,12 +55,16 @@ from __future__ import annotations
 
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.compact import DEFAULT_CORE, validate_core
 from repro.core.weights import WeightFunction, is_label_free
+from repro.engine.resilient import (
+    DEFAULT_RETRY_BUDGET,
+    RetryStats,
+    run_resilient,
+)
 from repro.engine.shared_edges import (
     Descriptor,
     SharedEdgePopulation,
@@ -71,6 +75,7 @@ from repro.engine.stream_engine import (
     PIPELINES,
     validate_pipeline,
 )
+from repro.faults.injector import FaultInjector, coerce_injector
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.edge import Node
 from repro.stats.confidence import confidence_interval
@@ -199,6 +204,10 @@ class ReplicatedSummary:
     #: The pipeline replications actually drove (``"scalar"`` when the
     #: configuration cannot use the columnar gate, whatever was asked).
     pipeline: str = "scalar"
+    #: Fault-tolerance cost: tasks resubmitted after worker failure.
+    task_retries: int = 0
+    #: Fault-tolerance cost: executors rebuilt after BrokenProcessPool.
+    pool_rebuilds: int = 0
 
     @property
     def num_replications(self) -> int:
@@ -548,6 +557,8 @@ class ReplicatedRunner:
         "_pipeline",
         "_dispatch",
         "_interner",
+        "_injector",
+        "_retry_budget",
     )
 
     def __init__(
@@ -564,9 +575,15 @@ class ReplicatedRunner:
         core: str = DEFAULT_CORE,
         pipeline: str = DEFAULT_PIPELINE,
         dispatch: Optional[str] = None,
+        faults=None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+        self._injector: Optional[FaultInjector] = coerce_injector(faults)
+        self._retry_budget = retry_budget
         method_spec = _get_method(method)  # fail fast on unknown names
         validate_core(core)
         validate_pipeline(pipeline)
@@ -690,7 +707,10 @@ class ReplicatedRunner:
         try:
             probe = make(1, len(self._edges), 0,
                          weight_fn=self._weight_fn, core=self._core)
-        except Exception:
+        # Safe probe fallback: a method refusing the unit budget is
+        # answered by building the real counter instead — no failure is
+        # swallowed, the except IS the answer.
+        except Exception:  # repro-lint: disable=exception-discipline
             probe = make(self._capacity, len(self._edges), 0,
                          weight_fn=self._weight_fn, core=self._core)
         if not getattr(probe, "chunk_vectorized", False):
@@ -725,13 +745,14 @@ class ReplicatedRunner:
                 _release_arena()
             workers = 0
             dispatch = "inline"
+            stats = RetryStats()
         else:
             workers = min(self._max_workers, len(pairs))
             dispatch = self.resolved_dispatch()
             if dispatch == "shared":
-                results = self._run_pool_shared(workers, pairs)
+                results, stats = self._run_pool_shared(workers, pairs)
             else:
-                results = self._run_pool_pickled(workers, pairs)
+                results, stats = self._run_pool_pickled(workers, pairs)
         metric_names = list(results[0].metrics)
         return ReplicatedSummary(
             replications=tuple(results),
@@ -743,6 +764,8 @@ class ReplicatedRunner:
             method=self._method,
             dispatch=dispatch,
             pipeline=self.resolved_pipeline(),
+            task_retries=stats.task_retries,
+            pool_rebuilds=stats.pool_rebuilds,
         )
 
     # ------------------------------------------------------------------
@@ -750,29 +773,57 @@ class ReplicatedRunner:
     # ------------------------------------------------------------------
     def _run_pool_shared(
         self, workers: int, pairs: Sequence[SeedPair]
-    ) -> List[ReplicationResult]:
-        """Publish once, attach per worker; the segment is always
-        unlinked — on success, worker failure and KeyboardInterrupt."""
-        with SharedEdgePopulation.publish(self._edges) as shared:
-            with ProcessPoolExecutor(
-                max_workers=workers,
+    ) -> Tuple[List[ReplicationResult], RetryStats]:
+        """Publish once, attach per worker; every published generation
+        is always unlinked — on success, worker failure (including a
+        pool rebuild after a crashed worker) and KeyboardInterrupt."""
+        published = [SharedEdgePopulation.publish(self._edges)]
+
+        def initargs_of(shared: SharedEdgePopulation) -> Tuple:
+            return (shared.descriptor, self._capacity, self._weight_fn,
+                    self._method, self._core, self._pipeline)
+
+        def refresh() -> Optional[Tuple]:
+            # A dead worker cannot unlink the parent's segment, but a
+            # hostile platform cleanup can; probe, republish if gone.
+            try:
+                SharedEdgePopulation.attach(published[-1].descriptor)
+                return None
+            except (OSError, ValueError):
+                published.append(SharedEdgePopulation.publish(self._edges))
+                return initargs_of(published[-1])
+
+        try:
+            return run_resilient(
+                _run_seed_pair,
+                list(pairs),
+                workers=workers,
                 initializer=_pool_initializer_shared,
-                initargs=(shared.descriptor, self._capacity,
-                          self._weight_fn, self._method, self._core,
-                          self._pipeline),
-            ) as pool:
-                return list(pool.map(_run_seed_pair, pairs))
+                initargs=initargs_of(published[0]),
+                retry_budget=self._retry_budget,
+                injector=self._injector,
+                site="replication",
+                refresh=refresh,
+            )
+        finally:
+            for shared in published:
+                shared.close()
+                shared.unlink()
 
     def _run_pool_pickled(
         self, workers: int, pairs: Sequence[SeedPair]
-    ) -> List[ReplicationResult]:
-        with ProcessPoolExecutor(
-            max_workers=workers,
+    ) -> Tuple[List[ReplicationResult], RetryStats]:
+        return run_resilient(
+            _run_seed_pair,
+            list(pairs),
+            workers=workers,
             initializer=_pool_initializer,
             initargs=(self._edges, self._capacity, self._weight_fn,
                       self._method, self._core, self._pipeline),
-        ) as pool:
-            return list(pool.map(_run_seed_pair, pairs))
+            retry_budget=self._retry_budget,
+            injector=self._injector,
+            site="replication",
+        )
 
 
 __all__ = [

@@ -1,0 +1,63 @@
+"""Deterministic file corruption and seeded retry backoff.
+
+Two small primitives the fault framework and the fault-tolerant layers
+share: :func:`corrupt_entry` mutates a cache entry on disk the same way
+every time (so a "corrupted sweep cache" chaos test is replayable), and
+:func:`backoff_delay` computes capped exponential backoff with jitter
+drawn from an *injected* seeded RNG — the retry schedule of a
+supervised source is as deterministic as its estimates.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+from repro.faults.spec import CORRUPTION_MODES
+
+
+def corrupt_entry(
+    path: Path, mode: str = "truncate", seed: int = 0
+) -> None:
+    """Deterministically corrupt the file at ``path`` in place.
+
+    ``"truncate"`` keeps the first half of the bytes (a partial write,
+    the classic crash-mid-flush shape); ``"garbage"`` overwrites the
+    file with seeded non-JSON bytes (bit rot / cross-format clobber).
+    """
+    if mode not in CORRUPTION_MODES:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; "
+            f"known modes: {list(CORRUPTION_MODES)}"
+        )
+    path = Path(path)
+    data = path.read_bytes()
+    if mode == "truncate":
+        path.write_bytes(data[: len(data) // 2])
+    else:
+        rng = random.Random(seed)
+        size = max(1, len(data))
+        path.write_bytes(bytes(rng.getrandbits(8) for _ in range(size)))
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float,
+    cap: float,
+    rng: random.Random,
+) -> float:
+    """Capped exponential backoff with seeded jitter.
+
+    ``attempt`` counts from zero.  The full delay doubles per attempt
+    up to ``cap``; the returned delay is jittered into the upper half
+    of that window (``[0.5, 1.0) * full``) so a fleet of reconnecting
+    sources does not thundering-herd a recovering server — with the
+    jitter drawn from the *injected* ``rng``, never from OS entropy.
+    """
+    if base <= 0.0:
+        raise ValueError("base must be positive")
+    if cap < base:
+        raise ValueError("cap must be >= base")
+    full = min(cap, base * (2.0 ** attempt))
+    return full * (0.5 + 0.5 * rng.random())

@@ -54,7 +54,12 @@ def serve_lines(
         response = handle_line(service, line)
         write(json.dumps(response) + "\n")
         served += 1
-        if response.get("op") in _TERMINAL_OPS and response.get("ok"):
+        if response.get("op") in _TERMINAL_OPS:
+            # The client asked the session to end; a drain that
+            # *failed* (worker error surfaced at join) ends it too —
+            # looping until EOF would strand the client on a dead
+            # service.  The CLI re-raises the failure as a non-zero
+            # exit with a final fatal line.
             break
     return served
 

@@ -22,15 +22,27 @@ queued blocks at the next block boundary.  The final snapshot of a
 drained finite source is bit-identical to a batch ``run()`` over the
 same stream — the concurrency stress tests pin this down prefix by
 prefix.
+
+The pump is *supervised* when the spec grants ``source_retries``: an
+ingestion error restarts the stream from the recorded position — the
+service counts edges as it enqueues them, re-iterates the source and
+skips exactly that many, so the sampler sees one gapless stream and
+the final answer stays bit-identical to a fault-free run.  Restarts
+wait a capped exponential backoff with seeded jitter; a burst of
+consecutive failures beyond the budget degrades to the historical
+fail-fast shape (error recorded, surfaced by :meth:`join`).
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.stream_engine import EngineStats, StreamEngine
+from repro.faults.corruption import backoff_delay
+from repro.faults.injector import FaultInjector
 from repro.serve.snapshot import SampleSnapshot, SnapshotStore
 from repro.serve.source import make_source
 from repro.serve.spec import ServeSpec
@@ -98,7 +110,12 @@ class SamplingService:
     tests can match answers against prefix-exact batch runs.
     """
 
-    def __init__(self, spec: ServeSpec, source: Optional[Any] = None) -> None:
+    def __init__(
+        self,
+        spec: ServeSpec,
+        source: Optional[Any] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
         from repro.api.registry import get_method, get_weight
 
         method = get_method(spec.method)
@@ -133,7 +150,9 @@ class SamplingService:
 
         self._spec = spec
         self._counter = counter
-        self._source = source if source is not None else make_source(spec)
+        self._source = (
+            source if source is not None else make_source(spec, faults=faults)
+        )
         self._store = SnapshotStore()
         self._queue: "queue.Queue" = queue.Queue(maxsize=spec.queue_chunks)
         self._stop_event = threading.Event()
@@ -146,6 +165,10 @@ class SamplingService:
         self._errors: List[str] = []
         self._stalls = 0
         self._blocks_ingested = 0
+        self._edges_ingested = 0
+        self._blocks_dropped = 0
+        self._pump_restarts = 0
+        self._pump_retrying = False
         self._chunks_processed = 0
         self._started = False
 
@@ -169,6 +192,16 @@ class SamplingService:
     def stalls(self) -> int:
         """How often the pump hit the full queue (backpressure events)."""
         return self._stalls
+
+    @property
+    def pump_restarts(self) -> int:
+        """Supervised pump restarts after ingestion errors."""
+        return self._pump_restarts
+
+    @property
+    def blocks_dropped(self) -> int:
+        """Blocks lost to an abort while the queue stayed full."""
+        return self._blocks_dropped
 
     def start(self) -> "SamplingService":
         if self._started:
@@ -247,14 +280,65 @@ class SamplingService:
                 continue
         return False
 
+    def _resumed_blocks(self, skip: int) -> Iterator[Any]:
+        """A fresh pass over the source, minus ``skip`` leading edges.
+
+        Every shipped source restarts deterministically from the start
+        of its stream when re-iterated (seeded generators regenerate,
+        files re-read, the reference socket feed replays), so skipping
+        the edges already enqueued resumes exactly where the failed
+        pass stopped — partial blocks are sliced, never re-delivered.
+        """
+        remaining = skip
+        for us, vs in self._source:
+            if remaining <= 0:
+                yield us, vs
+            elif len(us) <= remaining:
+                remaining -= len(us)
+            else:
+                yield us[remaining:], vs[remaining:]
+                remaining = 0
+
     def _pump(self) -> None:
+        spec = self._spec
+        rng = random.Random(spec.sampler_seed)
+        failures = 0
         try:
-            for block in self._source:
-                if self._stop_event.is_set():
-                    break
-                if not self._put(block):
-                    break
-                self._blocks_ingested += 1
+            while True:
+                try:
+                    for block in self._resumed_blocks(self._edges_ingested):
+                        if self._stop_event.is_set():
+                            return
+                        if not self._put(block):
+                            # Aborted mid-backpressure: the block never
+                            # reached the queue.  Count it — a silent
+                            # drop is indistinguishable from ingestion.
+                            self._blocks_dropped += 1
+                            return
+                        self._blocks_ingested += 1
+                        self._edges_ingested += len(block[0])
+                        failures = 0
+                    return  # clean end of stream
+                except Exception as exc:  # noqa: BLE001 - retried/surfaced
+                    if (
+                        self._stop_event.is_set()
+                        or failures >= spec.source_retries
+                    ):
+                        self._errors.append(f"pump: {exc!r}")
+                        return
+                    failures += 1
+                    self._pump_restarts += 1
+                    self._pump_retrying = True
+                    delay = backoff_delay(
+                        failures - 1,
+                        base=spec.retry_backoff,
+                        cap=spec.retry_backoff_cap,
+                        rng=rng,
+                    )
+                    stopped = self._stop_event.wait(delay)
+                    self._pump_retrying = False
+                    if stopped:
+                        return
         except Exception as exc:  # noqa: BLE001 - surfaced via join()
             self._errors.append(f"pump: {exc!r}")
         finally:
@@ -296,6 +380,9 @@ class SamplingService:
 
     def status(self) -> Dict[str, Any]:
         latest = self._store.latest()
+        source_state = getattr(self._source, "state", None)
+        retrying = self._pump_retrying or source_state == "retrying"
+        degraded = bool(self._errors) or source_state == "failed"
         return {
             "running": self.running,
             "epoch": latest.epoch if latest is not None else 0,
@@ -309,6 +396,18 @@ class SamplingService:
                 "stalls": self._stalls,
                 "queue_depth": self._queue.qsize(),
                 "queue_chunks": self._spec.queue_chunks,
+            },
+            "resilience": {
+                "degraded": degraded,
+                "retrying": retrying,
+                "pump_restarts": self._pump_restarts,
+                "blocks_dropped": self._blocks_dropped,
+                "edges_ingested": self._edges_ingested,
+                "source_state": source_state,
+                "source_reconnects": getattr(
+                    self._source, "reconnects", 0
+                ),
+                "source_rotations": getattr(self._source, "rotations", 0),
             },
             "errors": list(self._errors),
         }

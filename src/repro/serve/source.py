@@ -17,25 +17,43 @@ by :func:`make_source`:
   service's final answer is bit-identical to ``run()`` on the same spec
   fields.
 * :class:`FileTailSource` — a file streamed lazily block-by-block; with
-  ``follow=True`` it keeps polling for appended lines (``tail -f``).
+  ``follow=True`` it keeps polling for appended lines (``tail -f``) and
+  survives log rotation and truncation by reopening the path.
 * :class:`SyntheticSource` — a seeded uniform edge generator, the
   steady-state stream of the sustained-load benchmark.
 * :class:`SocketLineSource` — a ``tcp://host:port`` line protocol
-  (``u v`` per line; comment lines ignored), for live feeds.
+  (``u v`` per line; comment lines ignored), for live feeds.  With a
+  retry budget it is *supervised*: a dropped connection reconnects
+  under capped exponential backoff with seeded jitter, and — because
+  the reference feed shape replays from the start of the stream — the
+  source skips the edges it already delivered, so the downstream
+  sampler never sees a duplicate or a gap.
+
+Every source accepts an optional :class:`~repro.faults.FaultInjector`
+and consults it per raw block, which is how the chaos suite provokes
+disconnects and stalls deterministically (see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
 
+import os
+import random
 import threading
-from typing import Iterator, List, Optional, Tuple
+import time
+from typing import IO, Any, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.faults.corruption import backoff_delay
+from repro.faults.injector import FaultInjector, inject_source_faults
 from repro.serve.spec import SYNTHETIC_SOURCE, TCP_PREFIX, ServeSpec
 from repro.streams.chunks import DEFAULT_CHUNK_SIZE
 
 #: One columnar ingestion block.
 Block = Tuple[np.ndarray, np.ndarray]
+
+#: Injection site label shared by every serve-layer source.
+SOURCE_SITE = "serve-source"
 
 
 def _limit_blocks(
@@ -56,6 +74,19 @@ def _limit_blocks(
         yield us, vs
 
 
+def _with_faults(
+    blocks: Iterator[Block],
+    injector: Optional[FaultInjector],
+    poll_interval: float,
+) -> Iterator[Block]:
+    """Thread a source's raw blocks through the fault injector, if any."""
+    if injector is None:
+        return blocks
+    return inject_source_faults(
+        blocks, injector, SOURCE_SITE, poll_interval=poll_interval
+    )
+
+
 class SyntheticSource:
     """Seeded uniform edge blocks over ``nodes`` int labels.
 
@@ -74,6 +105,7 @@ class SyntheticSource:
         seed: Optional[int],
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_edges: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if nodes < 2:
             raise ValueError("nodes must be at least 2")
@@ -82,6 +114,7 @@ class SyntheticSource:
         self._seed = 0 if seed is None else seed
         self._chunk_size = chunk_size
         self._max_edges = max_edges
+        self._faults = faults
 
     def _blocks(self) -> Iterator[Block]:
         rng = np.random.RandomState(self._seed)
@@ -93,7 +126,10 @@ class SyntheticSource:
             yield us, vs
 
     def __iter__(self) -> Iterator[Block]:
-        return _limit_blocks(self._blocks(), self._max_edges)
+        return _limit_blocks(
+            _with_faults(self._blocks(), self._faults, 0.01),
+            self._max_edges,
+        )
 
 
 class ResolvedSource:
@@ -114,11 +150,13 @@ class ResolvedSource:
         stream_seed: Optional[int],
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_edges: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._source = source
         self._stream_seed = stream_seed
         self._chunk_size = chunk_size
         self._max_edges = max_edges
+        self._faults = faults
 
     def __iter__(self) -> Iterator[Block]:
         # Lazy imports: execution pulls the dataset registry.
@@ -127,7 +165,8 @@ class ResolvedSource:
         edges = _resolve_edges(self._source, None)
         stream = _permute(edges, self._stream_seed)
         return _limit_blocks(
-            stream.chunks(self._chunk_size), self._max_edges
+            _with_faults(stream.chunks(self._chunk_size), self._faults, 0.01),
+            self._max_edges,
         )
 
 
@@ -139,6 +178,18 @@ class FileTailSource:
     ``follow`` the source polls for appended complete lines after
     end-of-file until :meth:`stop` is called — the live-tail shape for
     services fed by log shippers.
+
+    A followed file survives the two mutations log shippers perform:
+
+    * **rotation** — the path now names a different inode (the old file
+      was renamed away and a fresh one created); the source reopens the
+      path and reads the new file from its start;
+    * **truncation** — same inode, but the on-disk size fell below the
+      read position (copytruncate rotation); the source reopens and
+      re-reads from offset zero, which is exactly the writer's restart.
+
+    Either reopen increments :attr:`rotations` and clears the carried
+    partial line — a torn tail of the old file is not data.
     """
 
     columnar = True
@@ -150,6 +201,7 @@ class FileTailSource:
         max_edges: Optional[int] = None,
         follow: bool = False,
         poll_interval: float = 0.05,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.bounded = not follow
         self._path = path
@@ -158,6 +210,9 @@ class FileTailSource:
         self._follow = follow
         self._poll = poll_interval
         self._stop = threading.Event()
+        self._faults = faults
+        #: Times the followed file was reopened after rotation/truncation.
+        self.rotations = 0
 
     def stop(self) -> None:
         """End a ``follow`` pass at the next poll."""
@@ -179,13 +234,32 @@ class FileTailSource:
             np.asarray(vs, dtype=np.int32),
         )
 
+    def _reopen_if_rotated(self, handle: IO[str]) -> Tuple[IO[str], bool]:
+        """Detect rotation/truncation of the followed path.
+
+        Returns ``(handle, reopened)``; on a reopen the returned handle
+        reads the current file from offset zero.  A transiently missing
+        path (mid-rotation gap) is not an error — the next poll retries.
+        """
+        try:
+            disk = os.stat(self._path)
+        except OSError:
+            return handle, False
+        here = os.fstat(handle.fileno())
+        if disk.st_ino == here.st_ino and disk.st_size >= handle.tell():
+            return handle, False
+        handle.close()
+        self.rotations += 1
+        return open(self._path, "r", encoding="utf-8"), True
+
     def _blocks(self) -> Iterator[Block]:
         if not self._follow:
             from repro.graph.io import iter_edge_chunks
 
             yield from iter_edge_chunks(self._path, self._chunk_size)
             return
-        with open(self._path, "r", encoding="utf-8") as handle:
+        handle = open(self._path, "r", encoding="utf-8")
+        try:
             pending: List[str] = []
             carry = ""
             while not self._stop.is_set():
@@ -206,18 +280,42 @@ class FileTailSource:
                     pending = []
                     if block is not None:
                         yield block
+                handle, reopened = self._reopen_if_rotated(handle)
+                if reopened:
+                    carry = ""
+                    continue
                 self._stop.wait(self._poll)
             if pending:
                 block = self._parse(pending)
                 if block is not None:
                     yield block
+        finally:
+            handle.close()
 
     def __iter__(self) -> Iterator[Block]:
-        return _limit_blocks(self._blocks(), self._max_edges)
+        return _limit_blocks(
+            _with_faults(self._blocks(), self._faults, self._poll),
+            self._max_edges,
+        )
 
 
 class SocketLineSource:
-    """Edges from a ``tcp://host:port`` line feed (``u v`` per line)."""
+    """Edges from a ``tcp://host:port`` line feed (``u v`` per line).
+
+    With ``retries=0`` (default) any connection error propagates — the
+    historical fail-fast shape.  With a budget the source supervises
+    itself: on ``ConnectionError``/``OSError`` it sleeps a capped
+    exponential backoff (jitter from a seeded ``random.Random``, so two
+    services with the same spec retry on the same schedule) and
+    reconnects.  The reference feed replays the stream from its start
+    on a new connection, so the source counts edges as it *delivers*
+    them and skips exactly that many on reconnect — downstream sees one
+    gapless, duplicate-free stream and the final sample stays
+    bit-identical to the fault-free run.  A clean end-of-stream (the
+    feeder closed after finishing) is a natural end, never retried.
+    Delivered progress resets the consecutive-failure counter, so the
+    budget bounds each failure *burst* rather than the stream lifetime.
+    """
 
     columnar = True
     bounded = False
@@ -227,6 +325,11 @@ class SocketLineSource:
         address: str,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_edges: Optional[int] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter_seed: int = 0,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if not address.startswith(TCP_PREFIX):
             raise ValueError(f"socket source needs a {TCP_PREFIX} address")
@@ -237,21 +340,43 @@ class SocketLineSource:
                 f"malformed socket address {address!r}; expected "
                 f"{TCP_PREFIX}host:port"
             )
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self._host = host
         self._port = int(port)
         self._chunk_size = chunk_size
         self._max_edges = max_edges
+        self._retries = retries
+        self._backoff = backoff
+        self._backoff_cap = backoff_cap
+        self._jitter_seed = jitter_seed
+        self._faults = faults
+        self._stop = threading.Event()
+        #: Successful reconnections after a dropped connection.
+        self.reconnects = 0
+        #: ``"idle" | "streaming" | "retrying" | "closed" | "failed"``.
+        self.state = "idle"
 
-    def _blocks(self) -> Iterator[Block]:
+    def stop(self) -> None:
+        """Abandon any backoff wait and end the stream."""
+        self._stop.set()
+
+    def _connection_blocks(self, skip_edges: int) -> Iterator[Block]:
+        """Blocks from one connection, dropping ``skip_edges`` already-
+        delivered leading edges (replay-from-start feed semantics)."""
         import socket
 
         us: List[int] = []
         vs: List[int] = []
+        remaining = skip_edges
         with socket.create_connection((self._host, self._port)) as conn:
             with conn.makefile("r", encoding="utf-8") as handle:
                 for line in handle:
                     parts = line.split()
                     if len(parts) < 2 or parts[0].startswith("#"):
+                        continue
+                    if remaining > 0:
+                        remaining -= 1
                         continue
                     us.append(int(parts[0]))
                     vs.append(int(parts[1]))
@@ -267,24 +392,81 @@ class SocketLineSource:
                 np.asarray(vs, dtype=np.int32),
             )
 
+    def _blocks(self) -> Iterator[Block]:
+        rng = random.Random(self._jitter_seed)
+        delivered_edges = 0
+        delivered_blocks = 0
+        failures = 0
+        while True:
+            try:
+                for us, vs in self._connection_blocks(delivered_edges):
+                    if self._faults is not None:
+                        polls = self._faults.stall_polls(
+                            SOURCE_SITE, delivered_blocks
+                        )
+                        if polls:
+                            time.sleep(polls * 0.01)
+                        if self._faults.source_fault(
+                            SOURCE_SITE, delivered_blocks
+                        ):
+                            raise ConnectionError(
+                                f"injected disconnect at {SOURCE_SITE} "
+                                f"block {delivered_blocks}"
+                            )
+                    self.state = "streaming"
+                    yield us, vs
+                    delivered_edges += len(us)
+                    delivered_blocks += 1
+                    failures = 0
+                self.state = "closed"
+                return
+            except (ConnectionError, OSError):
+                if self._stop.is_set() or failures >= self._retries:
+                    self.state = "failed"
+                    raise
+                failures += 1
+                self.state = "retrying"
+                delay = backoff_delay(
+                    failures - 1,
+                    base=self._backoff,
+                    cap=self._backoff_cap,
+                    rng=rng,
+                )
+                if self._stop.wait(delay):
+                    self.state = "closed"
+                    return
+                self.reconnects += 1
+
     def __iter__(self) -> Iterator[Block]:
         return _limit_blocks(self._blocks(), self._max_edges)
 
 
-def make_source(spec: ServeSpec):
-    """Resolve a spec's ``source`` field to a block source."""
+def make_source(
+    spec: ServeSpec, faults: Optional[FaultInjector] = None
+) -> Any:
+    """Resolve a spec's ``source`` field to a block source.
+
+    ``faults`` threads a deterministic injector through to the source's
+    per-block hook; production callers leave it ``None``.
+    """
     if spec.source == SYNTHETIC_SOURCE:
         return SyntheticSource(
             spec.nodes,
             spec.stream_seed,
             chunk_size=spec.chunk_size,
             max_edges=spec.max_edges,
+            faults=faults,
         )
     if spec.source.startswith(TCP_PREFIX):
         return SocketLineSource(
             spec.source,
             chunk_size=spec.chunk_size,
             max_edges=spec.max_edges,
+            retries=spec.source_retries,
+            backoff=spec.retry_backoff,
+            backoff_cap=spec.retry_backoff_cap,
+            jitter_seed=spec.sampler_seed,
+            faults=faults,
         )
     if spec.follow:
         return FileTailSource(
@@ -293,17 +475,20 @@ def make_source(spec: ServeSpec):
             max_edges=spec.max_edges,
             follow=True,
             poll_interval=spec.poll_interval,
+            faults=faults,
         )
     return ResolvedSource(
         spec.source,
         spec.stream_seed,
         chunk_size=spec.chunk_size,
         max_edges=spec.max_edges,
+        faults=faults,
     )
 
 
 __all__ = [
     "Block",
+    "SOURCE_SITE",
     "SyntheticSource",
     "ResolvedSource",
     "FileTailSource",

@@ -78,6 +78,18 @@ class ServeSpec:
     poll_interval:
         Seconds between polls while following a file and while
         draining queues on shutdown.
+    source_retries:
+        Supervised restarts per failure burst: a socket source
+        reconnects up to this many consecutive times, and a pump-thread
+        ingestion error restarts the stream from the recorded position
+        up to this many consecutive times, before the service degrades
+        to a surfaced error.  Any delivered progress resets the burst
+        counter.  ``0`` (default) keeps the old fail-fast behaviour.
+    retry_backoff:
+        Base delay (seconds) of the capped exponential backoff between
+        retries; jitter is drawn from a seeded RNG, never OS entropy.
+    retry_backoff_cap:
+        Ceiling (seconds) of the backoff growth.
     """
 
     source: str
@@ -93,6 +105,9 @@ class ServeSpec:
     nodes: int = 10_000
     follow: bool = False
     poll_interval: float = 0.05
+    source_retries: int = 0
+    retry_backoff: float = 0.05
+    retry_backoff_cap: float = 2.0
 
     def __post_init__(self) -> None:
         if not self.source:
@@ -111,6 +126,14 @@ class ServeSpec:
             raise ValueError("nodes must be at least 2")
         if self.poll_interval <= 0.0:
             raise ValueError("poll_interval must be positive")
+        if self.source_retries < 0:
+            raise ValueError("source_retries must be non-negative")
+        if self.retry_backoff <= 0.0:
+            raise ValueError("retry_backoff must be positive")
+        if self.retry_backoff_cap < self.retry_backoff:
+            raise ValueError(
+                "retry_backoff_cap must be >= retry_backoff"
+            )
         if self.follow and (
             self.source == SYNTHETIC_SOURCE
             or self.source.startswith(TCP_PREFIX)

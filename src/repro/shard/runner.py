@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -39,7 +38,13 @@ from repro.core.compact import DEFAULT_CORE, validate_core
 from repro.core.estimates import GraphEstimates
 from repro.core.reservoir import snapshot_view
 from repro.core.weights import WeightFunction, is_label_free
+from repro.engine.resilient import (
+    DEFAULT_RETRY_BUDGET,
+    RetryStats,
+    run_resilient,
+)
 from repro.engine.shared_edges import SharedEdgePopulation
+from repro.faults.injector import coerce_injector
 from repro.engine.stream_engine import (
     DEFAULT_PIPELINE,
     StreamEngine,
@@ -93,6 +98,10 @@ class ShardedResult:
     shard_edges: Tuple[int, ...]
     shard_sample_sizes: Tuple[int, ...]
     shard_thresholds: Tuple[float, ...]
+    #: Fault-tolerance cost: shard tasks resubmitted after worker failure.
+    task_retries: int = 0
+    #: Fault-tolerance cost: executors rebuilt after BrokenProcessPool.
+    pool_rebuilds: int = 0
 
 
 class _ColumnStream:
@@ -246,9 +255,13 @@ class ShardedRunner:
         core: str = DEFAULT_CORE,
         pipeline: str = DEFAULT_PIPELINE,
         workers: Optional[int] = 0,
+        faults=None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
         if budget < shards or budget % shards != 0:
             raise ValueError(
                 f"budget ({budget}) must divide evenly across the "
@@ -279,6 +292,8 @@ class ShardedRunner:
         self._core = core
         self._pipeline = pipeline
         self._workers = workers
+        self._injector = coerce_injector(faults)
+        self._retry_budget = retry_budget
         self._columns = (
             columnar_or_none(self._edges)
             if pipeline == "chunked" and numpy_or_none() is not None
@@ -347,10 +362,13 @@ class ShardedRunner:
         chunked = self._chunk_capable()
         workers = self._resolve_workers() if self._shards > 1 else 0
         if workers > 1 and chunked:
-            outcome = self._run_pooled(stream_seed, sampler_seed, workers)
+            outcome, stats = self._run_pooled(
+                stream_seed, sampler_seed, workers
+            )
         else:
             outcome = self._run_inline(stream_seed, sampler_seed, chunked)
             workers = 0
+            stats = RetryStats()
         samples, sizes, thresholds, shard_edges = outcome
         merged = merge_estimates(samples)
         estimates = GraphEstimates.from_raw(
@@ -374,6 +392,8 @@ class ShardedRunner:
             shard_edges=tuple(shard_edges),
             shard_sample_sizes=tuple(sizes),
             shard_thresholds=tuple(thresholds),
+            task_retries=stats.task_retries,
+            pool_rebuilds=stats.pool_rebuilds,
         )
 
     # ------------------------------------------------------------------
@@ -419,9 +439,10 @@ class ShardedRunner:
         sampler_seed: int,
         workers: int,
     ):
-        population = SharedEdgePopulation.publish(self._edges)
-        try:
-            initargs = (
+        published = [SharedEdgePopulation.publish(self._edges)]
+
+        def initargs_of(population: SharedEdgePopulation):
+            return (
                 population.descriptor,
                 self._shards,
                 self._router_seed,
@@ -432,23 +453,39 @@ class ShardedRunner:
                 stream_seed,
                 sampler_seed,
             )
-            with ProcessPoolExecutor(
-                max_workers=workers,
+
+        def refresh():
+            # Republish only if a platform cleanup took the segment
+            # along with the crashed worker.
+            try:
+                SharedEdgePopulation.attach(published[-1].descriptor)
+                return None
+            except (OSError, ValueError):
+                published.append(SharedEdgePopulation.publish(self._edges))
+                return initargs_of(published[-1])
+
+        try:
+            outcomes, stats = run_resilient(
+                _run_shard_task,
+                list(range(self._shards)),
+                workers=workers,
                 initializer=_shard_pool_initializer,
-                initargs=initargs,
-            ) as pool:
-                outcomes = list(
-                    pool.map(_run_shard_task, range(self._shards))
-                )
+                initargs=initargs_of(published[0]),
+                retry_budget=self._retry_budget,
+                injector=self._injector,
+                site="shard",
+                refresh=refresh,
+            )
         finally:
-            population.close()
-            population.unlink()
+            for population in published:
+                population.close()
+                population.unlink()
         outcomes.sort(key=lambda item: item[0])
         samples = [item[1] for item in outcomes]
         sizes = [item[2] for item in outcomes]
         thresholds = [item[3] for item in outcomes]
         shard_edges = [item[4] for item in outcomes]
-        return samples, sizes, thresholds, shard_edges
+        return (samples, sizes, thresholds, shard_edges), stats
 
 
 __all__ = [

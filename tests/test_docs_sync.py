@@ -86,6 +86,7 @@ def test_invariant_catalog_lists_every_rule():
         "invariants.md",
         "serving.md",
         "sharding.md",
+        "robustness.md",
     ],
 )
 def test_documentation_suite_present(doc):

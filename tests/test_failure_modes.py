@@ -2,19 +2,28 @@
 
 A production sampler must fail loudly on invalid inputs and stay
 consistent when a user-supplied component (weight function) raises
-mid-stream.
+mid-stream.  The fault-injection classes (process-pool death,
+mid-stream source disconnect, corrupted cache entries) get their
+fast deterministic coverage here; the end-to-end bit-identity
+acceptance runs live in the ``chaos`` suite.
 """
 
 from __future__ import annotations
 
+import json
 import math
 
 import pytest
 
+from repro.api.ground_truth import ContentAddressedStore, GroundTruthCache
 from repro.core.in_stream import InStreamEstimator
 from repro.core.post_stream import PostStreamEstimator
 from repro.core.priority_sampler import GraphPrioritySampler
 from repro.core.weights import AttributeWeight
+from repro.engine.replication import ReplicatedRunner
+from repro.faults import FaultPlan, FaultSpec, corrupt_entry
+from repro.graph.generators import erdos_renyi_gnm
+from repro.serve import SamplingService, ServeSpec
 
 
 class FlakyWeight:
@@ -132,3 +141,149 @@ class TestExtremeInputs:
         assert estimates.triangles.value == 0.0
         assert estimates.wedges.value == 0.0
         assert estimates.clustering.value == 0.0
+
+
+class TestProcessPoolDeath:
+    """A killed pool worker is retried, not propagated."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return erdos_renyi_gnm(60, 120, seed=1)
+
+    def test_worker_crash_is_retried_bit_identically(self, graph):
+        kwargs = dict(
+            capacity=30, replications=3, base_stream_seed=2,
+            base_sampler_seed=20,
+        )
+        oracle = ReplicatedRunner(graph, max_workers=0, **kwargs).run()
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind="crash-worker", site="replication", at=1),
+            )
+        )
+        crashed = ReplicatedRunner(
+            graph, max_workers=2, faults=plan, **kwargs
+        ).run()
+        assert crashed.task_retries > 0
+        assert crashed.pool_rebuilds > 0
+        for name in ("in_stream_triangles", "in_stream_wedges"):
+            assert (
+                crashed.metrics[name].mean == oracle.metrics[name].mean
+            )
+
+    def test_retry_budget_exhaustion_raises(self, graph):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    kind="raise-task", site="replication", at=0, times=5
+                ),
+            )
+        )
+        runner = ReplicatedRunner(
+            graph, capacity=30, replications=2, max_workers=2,
+            faults=plan, retry_budget=1,
+        )
+        with pytest.raises(Exception):
+            runner.run()
+
+
+class TestMidStreamDisconnect:
+    """A dropped source mid-ingestion resumes from the recorded position."""
+
+    SPEC = ServeSpec(
+        source="synthetic", budget=150, chunk_size=256, max_edges=2048,
+        sampler_seed=5, nodes=400,
+    )
+    PLAN = FaultPlan(
+        faults=(
+            FaultSpec(kind="disconnect-source", site="serve-source", at=3),
+        )
+    )
+
+    def _final(self, spec, faults=None):
+        from repro.faults import FaultInjector
+
+        service = SamplingService(
+            spec, faults=None if faults is None else FaultInjector(faults)
+        )
+        service.start()
+        service.stop(drain=True)
+        return service, service.latest()
+
+    def test_disconnect_resumes_and_stays_bit_identical(self):
+        _, oracle = self._final(self.SPEC)
+        retried = self.SPEC.replace(
+            source_retries=2, retry_backoff=0.01, retry_backoff_cap=0.05
+        )
+        service, snap = self._final(retried, faults=self.PLAN)
+        resilience = service.status()["resilience"]
+        assert resilience["pump_restarts"] >= 1
+        assert resilience["degraded"] is False
+        assert snap.estimates() == oracle.estimates()
+        assert snap.stream_position == oracle.stream_position
+
+    def test_disconnect_without_budget_surfaces(self):
+        from repro.faults import FaultInjector
+
+        service = SamplingService(
+            self.SPEC, faults=FaultInjector(self.PLAN)
+        )
+        service.start()
+        with pytest.raises(RuntimeError, match="pump"):
+            service.stop(drain=True)
+        assert service.status()["resilience"]["degraded"] is True
+
+
+class TestCorruptedCacheEntries:
+    """Corrupt disk entries quarantine and recount, never raise."""
+
+    def test_truncated_entry_quarantined_and_recounted(self, tmp_path):
+        store = ContentAddressedStore(tmp_path)
+        key = "a" * 64
+        store.write(key, {"value": 7})
+        path = store.path_for(key)
+        corrupt_entry(path, mode="truncate")
+        assert store.read(key) is None
+        assert store.quarantined == 1
+        quarantined = path.with_name(
+            path.name + ContentAddressedStore.QUARANTINE_SUFFIX
+        )
+        assert quarantined.exists()
+        # The recount overwrites cleanly and reads back.
+        store.write(key, {"value": 7})
+        assert store.read(key) == {"value": 7}
+
+    def test_garbage_entry_quarantined(self, tmp_path):
+        store = ContentAddressedStore(tmp_path)
+        key = "b" * 64
+        store.write(key, {"value": 1})
+        corrupt_entry(store.path_for(key), mode="garbage", seed=3)
+        assert store.read(key) is None
+        assert store.quarantined == 1
+
+    def test_stale_version_is_a_plain_miss(self, tmp_path):
+        store = ContentAddressedStore(tmp_path)
+        key = "c" * 64
+        store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key).write_text(
+            json.dumps({"version": -1, "data": {"value": 2}})
+        )
+        assert store.read(key) is None
+        assert store.quarantined == 0  # intact, just old: nothing set aside
+
+    def test_ground_truth_recount_matches_original(self, tmp_path):
+        from repro.graph.io import write_edge_list
+
+        graph = erdos_renyi_gnm(40, 80, seed=4)
+        source = tmp_path / "graph.txt"
+        write_edge_list(graph, source)
+        first = GroundTruthCache(tmp_path)
+        original = first.statistics(str(source))
+        entries = list((tmp_path / "ground_truth").glob("*.json"))
+        assert len(entries) == 1
+        corrupt_entry(entries[0], mode="truncate")
+        fresh = GroundTruthCache(tmp_path)
+        recounted = fresh.statistics(str(source))
+        assert fresh.quarantined == 1
+        assert fresh.misses == 1
+        assert recounted == original

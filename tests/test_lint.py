@@ -172,6 +172,19 @@ CONFORMING = {
         "def build_demo(spec):\n"
         "    return None\n",
     ),
+    "exception-discipline": (
+        "serve/pump.py",
+        "class Pump:\n"
+        "    def __init__(self):\n"
+        "        self._errors = []\n"
+        "\n"
+        "    def run(self, source, sink):\n"
+        "        try:\n"
+        "            for block in source:\n"
+        "                sink.append(block)\n"
+        "        except Exception as exc:\n"
+        "            self._errors.append(f'pump: {exc!r}')\n",
+    ),
     "api-doctest": (
         "api/facade.py",
         "def wedge_count(n):\n"

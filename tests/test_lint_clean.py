@@ -34,13 +34,15 @@ def test_shipped_tree_lints_clean():
 
 
 def test_shipped_suppressions_are_exactly_the_documented_ones():
-    # Three deliberate violations ride in the tree: compact.py
+    # Four deliberate violations ride in the tree: compact.py
     # transplants MT19937 state into a construction-time-unseeded bit
-    # generator, and shard/runner.py reads perf_counter twice for the
-    # throughput report (wall time never feeds an estimate).  All are
-    # justified inline; new suppressions must be accounted for here.
+    # generator, shard/runner.py reads perf_counter twice for the
+    # throughput report (wall time never feeds an estimate), and
+    # replication.py's pipeline probe falls back through a broad except
+    # where the except IS the answer (no failure is swallowed).  All
+    # are justified inline; new suppressions must be accounted for here.
     result = lint_paths([SRC])
-    assert result.suppressed == 3
+    assert result.suppressed == 4
 
 
 def test_analysis_package_lints_itself():

@@ -133,21 +133,20 @@ def test_replication_shared_unlinks_on_success(graph, recorded_publish):
 def test_replication_shared_unlinks_on_pool_failure(
     graph, recorded_publish, monkeypatch, boom
 ):
+    import repro.engine.resilient as resilient_module
+
     class ExplodingPool:
         def __init__(self, *args, **kwargs):
             pass
 
-        def __enter__(self):
-            return self
-
-        def __exit__(self, *exc):
-            return False
-
-        def map(self, fn, items):
+        def submit(self, fn, *args):
             raise boom
 
+        def shutdown(self, *args, **kwargs):
+            pass
+
     monkeypatch.setattr(
-        replication_module, "ProcessPoolExecutor", ExplodingPool
+        resilient_module, "ProcessPoolExecutor", ExplodingPool
     )
     runner = ReplicatedRunner(
         graph, capacity=50, replications=2, max_workers=1, dispatch="shared"
