@@ -167,6 +167,30 @@ class ContentAddressedStore:
             return None
         return self._root / f"{key}.json"
 
+    def entries(self) -> "tuple[Path, ...]":
+        """Paths of the store's payload entries, sorted by name.
+
+        The store directory is shared infrastructure: the distributed
+        sweep fabric parks ``<key>.lease`` claim files next to the
+        payloads, quarantine leaves ``<key>.json.corrupt`` siblings,
+        and in-flight writers hold ``.<key16>-*.tmp`` files.  A scan
+        must never mistake any of those for an entry, so the filter is
+        explicit: payloads are exactly the non-hidden ``*.json`` files.
+        """
+        if self._root is None or not self._root.is_dir():
+            return ()
+        return tuple(
+            sorted(
+                path
+                for path in self._root.iterdir()
+                if path.suffix == ".json"
+                and not path.name.startswith(".")
+                and not path.name.endswith(self.QUARANTINE_SUFFIX)
+                and not path.name.endswith(".lease")
+                and not path.name.endswith(".tmp")
+            )
+        )
+
     def read(self, key: str) -> Optional[Dict[str, Any]]:
         path = self.path_for(key)
         if path is None or not path.exists():

@@ -487,6 +487,12 @@ class SweepReport:
     pool_rebuilds: int = 0
     #: Corrupt cache entries set aside (and recounted) this run.
     cache_quarantined: int = 0
+    #: Worker fleet size of a distributed run (0 = not distributed).
+    distributed_workers: int = 0
+    #: Stale leases reclaimed across the fleet (distributed runs only).
+    leases_reclaimed: int = 0
+    #: Cells executed under a reclaimed lease — the at-least-once cost.
+    cells_reexecuted: int = 0
 
     def cell(
         self,
@@ -578,6 +584,11 @@ class SweepReport:
             "resilience": {
                 "task_retries": self.task_retries,
                 "pool_rebuilds": self.pool_rebuilds,
+            },
+            "distrib": {
+                "workers": self.distributed_workers,
+                "leases_reclaimed": self.leases_reclaimed,
+                "cells_reexecuted": self.cells_reexecuted,
             },
         }
 
@@ -690,7 +701,7 @@ def _grid_label_free(spec: SweepSpec) -> bool:
     )
 
 
-def _cell_report_key(
+def cell_report_key(
     spec: RunSpec, include_post: bool, source_key: str
 ) -> str:
     """Content address of one replication's report.
@@ -701,12 +712,51 @@ def _cell_report_key(
     estimates produced by older estimator code; *within* one version,
     editing an estimator without bumping it still replays stale cells —
     clear the cache directory (or skip ``--resume``) after such edits.
+
+    Example
+    -------
+    >>> spec = RunSpec(source="g.txt", method="triest", budget=10)
+    >>> key = cell_report_key(spec, False, "0" * 64)
+    >>> len(key), key == cell_report_key(spec, False, "0" * 64)
+    (64, True)
+    >>> key == cell_report_key(spec, True, "0" * 64)
+    False
     """
     from repro import __version__
 
     descriptor = dict(spec.to_dict(), source={"content": source_key})
     return content_key({"kind": "cell", "include_post": include_post,
                         "repro": __version__, "spec": descriptor})
+
+
+def expand_for_execution(
+    spec: SweepSpec, gt_cache: GroundTruthCache
+) -> Tuple[
+    Tuple[SweepCell, ...], Tuple[CellKey, ...], Dict[str, GraphStatistics]
+]:
+    """Expand a grid to its executable cells, exactly as :func:`run_sweep`.
+
+    Returns ``(cells, skipped, truths)`` after ground-truth resolution
+    and budget-policy application — the shared front half of the inline
+    runner and the distributed coordinator, so both enumerate (and
+    content-address) the *same* replications in the same order.
+
+    Example
+    -------
+    >>> spec = SweepSpec(sources=("com-amazon",), methods=("triest",),
+    ...                  budgets=(500,), budget_policy="clip")
+    >>> cells, skipped, truths = expand_for_execution(
+    ...     spec, GroundTruthCache())                     # doctest: +SKIP
+    >>> [cell.key.budget for cell in cells]               # doctest: +SKIP
+    [500]
+    """
+    cells = spec.expand()
+    truths = {
+        source: gt_cache.statistics(source)
+        for source in dict.fromkeys(cell.key.source for cell in cells)
+    }
+    cells, skipped = _apply_budget_policy(spec, cells, truths)
+    return cells, skipped, truths
 
 
 def run_sweep(
@@ -771,12 +821,7 @@ def run_sweep(
     if injector is not None and cell_store.root is not None:
         _apply_cache_faults(injector, cell_store.root)
 
-    cells = spec.expand()
-    truths = {
-        source: gt_cache.statistics(source)
-        for source in dict.fromkeys(cell.key.source for cell in cells)
-    }
-    cells, skipped = _apply_budget_policy(spec, cells, truths)
+    cells, skipped, truths = expand_for_execution(spec, gt_cache)
 
     # Gather the flat replication list; serve what we can from the cache.
     # Cell keys (which content-hash the source) are only computed when a
@@ -784,7 +829,7 @@ def run_sweep(
     cell_cache_on = cell_store.root is not None
 
     def report_key(run_spec: RunSpec) -> str:
-        return _cell_report_key(
+        return cell_report_key(
             run_spec, spec.include_post, gt_cache.key_for(run_spec.source)
         )
 
@@ -861,9 +906,12 @@ def _apply_cache_faults(injector: FaultInjector, root: Path) -> None:
 
     Each armed fault corrupts the ``at``-th entry of the sorted cell
     listing (modulo the entry count) — deterministic given a
-    deterministic cache population, which a seeded sweep is.
+    deterministic cache population, which a seeded sweep is.  The scan
+    goes through :meth:`ContentAddressedStore.entries`, which skips the
+    ``.lease`` / ``.corrupt`` / tmp siblings a distributed sweep parks
+    next to the payloads.
     """
-    entries = sorted(root.glob("*.json"))
+    entries = list(ContentAddressedStore(root).entries())
     if not entries:
         return
     for fault in injector.cache_faults("sweep-cache"):
@@ -1033,5 +1081,7 @@ __all__ = [
     "SweepCell",
     "SweepReport",
     "SweepSpec",
+    "cell_report_key",
+    "expand_for_execution",
     "run_sweep",
 ]

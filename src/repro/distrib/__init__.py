@@ -1,0 +1,28 @@
+"""Durable distributed sweep fabric: lease-based cell work-queue.
+
+ROADMAP item 2b: shard the content-addressed sweep cells across
+independent worker processes over one shared cache directory, with
+``--resume`` semantics as free fault tolerance.  The protocol is
+files-only (``O_EXCL`` lease claims, mtime heartbeats, tombstone-rename
+reclamation, ``mkstemp``+``rename`` publication), execution is
+at-least-once, and results are idempotent because every cell is a pure
+function of its content-addressed spec.  See ``docs/distributed.md``.
+"""
+
+from repro.distrib.coordinator import enqueue_grid, run_distributed_sweep
+from repro.distrib.queue import DISTRIB_SITE, CellQueue, Claim
+from repro.distrib.spec import CellTask, DistribSpec
+from repro.distrib.worker import Heartbeat, WorkerStats, run_worker
+
+__all__ = [
+    "CellQueue",
+    "CellTask",
+    "Claim",
+    "DISTRIB_SITE",
+    "DistribSpec",
+    "Heartbeat",
+    "WorkerStats",
+    "enqueue_grid",
+    "run_distributed_sweep",
+    "run_worker",
+]

@@ -1,0 +1,210 @@
+"""The ``sweep --distributed N`` coordinator: enqueue, spawn, assemble.
+
+:func:`run_distributed_sweep` drives one sweep grid through a worker
+fleet instead of an in-process pool:
+
+1. expand the grid exactly like :func:`~repro.api.sweep.run_sweep`
+   (same ground-truth cache, same budget policy, same content
+   addresses), and enqueue one :class:`~repro.distrib.spec.CellTask`
+   per replication;
+2. spawn ``N`` local ``python -m repro sweep-worker`` processes over
+   the queue and monitor them;
+3. if the whole fleet dies with tasks still pending, reap the stale
+   leases and drain the remainder inline — completion does not depend
+   on any worker surviving;
+4. assemble the final :class:`~repro.api.sweep.SweepReport` by running
+   the inline sweep in ``resume`` mode over the now-populated cell
+   store.  Every replication is served from cache, and because cell
+   reports are pure functions of their seeds and JSON float repr
+   round-trips exactly, the assembled report's cells are bit-identical
+   to a fault-free ``workers=0`` inline run.
+
+The report's ``distributed_workers`` / ``leases_reclaimed`` /
+``cells_reexecuted`` counters aggregate the workers' crash-durable
+summaries, so a chaos run can *prove* a SIGKILLed worker's cell was
+reclaimed and re-executed by a survivor.
+
+``fault_plans`` maps worker index to a :class:`~repro.faults.FaultPlan`
+shipped to that worker via a plan file (chaos suite only): each worker
+owns its burn-down state, so fleet-level fault schedules stay
+deterministic per worker regardless of claim interleaving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.api.ground_truth import GroundTruthCache
+from repro.api.sweep import (
+    SweepReport,
+    SweepSpec,
+    cell_report_key,
+    expand_for_execution,
+    run_sweep,
+)
+from repro.distrib.queue import CellQueue
+from repro.distrib.spec import CellTask, DistribSpec
+from repro.distrib.worker import run_worker
+from repro.faults.spec import FaultPlan
+
+#: How long the coordinator waits for a worker that should be exiting
+#: (the queue it saw drain is empty) before terminating it.
+_JOIN_TIMEOUT = 30.0
+
+
+def _worker_env() -> Dict[str, str]:
+    """Subprocess env able to ``import repro`` even without an install."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + existing if existing else src_root
+    )
+    return env
+
+
+def enqueue_grid(
+    spec: SweepSpec, queue: CellQueue, gt_cache: GroundTruthCache
+) -> int:
+    """Enqueue every replication of ``spec``; returns the task count."""
+    cells, _, _ = expand_for_execution(spec, gt_cache)
+    count = 0
+    for cell in cells:
+        for run_spec in cell.specs:
+            key = cell_report_key(
+                run_spec, spec.include_post, gt_cache.key_for(run_spec.source)
+            )
+            queue.enqueue(
+                CellTask(
+                    key=key, spec=run_spec, include_post=spec.include_post
+                )
+            )
+            count += 1
+    return count
+
+
+def run_distributed_sweep(
+    spec: SweepSpec,
+    *,
+    cache_dir: os.PathLike,
+    distrib: Optional[DistribSpec] = None,
+    resume: bool = False,
+    ground_truth: Optional[GroundTruthCache] = None,
+    fault_plans: Optional[Mapping[int, FaultPlan]] = None,
+) -> SweepReport:
+    """Execute ``spec`` through a local worker fleet over ``cache_dir``.
+
+    Parameters
+    ----------
+    spec:
+        The grid description (its ``workers`` field is ignored — cell
+        replications run one-per-claim inside the fleet).
+    cache_dir:
+        Root of the shared cache; required, because the queue *is* the
+        cache directory (tasks under ``queue/``, leases and results
+        under ``cells/``).
+    distrib:
+        Fleet and lease-protocol parameters (defaults:
+        :class:`~repro.distrib.spec.DistribSpec`).
+    resume:
+        Cosmetic here: distributed execution always has resume
+        semantics over the cells store (a task with a durable result is
+        never claimed), exactly the "``--resume`` as free fault
+        tolerance" design.  The flag is accepted for CLI symmetry.
+    ground_truth:
+        Inject a pre-warmed cache (tests); defaults to one rooted at
+        ``cache_dir``.
+    fault_plans:
+        Optional per-worker-index :class:`~repro.faults.FaultPlan`,
+        written to a plan file and passed to that worker's
+        ``sweep-worker --faults`` (chaos suite only).
+    """
+    if cache_dir is None:
+        raise ValueError("distributed sweeps require a cache directory")
+    del resume  # always-on over the cells store; see the docstring
+    distrib = distrib or DistribSpec()
+    root = Path(cache_dir)
+    gt_cache = ground_truth or GroundTruthCache(root)
+    queue = CellQueue.create(root / "queue", root / "cells", distrib)
+    enqueue_grid(spec, queue, gt_cache)
+
+    plans = dict(fault_plans or {})
+    env = _worker_env()
+    procs: List[subprocess.Popen] = []
+    logs = []
+    try:
+        for index in range(distrib.workers):
+            worker_id = f"w{index}"
+            cmd = [
+                sys.executable, "-m", "repro", "sweep-worker",
+                "--queue", str(queue.root), "--worker-id", worker_id,
+            ]
+            if index in plans:
+                plan_path = queue.root / f"faults-{worker_id}.json"
+                plan_path.write_text(plans[index].to_json())
+                cmd += ["--faults", str(plan_path)]
+            log = open(queue.root / f"{worker_id}.log", "w")
+            logs.append(log)
+            procs.append(
+                subprocess.Popen(
+                    cmd, env=env, stdout=log, stderr=subprocess.STDOUT
+                )
+            )
+
+        # Monitor: survivors reclaim stale leases themselves at claim
+        # time (that is the acceptance path); the coordinator only
+        # steps in when the *whole* fleet is gone with work pending.
+        # The drain worker publishes a "coordinator" summary, so its
+        # reclaims/re-executions aggregate like any other worker's.
+        while queue.pending_keys():
+            if all(proc.poll() is not None for proc in procs):
+                queue.reap_stale()
+                run_worker(queue.root, "coordinator")
+                break
+            time.sleep(distrib.poll_interval)
+
+        # No wall-clock reads (nondet-ban): bounded blocking waits only.
+        for proc in procs:
+            try:
+                proc.wait(timeout=_JOIN_TIMEOUT)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                proc.wait()
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        for log in logs:
+            log.close()
+
+    # Orphaned leases (a worker that died between result write and
+    # release, or was terminated above) are stale garbage by now.
+    orphans_reaped = queue.reap_stale()
+
+    summaries = queue.worker_summaries()
+    leases_reclaimed = (
+        sum(int(s.get("reclaimed", 0)) for s in summaries) + orphans_reaped
+    )
+    cells_reexecuted = sum(
+        int(s.get("reexecuted", 0)) for s in summaries
+    )
+
+    report = run_sweep(
+        spec, cache_dir=cache_dir, resume=True, ground_truth=gt_cache
+    )
+    return dataclasses.replace(
+        report,
+        distributed_workers=distrib.workers,
+        leases_reclaimed=leases_reclaimed,
+        cells_reexecuted=cells_reexecuted,
+    )
+
+
+__all__ = ["enqueue_grid", "run_distributed_sweep"]

@@ -1,0 +1,454 @@
+"""A durable, file-based cell work-queue over the sweep cache directory.
+
+The queue is nothing but files under the shared cache root — no broker,
+no sockets — so any process that can see the directory can join the
+fleet, and every transition survives a SIGKILL at any instruction:
+
+* **Tasks** are ``<root>/tasks/<key>.json`` payloads
+  (:class:`~repro.distrib.spec.CellTask`), written once by the
+  coordinator with ``mkstemp`` + ``rename``.
+* **Results** are the existing content-addressed cell entries
+  (``<cells>/<key>.json``, :class:`~repro.api.ground_truth.\
+ContentAddressedStore`).  A task is *done* exactly when its result
+  entry exists — there is no separate completion record to get out of
+  sync.
+* **Leases** are ``<cells>/<key>.lease`` siblings of the result they
+  guard.  A claim is an ``O_EXCL`` create (atomic on every platform we
+  care about) carrying the worker id and pid; holding a lease means
+  touching its mtime (:meth:`CellQueue.heartbeat`) more often than
+  ``lease_timeout``.  A lease whose mtime has gone quiet is **stale**
+  and may be reclaimed: the reclaimer first *renames* it to a private
+  tombstone — ``rename`` is atomic, so exactly one contender wins —
+  and only then re-creates it with ``O_EXCL``.
+
+Double executions are possible by design (a stolen lease, a worker
+that died after writing its result but before releasing) and harmless:
+results are content-addressed and every cell is a pure function of its
+spec, so the second writer publishes byte-identical payload to the same
+address.  That at-least-once + idempotence argument is the whole
+correctness story — see ``docs/distributed.md``.
+
+All timestamps flow through an *injected* clock (default
+:func:`time.time`): staleness compares ``clock() - lease mtime`` where
+the mtime itself was set from the same clock via ``os.utime``, so the
+lease lifecycle tests drive time explicitly instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.api.ground_truth import ContentAddressedStore
+from repro.distrib.spec import CellTask, DistribSpec
+from repro.faults.injector import FaultInjector
+
+#: Manifest schema version; bump when the queue layout changes.
+_QUEUE_FORMAT = 1
+
+#: Suffix of lease files parked next to their result entries.
+LEASE_SUFFIX = ".lease"
+
+#: Injection-site label the queue and workers consult.
+DISTRIB_SITE = "distrib"
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Publish ``payload`` at ``path`` via ``mkstemp`` + ``rename``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{path.stem[:16]}-", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload, indent=1))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A held lease: the ticket a worker executes one task under."""
+
+    task: CellTask
+    worker: str
+    lease_path: Path
+    #: True when this claim reclaimed a stale (or stolen) lease —
+    #: executing it is the at-least-once re-execution the counters
+    #: surface.
+    reclaimed: bool = False
+
+    @property
+    def key(self) -> str:
+        return self.task.key
+
+
+class CellQueue:
+    """File-based work queue with lease claims over a cells directory.
+
+    Construct via :meth:`create` (coordinator, writes the manifest) or
+    :meth:`open` (workers, reads it).  One instance is *not* thread-safe
+    for concurrent :meth:`claim` calls sharing mutable counters, but the
+    on-disk protocol is safe across any number of processes — the tests
+    hammer it from threads and processes alike.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        cells_dir: Path,
+        spec: DistribSpec,
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._root = Path(root)
+        self._cells_dir = Path(cells_dir)
+        self._spec = spec
+        self._clock = clock
+        self._store = ContentAddressedStore(self._cells_dir)
+        self._nonce = itertools.count()
+        #: Fresh-lease encounters during claim scans (steal-fault index).
+        self._steal_probes = 0
+        #: Successful claims / stale reclaims / releases by this instance.
+        self.claims = 0
+        self.reclaimed = 0
+        self.released = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: Path,
+        cells_dir: Path,
+        spec: Optional[DistribSpec] = None,
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> "CellQueue":
+        """Initialise the queue layout under ``root`` and return it.
+
+        Idempotent: re-creating over an existing queue keeps its tasks
+        and results (that is what lets a crashed coordinator be rerun
+        as a plain resume).
+        """
+        root = Path(root)
+        cells_dir = Path(cells_dir)
+        spec = spec or DistribSpec()
+        (root / "tasks").mkdir(parents=True, exist_ok=True)
+        (root / "workers").mkdir(parents=True, exist_ok=True)
+        cells_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            root / "manifest.json",
+            {
+                "version": _QUEUE_FORMAT,
+                "cells_dir": str(cells_dir),
+                "spec": spec.to_dict(),
+            },
+        )
+        return cls(root, cells_dir, spec, clock=clock)
+
+    @classmethod
+    def open(
+        cls, root: Path, *, clock: Callable[[], float] = time.time
+    ) -> "CellQueue":
+        """Attach to a queue created by :meth:`create`."""
+        root = Path(root)
+        manifest = json.loads((root / "manifest.json").read_text())
+        if manifest.get("version") != _QUEUE_FORMAT:
+            raise ValueError(
+                f"queue at {root} has manifest version "
+                f"{manifest.get('version')!r}; this build expects "
+                f"{_QUEUE_FORMAT}"
+            )
+        return cls(
+            root,
+            Path(manifest["cells_dir"]),
+            DistribSpec.from_dict(manifest["spec"]),
+            clock=clock,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def cells_dir(self) -> Path:
+        return self._cells_dir
+
+    @property
+    def spec(self) -> DistribSpec:
+        return self._spec
+
+    @property
+    def store(self) -> ContentAddressedStore:
+        """The shared result store (``<cells>/<key>.json`` entries)."""
+        return self._store
+
+    def lease_path(self, key: str) -> Path:
+        return self._cells_dir / f"{key}{LEASE_SUFFIX}"
+
+    def task_keys(self) -> Tuple[str, ...]:
+        """All enqueued task keys, sorted (the shared scan order)."""
+        tasks = self._root / "tasks"
+        if not tasks.is_dir():
+            return ()
+        return tuple(
+            sorted(
+                path.stem
+                for path in tasks.iterdir()
+                if path.suffix == ".json" and not path.name.startswith(".")
+            )
+        )
+
+    def load_task(self, key: str) -> CellTask:
+        return CellTask.from_json(
+            (self._root / "tasks" / f"{key}.json").read_text()
+        )
+
+    def done(self, key: str) -> bool:
+        """Whether ``key``'s result entry is durable.
+
+        Existence, not validity: a corrupt entry is the resume scan's
+        problem (it quarantines and recounts inline), not the fleet's.
+        """
+        path = self._store.path_for(key)
+        return path is not None and path.exists()
+
+    def pending_keys(self) -> Tuple[str, ...]:
+        """Tasks with no durable result yet (leased or not), sorted."""
+        return tuple(key for key in self.task_keys() if not self.done(key))
+
+    # ------------------------------------------------------------------
+    # The lease protocol
+    # ------------------------------------------------------------------
+    def enqueue(self, task: CellTask) -> None:
+        """Durably add ``task``; re-enqueueing the same key is a no-op."""
+        path = self._root / "tasks" / f"{task.key}.json"
+        if path.exists():
+            return
+        _atomic_write_json(path, task.to_dict())
+
+    def claim(
+        self,
+        worker: str,
+        *,
+        injector: Optional[FaultInjector] = None,
+        site: str = DISTRIB_SITE,
+    ) -> Optional[Claim]:
+        """Claim the first available pending task, or ``None``.
+
+        Scans tasks in sorted order, skipping done tasks and tasks
+        under a fresh lease; a stale lease is reclaimed (single winner
+        via the tombstone rename).  An armed ``steal-lease`` fault
+        forces the reclaim path on a *fresh* lease — the deliberate
+        double-claim chaos case.
+        """
+        for key in self.task_keys():
+            if self.done(key):
+                continue
+            acquired, reclaimed = self._acquire(
+                key, worker, injector=injector, site=site
+            )
+            if not acquired:
+                continue
+            self.claims += 1
+            if reclaimed:
+                self.reclaimed += 1
+            return Claim(
+                task=self.load_task(key),
+                worker=worker,
+                lease_path=self.lease_path(key),
+                reclaimed=reclaimed,
+            )
+        return None
+
+    def _acquire(
+        self,
+        key: str,
+        worker: str,
+        *,
+        injector: Optional[FaultInjector],
+        site: str,
+    ) -> Tuple[bool, bool]:
+        """Try to take ``key``'s lease; returns ``(acquired, reclaimed)``."""
+        lease = self.lease_path(key)
+        if self._create_exclusive(lease, worker):
+            return True, False
+        # Lease exists: fresh means hands off (unless a steal-lease
+        # fault forces the reclaim path), stale means tombstone it.
+        stale = self._stale(lease)
+        if stale is None:
+            # Vanished between O_EXCL and stat (released or reclaimed
+            # by someone else); one immediate retry, then give up and
+            # let the next scan see the fresh state.
+            if self._create_exclusive(lease, worker):
+                return True, False
+            return False, False
+        if not stale:
+            probe = self._steal_probes
+            self._steal_probes += 1
+            if injector is None or not injector.steal_lease(site, probe):
+                return False, False
+        tombstone = lease.with_name(
+            f".{lease.name}.reclaim-{worker}-{os.getpid()}"
+            f"-{next(self._nonce)}"
+        )
+        try:
+            os.rename(lease, tombstone)
+        except FileNotFoundError:
+            return False, False  # another contender won the rename
+        except OSError:
+            return False, False
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        if self._create_exclusive(lease, worker):
+            return True, True
+        return False, False
+
+    def _create_exclusive(self, lease: Path, worker: str) -> bool:
+        """Atomically create ``lease``; True only for the single winner."""
+        lease.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        now = self._clock()
+        with os.fdopen(fd, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {"worker": worker, "pid": os.getpid(), "claimed_at": now}
+                )
+            )
+        try:
+            os.utime(lease, (now, now))
+        except OSError:
+            pass
+        return True
+
+    def _stale(self, lease: Path) -> Optional[bool]:
+        """Staleness of ``lease``; ``None`` when it no longer exists."""
+        try:
+            mtime = os.stat(lease).st_mtime
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        return (self._clock() - mtime) > self._spec.lease_timeout
+
+    def heartbeat(self, claim: Claim) -> bool:
+        """Touch the lease mtime; False when the lease was lost.
+
+        Ownership is re-checked first: after a reclaim the lease file
+        at the same path belongs to the *new* holder, and a zombie
+        refreshing it would keep someone else's lease alive forever.
+        A lost lease means a reclaimer took the cell — the worker keeps
+        executing anyway, because its eventual content-addressed write
+        is byte-identical to the thief's.
+        """
+        try:
+            payload = json.loads(claim.lease_path.read_text())
+        except FileNotFoundError:
+            return False
+        except (OSError, json.JSONDecodeError):
+            return False  # mid-rewrite by a reclaimer: not ours anymore
+        if (
+            payload.get("worker") != claim.worker
+            or payload.get("pid") != os.getpid()
+        ):
+            return False
+        now = self._clock()
+        try:
+            os.utime(claim.lease_path, (now, now))
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        return True
+
+    def release(self, claim: Claim) -> None:
+        """Drop the lease after the result write (missing is fine)."""
+        try:
+            os.unlink(claim.lease_path)
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass
+        self.released += 1
+
+    def reap_stale(self) -> int:
+        """Remove every stale lease (coordinator cleanup); returns count.
+
+        Uses the same single-winner tombstone rename as :meth:`claim`,
+        so a reap racing a reclaim never double-counts one lease.
+        """
+        reaped = 0
+        if not self._cells_dir.is_dir():
+            return 0
+        for path in sorted(self._cells_dir.iterdir()):
+            if path.suffix != LEASE_SUFFIX or path.name.startswith("."):
+                continue
+            if not self._stale(path):
+                continue
+            tombstone = path.with_name(
+                f".{path.name}.reap-{os.getpid()}-{next(self._nonce)}"
+            )
+            try:
+                os.rename(path, tombstone)
+            except OSError:
+                continue
+            try:
+                os.unlink(tombstone)
+            except OSError:
+                pass
+            reaped += 1
+        return reaped
+
+    # ------------------------------------------------------------------
+    # Worker summaries (crash-durable progress accounting)
+    # ------------------------------------------------------------------
+    def write_worker_summary(self, payload: Dict[str, Any]) -> None:
+        """Atomically publish one worker's running totals.
+
+        Written after *every* completed cell, so a worker killed later
+        still has its reclaim/re-execution counts on disk for the
+        coordinator to aggregate.
+        """
+        worker = str(payload["worker"])
+        _atomic_write_json(
+            self._root / "workers" / f"{worker}.json", payload
+        )
+
+    def worker_summaries(self) -> Tuple[Dict[str, Any], ...]:
+        """Every published worker summary, sorted by worker id."""
+        workers = self._root / "workers"
+        if not workers.is_dir():
+            return ()
+        out = []
+        for path in sorted(workers.iterdir()):
+            if path.suffix != ".json" or path.name.startswith("."):
+                continue
+            try:
+                out.append(json.loads(path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return tuple(out)
+
+
+__all__ = ["Claim", "CellQueue", "DISTRIB_SITE", "LEASE_SUFFIX"]

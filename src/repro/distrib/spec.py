@@ -1,0 +1,158 @@
+"""Frozen value objects of the distributed sweep fabric.
+
+:class:`DistribSpec` freezes the fleet and lease-protocol parameters —
+worker count, ``lease_timeout``, heartbeat and poll cadence — into a
+hashable spec with the same lossless JSON round trip as
+:class:`~repro.api.spec.RunSpec`.  :class:`CellTask` is one unit of
+queue work: a content-addressed report key plus the
+:class:`~repro.api.spec.RunSpec` replication it names, shipped to
+workers as JSON.  Both are *identities*, not runtime state; the live
+lease/claim machinery lives in :mod:`repro.distrib.queue`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping
+
+from repro.api.spec import RunSpec
+
+
+@dataclass(frozen=True)
+class DistribSpec:
+    """Fleet and lease-protocol parameters of one distributed sweep.
+
+    Attributes
+    ----------
+    workers:
+        Local worker processes the coordinator spawns.
+    lease_timeout:
+        Seconds without a heartbeat touch after which a lease is
+        considered stale and may be reclaimed by a survivor.  Must
+        comfortably exceed ``heartbeat_interval`` (the validator
+        enforces a factor of two) or live workers get robbed.
+    heartbeat_interval:
+        Seconds between mtime touches on a held lease.
+    poll_interval:
+        Seconds an idle worker (and the coordinator monitor) sleeps
+        between queue scans.
+
+    Example
+    -------
+    >>> spec = DistribSpec(workers=2, lease_timeout=10.0)
+    >>> DistribSpec.from_json(spec.to_json()) == spec
+    True
+    """
+
+    workers: int = 2
+    lease_timeout: float = 30.0
+    heartbeat_interval: float = 1.0
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ValueError("workers must be an integer >= 1")
+        if self.lease_timeout <= 0.0:
+            raise ValueError("lease_timeout must be positive")
+        if self.heartbeat_interval <= 0.0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.lease_timeout < 2.0 * self.heartbeat_interval:
+            raise ValueError(
+                "lease_timeout must be at least twice heartbeat_interval "
+                "(a single delayed touch must not look like a death)"
+            )
+        if self.poll_interval <= 0.0:
+            raise ValueError("poll_interval must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DistribSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown DistribSpec fields: {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def from_json(cls, text: str) -> "DistribSpec":
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes: Any) -> "DistribSpec":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One queue unit: a content-addressed replication of a sweep cell.
+
+    ``key`` is the :func:`~repro.api.sweep.cell_report_key` content
+    address of the replication's report — it names the task file, the
+    lease file *and* the result entry, which is what makes execution
+    idempotent: however many workers run the task, they all write the
+    same payload to the same address.
+
+    Example
+    -------
+    >>> from repro.api.spec import RunSpec
+    >>> task = CellTask(key="0" * 64,
+    ...                 spec=RunSpec(source="g.txt", budget=10))
+    >>> CellTask.from_dict(task.to_dict()) == task
+    True
+    """
+
+    key: str
+    spec: RunSpec
+    include_post: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.key, str) or not self.key:
+            raise ValueError("key must be a non-empty content address")
+        if not isinstance(self.spec, RunSpec):
+            raise ValueError(f"spec must be a RunSpec, got {self.spec!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "spec": self.spec.to_dict(),
+            "include_post": self.include_post,
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellTask":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown CellTask fields: {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        payload = dict(data)
+        spec = payload.pop("spec")
+        if not isinstance(spec, RunSpec):
+            spec = RunSpec.from_dict(spec)
+        return cls(spec=spec, **payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CellTask":
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes: Any) -> "CellTask":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+
+__all__ = ["CellTask", "DistribSpec"]

@@ -1,0 +1,202 @@
+"""The sweep-worker loop: claim, execute, publish, release.
+
+``python -m repro sweep-worker --queue DIR`` runs :func:`run_worker`:
+claim a cell from the :class:`~repro.distrib.queue.CellQueue`, execute
+it through the exact :func:`repro.api.execution.run` path the inline
+sweep uses, write the report to the shared content-addressed store,
+release the lease, repeat until no task lacks a result.  A background
+:class:`Heartbeat` thread touches the held lease's mtime so a slow cell
+is not mistaken for a dead worker.
+
+After every completed cell the worker atomically publishes its running
+totals (claims, reclaims, re-executions) to ``<queue>/workers/<id>.json``
+— the coordinator aggregates those into the
+:class:`~repro.api.sweep.SweepReport` counters, and because the file is
+rewritten per cell the numbers survive the worker being SIGKILLed later.
+
+Fault hooks (site ``"distrib"``, chaos suite only): a
+``crash-worker-midcell`` fault SIGKILLs the process *after* the claim
+and *before* the result write — the worst possible moment, leaving a
+live lease for survivors to reclaim; ``stall-heartbeat`` skips mtime
+touches so a held lease goes stale under its owner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.api.execution import run
+from repro.distrib.queue import DISTRIB_SITE, CellQueue, Claim
+from repro.faults.injector import FaultInjector, coerce_injector
+
+
+@dataclass
+class WorkerStats:
+    """Running totals of one worker's queue session (JSON-safe)."""
+
+    worker: str
+    pid: int = 0
+    claims: int = 0
+    executed: int = 0
+    reclaimed: int = 0
+    reexecuted: int = 0
+    heartbeats: int = 0
+    heartbeats_skipped: int = 0
+    #: Error channel: message per failed cell (the failure re-raises
+    #: after being recorded here and in the on-disk summary).
+    errors: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class Heartbeat:
+    """Periodic mtime touches on a held lease, one thread per claim.
+
+    :meth:`beat` is a single touch — the unit the lease-lifecycle tests
+    drive directly with a fake clock; :meth:`start` runs it on a daemon
+    thread every ``heartbeat_interval`` seconds for real workers.  An
+    armed ``stall-heartbeat`` fault makes :meth:`beat` skip ``times``
+    touches, letting the lease cross ``lease_timeout`` while its owner
+    is alive.
+    """
+
+    def __init__(
+        self,
+        queue: CellQueue,
+        claim: Claim,
+        *,
+        injector: Optional[FaultInjector] = None,
+        site: str = DISTRIB_SITE,
+    ) -> None:
+        self._queue = queue
+        self._claim = claim
+        self._injector = injector
+        self._site = site
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._index = 0
+        self._skip = 0
+        #: Touches applied / skipped / attempted on a lost lease.
+        self.touched = 0
+        self.skipped = 0
+        self.lost = 0
+
+    def beat(self) -> bool:
+        """One heartbeat tick; True when the lease mtime was touched."""
+        index = self._index
+        self._index += 1
+        if self._skip == 0 and self._injector is not None:
+            self._skip = self._injector.heartbeat_stalls(self._site, index)
+        if self._skip > 0:
+            self._skip -= 1
+            self.skipped += 1
+            return False
+        if self._queue.heartbeat(self._claim):
+            self.touched += 1
+            return True
+        self.lost += 1
+        return False
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{self._claim.key[:8]}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._queue.spec.heartbeat_interval):
+            self.beat()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+
+def _midcell_crash() -> None:
+    """Die as hard as the platform allows (no cleanup, no release)."""
+    if hasattr(signal, "SIGKILL"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    os._exit(1)  # pragma: no cover - non-POSIX fallback
+
+
+def run_worker(
+    queue_root: os.PathLike,
+    worker_id: str,
+    *,
+    faults: Any = None,
+    max_cells: Optional[int] = None,
+    queue: Optional[CellQueue] = None,
+) -> WorkerStats:
+    """Drain the queue at ``queue_root``; returns this worker's totals.
+
+    The loop exits when every enqueued task has a durable result (not
+    merely when nothing is claimable: tasks under a fresh lease of a
+    worker that later dies must be waited on, reclaimed and executed).
+    ``max_cells`` bounds executions for tests; ``queue`` injects an
+    already-open :class:`CellQueue` (e.g. one with a fake clock).
+
+    A failed cell records its error in the worker summary, releases the
+    lease and re-raises — fail loud, never mark done.  The released
+    task is then claimable by a peer; a deterministic failure will fail
+    the whole fleet and surface through the coordinator's final drain.
+    """
+    if queue is None:
+        queue = CellQueue.open(Path(queue_root))
+    injector = coerce_injector(faults)
+    stats = WorkerStats(worker=worker_id, pid=os.getpid())
+    while True:
+        if max_cells is not None and stats.executed >= max_cells:
+            break
+        claim = queue.claim(worker_id, injector=injector)
+        if claim is None:
+            if not queue.pending_keys():
+                break
+            time.sleep(queue.spec.poll_interval)
+            continue
+        index = stats.claims
+        stats.claims += 1
+        if claim.reclaimed:
+            stats.reclaimed += 1
+        if injector is not None and injector.midcell_fault(
+            DISTRIB_SITE, index
+        ):
+            _midcell_crash()
+        heartbeat = Heartbeat(queue, claim, injector=injector)
+        heartbeat.start()
+        try:
+            report = run(
+                claim.task.spec, include_post=claim.task.include_post
+            )
+            queue.store.write(
+                claim.key,
+                dataclasses.replace(report, counter=None).to_dict(),
+            )
+        except Exception as exc:
+            stats.errors.append(f"{claim.key[:16]}: {exc!r}")
+            queue.write_worker_summary(stats.to_dict())
+            raise
+        finally:
+            heartbeat.stop()
+            stats.heartbeats += heartbeat.touched
+            stats.heartbeats_skipped += heartbeat.skipped
+            queue.release(claim)
+        stats.executed += 1
+        if claim.reclaimed:
+            stats.reexecuted += 1
+        queue.write_worker_summary(stats.to_dict())
+    queue.write_worker_summary(stats.to_dict())
+    return stats
+
+
+__all__ = ["Heartbeat", "WorkerStats", "run_worker"]

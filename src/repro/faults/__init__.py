@@ -9,7 +9,8 @@ and cache corruption deterministically, and the chaos acceptance suite
 to the fault-free oracle.  See ``docs/robustness.md``.
 """
 
-from repro.faults.corruption import backoff_delay, corrupt_entry
+from repro.faults.backoff import backoff_delay
+from repro.faults.corruption import corrupt_entry
 from repro.faults.injector import (
     FaultInjected,
     FaultInjector,
@@ -19,6 +20,7 @@ from repro.faults.injector import (
 )
 from repro.faults.spec import (
     CORRUPTION_MODES,
+    DISTRIB_KINDS,
     FAULT_KINDS,
     SOURCE_KINDS,
     TASK_KINDS,
@@ -28,6 +30,7 @@ from repro.faults.spec import (
 
 __all__ = [
     "CORRUPTION_MODES",
+    "DISTRIB_KINDS",
     "FAULT_KINDS",
     "FaultInjected",
     "FaultInjector",

@@ -1,11 +1,10 @@
-"""Deterministic file corruption and seeded retry backoff.
+"""Deterministic file corruption for cache-fault injection.
 
-Two small primitives the fault framework and the fault-tolerant layers
-share: :func:`corrupt_entry` mutates a cache entry on disk the same way
-every time (so a "corrupted sweep cache" chaos test is replayable), and
-:func:`backoff_delay` computes capped exponential backoff with jitter
-drawn from an *injected* seeded RNG — the retry schedule of a
-supervised source is as deterministic as its estimates.
+:func:`corrupt_entry` mutates a cache entry on disk the same way every
+time (so a "corrupted sweep cache" chaos test is replayable).  The
+seeded retry backoff that used to live here moved to
+:mod:`repro.faults.backoff`; the name is re-exported for existing
+importers.
 """
 
 from __future__ import annotations
@@ -13,6 +12,7 @@ from __future__ import annotations
 import random
 from pathlib import Path
 
+from repro.faults.backoff import backoff_delay
 from repro.faults.spec import CORRUPTION_MODES
 
 
@@ -40,24 +40,4 @@ def corrupt_entry(
         path.write_bytes(bytes(rng.getrandbits(8) for _ in range(size)))
 
 
-def backoff_delay(
-    attempt: int,
-    *,
-    base: float,
-    cap: float,
-    rng: random.Random,
-) -> float:
-    """Capped exponential backoff with seeded jitter.
-
-    ``attempt`` counts from zero.  The full delay doubles per attempt
-    up to ``cap``; the returned delay is jittered into the upper half
-    of that window (``[0.5, 1.0) * full``) so a fleet of reconnecting
-    sources does not thundering-herd a recovering server — with the
-    jitter drawn from the *injected* ``rng``, never from OS entropy.
-    """
-    if base <= 0.0:
-        raise ValueError("base must be positive")
-    if cap < base:
-        raise ValueError("cap must be >= base")
-    full = min(cap, base * (2.0 ** attempt))
-    return full * (0.5 + 0.5 * rng.random())
+__all__ = ["backoff_delay", "corrupt_entry"]

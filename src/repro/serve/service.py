@@ -41,7 +41,7 @@ import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.stream_engine import EngineStats, StreamEngine
-from repro.faults.corruption import backoff_delay
+from repro.faults.backoff import backoff_delay
 from repro.faults.injector import FaultInjector
 from repro.serve.snapshot import SampleSnapshot, SnapshotStore
 from repro.serve.source import make_source

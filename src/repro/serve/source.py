@@ -44,7 +44,7 @@ from typing import IO, Any, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.faults.corruption import backoff_delay
+from repro.faults.backoff import backoff_delay
 from repro.faults.injector import FaultInjector, inject_source_faults
 from repro.serve.spec import SYNTHETIC_SOURCE, TCP_PREFIX, ServeSpec
 from repro.streams.chunks import DEFAULT_CHUNK_SIZE

@@ -31,6 +31,7 @@ from repro.api.execution import run
 from repro.api.spec import RunSpec
 from repro.api.sweep import SweepSpec, run_sweep
 from repro.core.weights import UniformWeight
+from repro.distrib import DistribSpec, run_distributed_sweep
 from repro.faults import FaultPlan, FaultSpec
 from repro.graph.generators import powerlaw_cluster
 from repro.graph.io import write_edge_list
@@ -149,6 +150,90 @@ class TestSweepChaos:
         assert resumed.cell_cache_misses >= 1  # the recount
         assert resumed.cell_cache_hits >= 1  # intact entries replayed
         self._assert_cells_identical(resumed, oracle)
+
+
+# ----------------------------------------------------------------------
+# Distributed sweep: a SIGKILLed fleet worker's cells are reclaimed
+# ----------------------------------------------------------------------
+class TestDistributedSweepChaos:
+    @pytest.fixture(scope="class")
+    def spec(self, edge_file):
+        # 1 source x 2 methods x 3 budgets = the 6-cell grid.
+        return SweepSpec(
+            sources=(edge_file,),
+            methods=("triest", "gps-in-stream"),
+            budgets=(60, 80, 100),
+            runs=1,
+            base_stream_seed=3,
+            base_sampler_seed=30,
+        )
+
+    @staticmethod
+    def _assert_cells_identical(report, oracle):
+        assert len(report.cells) == len(oracle.cells) == 6
+        for cell, truth in zip(report.cells, oracle.cells):
+            assert cell.key == truth.key
+            assert cell.metrics == truth.metrics
+            assert cell.triangles == truth.triangles
+            assert cell.relative_error == truth.relative_error
+            assert [r.estimates for r in cell.reports] == [
+                r.estimates for r in truth.reports
+            ]
+
+    def test_sigkilled_worker_cells_reclaimed_bit_identical(
+        self, spec, tmp_path
+    ):
+        oracle = run_sweep(spec.replace(workers=0))
+        # Worker 0 SIGKILLs itself after its second claim — lease held,
+        # no result published.  The short lease timeout lets worker 1
+        # reclaim the orphaned cell and re-execute it; the assembled
+        # report must not show the crash in its numbers.
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind="crash-worker-midcell", site="distrib",
+                          at=1),
+            )
+        )
+        report = run_distributed_sweep(
+            spec,
+            cache_dir=tmp_path,
+            distrib=DistribSpec(
+                workers=2, lease_timeout=1.0,
+                heartbeat_interval=0.1, poll_interval=0.02,
+            ),
+            fault_plans={0: plan},
+        )
+        assert report.distributed_workers == 2
+        assert report.leases_reclaimed > 0
+        assert report.cells_reexecuted > 0
+        assert report.cell_cache_hits == 6  # assembly replays the store
+        self._assert_cells_identical(report, oracle)
+
+    def test_heartbeat_stall_converges_bit_identical(self, spec, tmp_path):
+        oracle = run_sweep(spec.replace(workers=0))
+        # Worker 0's heartbeat thread swallows its touches, so its
+        # leases can go stale mid-execution and be reclaimed while it
+        # is still computing.  Both copies of a doubly-executed cell
+        # write byte-identical content-addressed results, so the
+        # convergence guarantee is unconditional even though the
+        # reclaim counters depend on scheduling.
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind="stall-heartbeat", site="distrib",
+                          at=0, times=1000),
+            )
+        )
+        report = run_distributed_sweep(
+            spec,
+            cache_dir=tmp_path,
+            distrib=DistribSpec(
+                workers=2, lease_timeout=0.4,
+                heartbeat_interval=0.1, poll_interval=0.02,
+            ),
+            fault_plans={0: plan},
+        )
+        assert report.distributed_workers == 2
+        self._assert_cells_identical(report, oracle)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,514 @@
+"""Unit and property tests for the distributed sweep fabric.
+
+The lease protocol is driven with an *injected fake clock* — claims,
+heartbeats and staleness all compare timestamps produced by the same
+callable, so these tests advance time explicitly instead of sleeping.
+Contention tests hammer one queue from many threads (the on-disk
+protocol is what's under test; ``O_EXCL`` and ``rename`` are atomic
+across threads and processes alike), and the store stress test races
+real processes on one content key.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.execution import run
+from repro.api.ground_truth import ContentAddressedStore, GroundTruthCache
+from repro.api.spec import RunSpec
+from repro.api.sweep import SweepSpec, cell_report_key, run_sweep
+from repro.cli import main
+from repro.distrib import (
+    CellQueue,
+    CellTask,
+    DistribSpec,
+    Heartbeat,
+    enqueue_grid,
+    run_distributed_sweep,
+    run_worker,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.io import write_edge_list
+
+
+class FakeClock:
+    """An injectable clock the tests advance by hand."""
+
+    def __init__(self, now: float = 1_000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_queue(tmp_path, *, clock=None, tasks=4, **spec_kwargs):
+    """A queue with ``tasks`` dummy tasks (never executed by these tests)."""
+    spec_kwargs.setdefault("lease_timeout", 10.0)
+    spec_kwargs.setdefault("heartbeat_interval", 1.0)
+    queue = CellQueue.create(
+        tmp_path / "queue",
+        tmp_path / "cells",
+        DistribSpec(**spec_kwargs),
+        **({"clock": clock} if clock is not None else {}),
+    )
+    for i in range(tasks):
+        queue.enqueue(
+            CellTask(
+                key=f"{i:064x}",
+                spec=RunSpec(source="unused.txt", budget=10),
+            )
+        )
+    return queue
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+class TestDistribSpec:
+    def test_json_round_trip(self):
+        spec = DistribSpec(
+            workers=3, lease_timeout=12.0,
+            heartbeat_interval=0.5, poll_interval=0.01,
+        )
+        assert DistribSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown DistribSpec"):
+            DistribSpec.from_dict({"workers": 2, "lease_ttl": 3})
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            DistribSpec(workers=0)
+
+    def test_timeout_must_dominate_heartbeat(self):
+        with pytest.raises(ValueError, match="twice"):
+            DistribSpec(lease_timeout=1.0, heartbeat_interval=0.9)
+
+    def test_replace_revalidates(self):
+        spec = DistribSpec()
+        assert spec.replace(workers=5).workers == 5
+        with pytest.raises(ValueError):
+            spec.replace(poll_interval=0.0)
+
+
+class TestCellTask:
+    def test_json_round_trip(self):
+        task = CellTask(
+            key="a" * 64,
+            spec=RunSpec(source="g.txt", method="triest", budget=50),
+            include_post=True,
+        )
+        assert CellTask.from_json(task.to_json()) == task
+
+    def test_unknown_field_rejected(self):
+        task = CellTask(key="a" * 64, spec=RunSpec(source="g.txt", budget=5))
+        payload = task.to_dict()
+        payload["priority"] = 7
+        with pytest.raises(ValueError, match="unknown CellTask"):
+            CellTask.from_dict(payload)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError, match="key"):
+            CellTask(key="", spec=RunSpec(source="g.txt", budget=5))
+
+
+# ----------------------------------------------------------------------
+# Lease lifecycle (fake clock: no sleeps anywhere)
+# ----------------------------------------------------------------------
+class TestLeaseLifecycle:
+    def test_claim_is_exclusive_while_fresh(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock=clock, tasks=1)
+        claim = queue.claim("alpha")
+        assert claim is not None and not claim.reclaimed
+        assert queue.claim("beta") is None  # fresh lease: hands off
+        payload = json.loads(claim.lease_path.read_text())
+        assert payload["worker"] == "alpha"
+        assert payload["pid"] > 0
+
+    def test_heartbeat_keeps_slow_cell_alive_past_timeout(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock=clock, tasks=1, lease_timeout=10.0)
+        claim = queue.claim("alpha")
+        # 3x the timeout passes, but the owner keeps touching the lease.
+        for _ in range(6):
+            clock.advance(5.0)
+            assert queue.heartbeat(claim)
+            assert queue.claim("beta") is None
+        # The owner stops; one timeout later the cell is reclaimable.
+        clock.advance(10.1)
+        stolen = queue.claim("beta")
+        assert stolen is not None and stolen.reclaimed
+        assert stolen.key == claim.key
+        assert queue.reclaimed == 1
+
+    def test_reclamation_requeues_exactly_the_dead_workers_cells(
+        self, tmp_path
+    ):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock=clock, tasks=4, lease_timeout=10.0)
+        alive = [queue.claim("alive"), queue.claim("alive")]
+        dead = [queue.claim("dead"), queue.claim("dead")]
+        assert queue.claim("late") is None  # everything leased
+        # Only the live worker heartbeats across the timeout.
+        clock.advance(6.0)
+        for claim in alive:
+            queue.heartbeat(claim)
+        clock.advance(6.0)  # dead's leases now > 10s quiet, alive's 6s
+        reclaimed = []
+        while True:
+            claim = queue.claim("survivor")
+            if claim is None:
+                break
+            reclaimed.append(claim)
+        assert {c.key for c in reclaimed} == {c.key for c in dead}
+        assert all(c.reclaimed for c in reclaimed)
+
+    def test_release_after_result_makes_task_done(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock=clock, tasks=2)
+        claim = queue.claim("alpha")
+        queue.store.write(claim.key, {"ok": True})
+        queue.release(claim)
+        assert not claim.lease_path.exists()
+        assert claim.key not in queue.pending_keys()
+        # The done task is never claimed again; the other one is next.
+        nxt = queue.claim("alpha")
+        assert nxt is not None and nxt.key != claim.key
+
+    def test_release_without_result_requeues_immediately(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock=clock, tasks=1)
+        claim = queue.claim("alpha")
+        queue.release(claim)  # failed cell: lease dropped, no result
+        again = queue.claim("beta")
+        assert again is not None and not again.reclaimed
+        assert again.key == claim.key
+
+    def test_reap_stale_removes_only_quiet_leases(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock=clock, tasks=2, lease_timeout=10.0)
+        kept = queue.claim("alpha")
+        dead = queue.claim("beta")
+        clock.advance(11.0)
+        queue.heartbeat(kept)
+        assert queue.reap_stale() == 1
+        assert kept.lease_path.exists()
+        assert not dead.lease_path.exists()
+
+    def test_steal_lease_fault_forces_double_claim(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock=clock, tasks=1)
+        victim = queue.claim("victim")
+        assert victim is not None
+        thief_injector = FaultInjector(
+            FaultPlan(faults=(FaultSpec(kind="steal-lease",
+                                        site="distrib"),))
+        )
+        stolen = queue.claim("thief", injector=thief_injector)
+        assert stolen is not None and stolen.reclaimed
+        assert stolen.key == victim.key
+        assert [f.kind for f in thief_injector.fired] == ["steal-lease"]
+        # The budget burned: a second fresh lease is respected.
+        queue.release(stolen)
+        held = queue.claim("victim")
+        assert held is not None
+        assert queue.claim("thief", injector=thief_injector) is None
+
+    def test_heartbeat_stall_lets_the_lease_go_stale(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock=clock, tasks=1, lease_timeout=10.0)
+        claim = queue.claim("alpha")
+        injector = FaultInjector(
+            FaultPlan(faults=(FaultSpec(kind="stall-heartbeat",
+                                        site="distrib", times=3),))
+        )
+        beat = Heartbeat(queue, claim, injector=injector)
+        for _ in range(3):  # all three touches are swallowed
+            clock.advance(4.0)
+            assert not beat.beat()
+        assert beat.skipped == 3
+        stolen = queue.claim("beta")  # 12s quiet > 10s timeout
+        assert stolen is not None and stolen.reclaimed
+        # Post-stall the owner's beats resume (on the lost lease they
+        # report False and count `lost`).
+        assert not beat.beat()
+        assert beat.lost == 1
+
+    def test_heartbeat_thread_touches_real_lease(self, tmp_path):
+        queue = make_queue(
+            tmp_path, tasks=1,
+            lease_timeout=10.0, heartbeat_interval=0.01,
+        )
+        claim = queue.claim("alpha")
+        beat = Heartbeat(queue, claim)
+        beat.start()
+        deadline_event = threading.Event()
+        deadline_event.wait(0.15)
+        beat.stop()
+        assert beat.touched > 0
+
+
+class TestClaimContention:
+    def test_each_task_claimed_exactly_once(self, tmp_path):
+        queue = make_queue(tmp_path, tasks=12)
+        claims = []
+        lock = threading.Lock()
+
+        def grab(worker: str) -> None:
+            while True:
+                claim = queue.claim(worker)
+                if claim is None:
+                    return
+                with lock:
+                    claims.append(claim)
+
+        threads = [
+            threading.Thread(target=grab, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        keys = [claim.key for claim in claims]
+        assert sorted(keys) == sorted(set(keys))  # no double claims
+        assert set(keys) == set(queue.task_keys())  # full coverage
+
+    @settings(max_examples=15, deadline=None)
+    @given(tasks=st.integers(1, 10), workers=st.integers(1, 4))
+    def test_drain_completes_every_task_once(self, tmp_path_factory,
+                                             tasks, workers):
+        tmp_path = tmp_path_factory.mktemp("drain")
+        queue = make_queue(tmp_path, tasks=tasks)
+        executed = []
+        for round_robin in range(tasks * workers + 1):
+            claim = queue.claim(f"w{round_robin % workers}")
+            if claim is None:
+                break
+            queue.store.write(claim.key, {"round": round_robin})
+            queue.release(claim)
+            executed.append(claim.key)
+        assert sorted(executed) == sorted(queue.task_keys())
+        assert queue.pending_keys() == ()
+
+
+# ----------------------------------------------------------------------
+# Store scan discipline + concurrent writers (satellite 2)
+# ----------------------------------------------------------------------
+def _race_writer(args):
+    root, key, writer = args
+    store = ContentAddressedStore(Path(root))
+    for i in range(25):
+        store.write(key, {"writer": writer, "i": i})
+    return writer
+
+
+class TestStoreScans:
+    def test_entries_ignores_lease_corrupt_and_tmp_siblings(self, tmp_path):
+        store = ContentAddressedStore(tmp_path)
+        store.write("a" * 64, {"x": 1})
+        store.write("b" * 64, {"x": 2})
+        (tmp_path / ("a" * 64 + ".lease")).write_text("{}")
+        (tmp_path / ("b" * 64 + ".json" + ".corrupt")).write_text("junk")
+        (tmp_path / (".deadbeef-xyz.tmp")).write_text("partial")
+        (tmp_path / ".hidden.json").write_text("{}")
+        names = [path.name for path in store.entries()]
+        assert names == sorted(["a" * 64 + ".json", "b" * 64 + ".json"])
+
+    def test_entries_disabled_store(self):
+        assert ContentAddressedStore(None).entries() == ()
+
+    def test_concurrent_writers_one_durable_valid_entry(self, tmp_path):
+        key = "c" * 64
+        store = ContentAddressedStore(tmp_path)
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(_race_writer, (str(tmp_path), key, w))
+                for w in range(4)
+            ]
+            # Concurrent reads must never see a torn entry: every read
+            # is either a miss or a complete envelope payload.
+            torn = 0
+            while not all(future.done() for future in futures):
+                data = store.read(key)
+                if data is not None and "writer" not in data:
+                    torn += 1
+            assert [future.result() for future in futures] == [0, 1, 2, 3]
+        assert torn == 0
+        assert store.quarantined == 0
+        entries = store.entries()
+        assert len(entries) == 1 and entries[0].name == f"{key}.json"
+        final = store.read(key)
+        assert final is not None and final["i"] == 24
+        # No tmp litter left behind by the racing writers.
+        assert [p for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+
+
+# ----------------------------------------------------------------------
+# Worker loop + coordinator (real execution, tiny grid)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def edge_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("distrib") / "graph.txt"
+    write_edge_list(powerlaw_cluster(80, 2, 0.4, seed=7), path)
+    return str(path)
+
+
+class TestWorkerLoop:
+    def test_worker_drains_queue_bit_identically(self, tmp_path, edge_file):
+        spec = SweepSpec(
+            sources=(edge_file,), methods=("triest",), budgets=(40, 60),
+            runs=1, base_stream_seed=3, base_sampler_seed=30,
+        )
+        gt_cache = GroundTruthCache(tmp_path)
+        queue = CellQueue.create(
+            tmp_path / "queue", tmp_path / "cells", DistribSpec(workers=1)
+        )
+        assert enqueue_grid(spec, queue, gt_cache) == 2
+        stats = run_worker(queue.root, "w0", queue=queue)
+        assert stats.executed == 2
+        assert stats.reclaimed == stats.reexecuted == 0
+        assert queue.pending_keys() == ()
+        # Published payloads are byte-equal to a direct inline run.
+        for run_spec in spec.expand()[0].specs:
+            key = cell_report_key(
+                run_spec, False, gt_cache.key_for(edge_file)
+            )
+            stored = queue.store.read(key)
+            direct = run(run_spec)
+            assert stored["estimates"] == direct.to_dict()["estimates"]
+        summaries = queue.worker_summaries()
+        assert [s["worker"] for s in summaries] == ["w0"]
+        assert summaries[0]["executed"] == 2
+
+    def test_failed_cell_records_error_releases_and_raises(self, tmp_path):
+        queue = make_queue(tmp_path, tasks=0)
+        queue.enqueue(
+            CellTask(
+                key="f" * 64,
+                spec=RunSpec(source="no-such-file.txt", budget=10),
+            )
+        )
+        with pytest.raises(Exception):
+            run_worker(queue.root, "w0", queue=queue)
+        assert not queue.lease_path("f" * 64).exists()  # released
+        summaries = queue.worker_summaries()
+        assert len(summaries) == 1
+        assert summaries[0]["errors"]  # the error channel is populated
+
+    def test_max_cells_bounds_the_session(self, tmp_path, edge_file):
+        spec = SweepSpec(
+            sources=(edge_file,), methods=("triest",), budgets=(40, 60),
+            runs=1, base_stream_seed=3, base_sampler_seed=30,
+        )
+        gt_cache = GroundTruthCache(tmp_path)
+        queue = CellQueue.create(
+            tmp_path / "queue", tmp_path / "cells", DistribSpec(workers=1)
+        )
+        enqueue_grid(spec, queue, gt_cache)
+        stats = run_worker(queue.root, "w0", queue=queue, max_cells=1)
+        assert stats.executed == 1
+        assert len(queue.pending_keys()) == 1
+
+
+class TestCoordinator:
+    def test_distributed_sweep_matches_inline(self, tmp_path, edge_file):
+        spec = SweepSpec(
+            sources=(edge_file,), methods=("triest", "gps-in-stream"),
+            budgets=(50,), runs=1, base_stream_seed=3, base_sampler_seed=30,
+        )
+        oracle = run_sweep(spec.replace(workers=0))
+        report = run_distributed_sweep(
+            spec,
+            cache_dir=tmp_path,
+            distrib=DistribSpec(
+                workers=1, lease_timeout=10.0,
+                heartbeat_interval=0.2, poll_interval=0.02,
+            ),
+        )
+        assert report.distributed_workers == 1
+        assert report.leases_reclaimed == 0
+        assert report.cells_reexecuted == 0
+        assert len(report.cells) == len(oracle.cells) == 2
+        for cell, truth in zip(report.cells, oracle.cells):
+            assert cell.key == truth.key
+            assert cell.metrics == truth.metrics
+            assert cell.relative_error == truth.relative_error
+            assert [r.estimates for r in cell.reports] == [
+                r.estimates for r in truth.reports
+            ]
+        payload = report.to_dict()["distrib"]
+        assert payload == {
+            "workers": 1, "leases_reclaimed": 0, "cells_reexecuted": 0,
+        }
+
+    def test_requires_cache_dir(self, edge_file):
+        with pytest.raises(ValueError, match="cache"):
+            run_distributed_sweep(
+                SweepSpec(sources=(edge_file,)), cache_dir=None
+            )
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_distributed_rejects_no_cache(self, capsys):
+        code = main(["sweep", "--source", "g.txt", "--distributed", "2",
+                     "--no-cache"])
+        assert code == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_distributed_rejects_workers(self, capsys):
+        code = main(["sweep", "--source", "g.txt", "--distributed", "2",
+                     "--workers", "2"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_lease_flags_require_distributed(self, capsys):
+        code = main(["sweep", "--source", "g.txt", "--lease-timeout", "5"])
+        assert code == 2
+        assert "--distributed" in capsys.readouterr().err
+
+    def test_bad_lease_parameters_rejected(self, tmp_path, capsys):
+        code = main(["sweep", "--source", "g.txt", "--distributed", "1",
+                     "--cache", str(tmp_path),
+                     "--lease-timeout", "1", "--heartbeat-interval", "0.9"])
+        assert code == 2
+        assert "twice" in capsys.readouterr().err
+
+    def test_sweep_worker_requires_manifest(self, tmp_path, capsys):
+        code = main(["sweep-worker", "--queue", str(tmp_path / "nope")])
+        assert code == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_sweep_worker_drains_queue_via_cli(
+        self, tmp_path, edge_file, capsys
+    ):
+        spec = SweepSpec(
+            sources=(edge_file,), methods=("triest",), budgets=(40,),
+            runs=1, base_stream_seed=3, base_sampler_seed=30,
+        )
+        gt_cache = GroundTruthCache(tmp_path)
+        queue = CellQueue.create(
+            tmp_path / "queue", tmp_path / "cells", DistribSpec(workers=1)
+        )
+        enqueue_grid(spec, queue, gt_cache)
+        code = main(["sweep-worker", "--queue", str(queue.root),
+                     "--worker-id", "cli-w", "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["worker"] == "cli-w"
+        assert summary["executed"] == 1
+        assert queue.pending_keys() == ()
